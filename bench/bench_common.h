@@ -1,0 +1,46 @@
+// Shared helpers for the table/figure reproduction binaries.
+#ifndef RTGCN_BENCH_BENCH_COMMON_H_
+#define RTGCN_BENCH_BENCH_COMMON_H_
+
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "baselines/catalog.h"
+#include "common/flags.h"
+#include "common/strings.h"
+#include "harness/table.h"
+#include "market/market.h"
+
+namespace rtgcn::bench {
+
+/// Markets for a bench run: parses --markets "NASDAQ,NYSE,CSI" (default all)
+/// and applies --scale (default 1.0).
+inline std::vector<market::MarketSpec> MarketsFromFlags(const Flags& flags) {
+  const double scale = flags.GetDouble("scale", 1.0);
+  std::vector<market::MarketSpec> specs;
+  for (const std::string& name :
+       Split(flags.GetString("markets", "NASDAQ,NYSE,CSI"), ',')) {
+    if (name == "NASDAQ") specs.push_back(market::NasdaqSpec(scale));
+    if (name == "NYSE") specs.push_back(market::NyseSpec(scale));
+    if (name == "CSI") specs.push_back(market::CsiSpec(scale));
+  }
+  return specs;
+}
+
+inline std::string Fmt3(double v) { return FormatFixed(v, 3); }
+inline std::string Fmt2(double v) { return FormatFixed(v, 2); }
+
+/// Formats a p-value like the paper ("3.05e-4").
+inline std::string FmtP(double p) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2e", p);
+  return buf;
+}
+
+}  // namespace rtgcn::bench
+
+#endif  // RTGCN_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,167 @@
+// Google-benchmark micro-benchmarks for the numeric substrate and the model
+// layers: op throughput, layer forward/backward, and the per-sample cost
+// that underlies Figure 5's speed comparison.
+#include <benchmark/benchmark.h>
+
+#include "autograd/ops.h"
+#include "autograd/optimizer.h"
+#include "baselines/lstm_models.h"
+#include "core/loss.h"
+#include "core/rtgcn.h"
+#include "graph/adjacency.h"
+#include "market/market.h"
+#include "nn/rnn.h"
+#include "tensor/init.h"
+#include "tensor/ops.h"
+
+namespace rtgcn {
+namespace {
+
+void BM_MatMul(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = RandomGaussian({n, n}, 0, 1, &rng);
+  Tensor b = RandomGaussian({n, n}, 0, 1, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_BroadcastAdd(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = RandomGaussian({n, n}, 0, 1, &rng);
+  Tensor b = RandomGaussian({n}, 0, 1, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Add(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_BroadcastAdd)->Arg(256);
+
+void BM_Softmax(benchmark::State& state) {
+  Rng rng(1);
+  Tensor a = RandomGaussian({128, 128}, 0, 1, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Softmax(a, 1));
+  }
+}
+BENCHMARK(BM_Softmax);
+
+// One RT-GCN forward+backward per day-sample vs an LSTM ranker — the
+// per-sample contrast behind Figure 5.
+struct ModelFixture {
+  ModelFixture() : data(market::BuildMarket(SmallSpec())) {
+    dataset = std::make_unique<market::WindowDataset>(data.sim.prices, 15, 4);
+    features = dataset->Features(dataset->first_day());
+    labels = dataset->Labels(dataset->first_day());
+  }
+
+  static market::MarketSpec SmallSpec() {
+    market::MarketSpec spec = market::NasdaqSpec();
+    spec.train_days = 60;
+    spec.test_days = 10;
+    return spec;
+  }
+
+  market::MarketData data;
+  std::unique_ptr<market::WindowDataset> dataset;
+  Tensor features;
+  Tensor labels;
+};
+
+ModelFixture& Fixture() {
+  static ModelFixture fixture;
+  return fixture;
+}
+
+void BM_RtGcnForward(benchmark::State& state) {
+  auto& f = Fixture();
+  Rng rng(2);
+  core::RtGcnConfig cfg;
+  cfg.strategy = static_cast<core::Strategy>(state.range(0));
+  cfg.relational_filters = 32;
+  core::RtGcnModel model(f.data.relations.relations, cfg, &rng);
+  model.SetTraining(false);
+  ag::NoGradGuard no_grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.Forward(ag::Constant(f.features), &rng));
+  }
+}
+BENCHMARK(BM_RtGcnForward)->Arg(0)->Arg(1)->Arg(2)
+    ->ArgNames({"strategy"});
+
+void BM_RtGcnTrainStep(benchmark::State& state) {
+  auto& f = Fixture();
+  Rng rng(2);
+  core::RtGcnConfig cfg;
+  cfg.strategy = core::Strategy::kTimeSensitive;
+  cfg.relational_filters = 32;
+  core::RtGcnModel model(f.data.relations.relations, cfg, &rng);
+  ag::Adam opt(model.Parameters(), 1e-3f);
+  for (auto _ : state) {
+    opt.ZeroGrad();
+    auto scores = model.Forward(ag::Constant(f.features), &rng);
+    auto loss = core::CombinedLoss(scores, f.labels, 0.1f);
+    ag::Backward(loss);
+    opt.Step();
+  }
+}
+BENCHMARK(BM_RtGcnTrainStep);
+
+void BM_LstmRankerTrainStep(benchmark::State& state) {
+  auto& f = Fixture();
+  Rng rng(3);
+  struct Net : nn::Module {
+    Net(Rng* rng) : lstm(4, 32, rng), scorer(32, 1, rng) {
+      RegisterModule(&lstm);
+      RegisterModule(&scorer);
+    }
+    nn::Lstm lstm;
+    nn::Linear scorer;
+  } net(&rng);
+  ag::Adam opt(net.Parameters(), 1e-3f);
+  const int64_t n = f.features.dim(1);
+  for (auto _ : state) {
+    opt.ZeroGrad();
+    auto h = net.lstm.ForwardLast(ag::Constant(f.features));
+    auto scores = ag::Reshape(net.scorer.Forward(h), {n});
+    auto loss = core::CombinedLoss(scores, f.labels, 0.1f);
+    ag::Backward(loss);
+    opt.Step();
+  }
+}
+BENCHMARK(BM_LstmRankerTrainStep);
+
+void BM_NormalizedAdjacency(benchmark::State& state) {
+  auto& f = Fixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        graph::NormalizedAdjacency(f.data.relations.relations));
+  }
+}
+BENCHMARK(BM_NormalizedAdjacency);
+
+void BM_MarketSimulation(benchmark::State& state) {
+  market::MarketSpec spec = market::NasdaqSpec();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(market::BuildMarket(spec));
+  }
+}
+BENCHMARK(BM_MarketSimulation);
+
+void BM_FeatureWindow(benchmark::State& state) {
+  auto& f = Fixture();
+  const int64_t day = f.dataset->first_day();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.dataset->Features(day));
+  }
+}
+BENCHMARK(BM_FeatureWindow);
+
+}  // namespace
+}  // namespace rtgcn
+
+BENCHMARK_MAIN();

@@ -1,0 +1,43 @@
+#include "autograd/gradcheck.h"
+
+#include <cmath>
+
+namespace rtgcn::ag {
+
+float GradCheckMaxError(
+    const std::function<VarPtr(const std::vector<VarPtr>&)>& fn,
+    const std::vector<VarPtr>& inputs, float eps) {
+  // Analytic pass.
+  for (const auto& in : inputs) in->ZeroGrad();
+  VarPtr out = fn(inputs);
+  RTGCN_CHECK_EQ(out->numel(), 1) << "gradcheck requires a scalar output";
+  Backward(out);
+
+  float max_err = 0.0f;
+  for (const auto& in : inputs) {
+    RTGCN_CHECK(in->requires_grad);
+    Tensor analytic = in->grad.defined() ? in->grad
+                                         : Tensor::Zeros(in->shape());
+    float* p = in->value.data();
+    for (int64_t i = 0; i < in->numel(); ++i) {
+      const float orig = p[i];
+      p[i] = orig + eps;
+      const float f_plus = fn(inputs)->value.item();
+      p[i] = orig - eps;
+      const float f_minus = fn(inputs)->value.item();
+      p[i] = orig;
+      const float numeric = (f_plus - f_minus) / (2.0f * eps);
+      const float a = analytic.data()[i];
+      const float denom = std::max({std::fabs(a), std::fabs(numeric), 1e-4f});
+      max_err = std::max(max_err, std::fabs(a - numeric) / denom);
+    }
+  }
+  return max_err;
+}
+
+bool GradCheck(const std::function<VarPtr(const std::vector<VarPtr>&)>& fn,
+               const std::vector<VarPtr>& inputs, float tol, float eps) {
+  return GradCheckMaxError(fn, inputs, eps) < tol;
+}
+
+}  // namespace rtgcn::ag

@@ -1,0 +1,27 @@
+// Numerical gradient checking for tests.
+#ifndef RTGCN_AUTOGRAD_GRADCHECK_H_
+#define RTGCN_AUTOGRAD_GRADCHECK_H_
+
+#include <functional>
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace rtgcn::ag {
+
+/// \brief Compares analytic gradients against central finite differences.
+///
+/// `fn` maps the inputs to a scalar Variable. Returns the max relative error
+/// across all input entries. Inputs must have requires_grad = true.
+float GradCheckMaxError(
+    const std::function<VarPtr(const std::vector<VarPtr>&)>& fn,
+    const std::vector<VarPtr>& inputs, float eps = 1e-3f);
+
+/// Convenience predicate: max relative error below `tol`.
+bool GradCheck(const std::function<VarPtr(const std::vector<VarPtr>&)>& fn,
+               const std::vector<VarPtr>& inputs, float tol = 5e-2f,
+               float eps = 1e-3f);
+
+}  // namespace rtgcn::ag
+
+#endif  // RTGCN_AUTOGRAD_GRADCHECK_H_

@@ -1,0 +1,85 @@
+#include "autograd/optimizer.h"
+
+#include <cmath>
+
+namespace rtgcn::ag {
+
+void Optimizer::ClipGradNorm(float max_norm) {
+  double total = 0;
+  for (const auto& p : params_) {
+    if (!p->grad.defined()) continue;
+    const float n = rtgcn::Norm(p->grad);
+    total += double(n) * n;
+  }
+  const double norm = std::sqrt(total);
+  if (norm <= max_norm || norm == 0) return;
+  const float scale = static_cast<float>(max_norm / norm);
+  for (auto& p : params_) {
+    if (p->grad.defined()) p->grad = rtgcn::MulScalar(p->grad, scale);
+  }
+}
+
+Sgd::Sgd(std::vector<VarPtr> params, float lr, float momentum)
+    : Optimizer(std::move(params)), lr_(lr), momentum_(momentum) {
+  velocity_.resize(params_.size());
+}
+
+void Sgd::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    auto& p = params_[i];
+    if (!p->grad.defined()) continue;
+    if (momentum_ > 0) {
+      if (!velocity_[i].defined()) velocity_[i] = Tensor::Zeros(p->shape());
+      velocity_[i] = rtgcn::Add(rtgcn::MulScalar(velocity_[i], momentum_),
+                                p->grad);
+      p->value = rtgcn::Sub(p->value, rtgcn::MulScalar(velocity_[i], lr_));
+    } else {
+      p->value = rtgcn::Sub(p->value, rtgcn::MulScalar(p->grad, lr_));
+    }
+  }
+}
+
+Adam::Adam(std::vector<VarPtr> params, float lr, float beta1, float beta2,
+           float eps, float weight_decay)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  m_.resize(params_.size());
+  v_.resize(params_.size());
+}
+
+void Adam::Step() {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    auto& p = params_[i];
+    if (!p->grad.defined()) continue;
+    Tensor g = p->grad;
+    if (weight_decay_ > 0) {
+      g = rtgcn::Add(g, rtgcn::MulScalar(p->value, weight_decay_));
+    }
+    if (!m_[i].defined()) {
+      m_[i] = Tensor::Zeros(p->shape());
+      v_[i] = Tensor::Zeros(p->shape());
+    }
+    // Fused update loop: avoids five temporary tensors per parameter.
+    float* pm = m_[i].data();
+    float* pv = v_[i].data();
+    float* pw = p->value.data();
+    const float* pg = g.data();
+    const int64_t n = p->numel();
+    for (int64_t j = 0; j < n; ++j) {
+      pm[j] = beta1_ * pm[j] + (1.0f - beta1_) * pg[j];
+      pv[j] = beta2_ * pv[j] + (1.0f - beta2_) * pg[j] * pg[j];
+      const float mhat = pm[j] / bc1;
+      const float vhat = pv[j] / bc2;
+      pw[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+}  // namespace rtgcn::ag

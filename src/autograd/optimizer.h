@@ -1,0 +1,61 @@
+// First-order optimizers over lists of leaf Variables.
+#ifndef RTGCN_AUTOGRAD_OPTIMIZER_H_
+#define RTGCN_AUTOGRAD_OPTIMIZER_H_
+
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace rtgcn::ag {
+
+/// \brief Base optimizer interface.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<VarPtr> params) : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  /// Applies one update using the gradients currently stored on the params.
+  virtual void Step() = 0;
+
+  /// Clears gradients on all parameters.
+  void ZeroGrad() {
+    for (auto& p : params_) p->ZeroGrad();
+  }
+
+  /// Rescales gradients so the global L2 norm is at most `max_norm`.
+  void ClipGradNorm(float max_norm);
+
+  const std::vector<VarPtr>& params() const { return params_; }
+
+ protected:
+  std::vector<VarPtr> params_;
+};
+
+/// \brief Plain SGD with optional momentum.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<VarPtr> params, float lr, float momentum = 0.0f);
+  void Step() override;
+
+ private:
+  float lr_;
+  float momentum_;
+  std::vector<Tensor> velocity_;
+};
+
+/// \brief Adam (Kingma & Ba). The paper trains RT-GCN with Adam, lr = 1e-3.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<VarPtr> params, float lr = 1e-3f, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.0f);
+  void Step() override;
+
+ private:
+  float lr_, beta1_, beta2_, eps_, weight_decay_;
+  int64_t t_ = 0;
+  std::vector<Tensor> m_, v_;
+};
+
+}  // namespace rtgcn::ag
+
+#endif  // RTGCN_AUTOGRAD_OPTIMIZER_H_

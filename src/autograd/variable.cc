@@ -1,0 +1,73 @@
+#include "autograd/variable.h"
+
+#include <unordered_set>
+
+namespace rtgcn::ag {
+
+namespace {
+bool g_grad_enabled = true;
+}  // namespace
+
+bool GradMode::enabled() { return g_grad_enabled; }
+void GradMode::set_enabled(bool enabled) { g_grad_enabled = enabled; }
+
+void Variable::AccumulateGrad(const Tensor& g) {
+  Tensor reduced = ReduceToShape(g, value.shape());
+  if (!grad.defined()) {
+    grad = reduced.Clone();
+  } else {
+    grad = rtgcn::Add(grad, reduced);
+  }
+}
+
+VarPtr MakeVariable(Tensor value, bool requires_grad) {
+  return std::make_shared<Variable>(std::move(value), requires_grad);
+}
+
+VarPtr Constant(Tensor value) {
+  return std::make_shared<Variable>(std::move(value), /*requires_grad=*/false);
+}
+
+namespace {
+
+// Iterative post-order DFS producing a topological order (parents before
+// children in `order`, so we replay it in reverse).
+void TopoSort(const VarPtr& root, std::vector<Variable*>* order) {
+  std::unordered_set<Variable*> visited;
+  std::vector<std::pair<Variable*, size_t>> stack;
+  stack.emplace_back(root.get(), 0);
+  visited.insert(root.get());
+  while (!stack.empty()) {
+    auto& [node, next_child] = stack.back();
+    if (next_child < node->parents.size()) {
+      Variable* child = node->parents[next_child].get();
+      ++next_child;
+      if (child && !visited.count(child)) {
+        visited.insert(child);
+        stack.emplace_back(child, 0);
+      }
+    } else {
+      order->push_back(node);
+      stack.pop_back();
+    }
+  }
+}
+
+}  // namespace
+
+void Backward(const VarPtr& root) {
+  RTGCN_CHECK(root != nullptr);
+  std::vector<Variable*> order;
+  TopoSort(root, &order);
+  root->AccumulateGrad(Tensor::Ones(root->value.shape()));
+  // Reverse topological order: every node's gradient is complete before its
+  // backward_fn fires.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    Variable* node = *it;
+    if (node->backward_fn && node->grad.defined()) {
+      node->backward_fn(node->grad);
+    }
+  }
+}
+
+}  // namespace rtgcn::ag

@@ -1,0 +1,57 @@
+#include "baselines/alstm.h"
+
+#include "baselines/classification.h"
+
+namespace rtgcn::baselines {
+
+ALstmPredictor::ALstmPredictor(int64_t num_features, int64_t hidden,
+                               uint64_t seed, float epsilon, float adv_weight)
+    : epsilon_(epsilon),
+      adv_weight_(adv_weight),
+      init_rng_(seed),
+      net_(num_features, hidden, &init_rng_) {}
+
+ag::VarPtr ALstmPredictor::Forward(const Tensor& features, Rng* /*rng*/) {
+  ag::VarPtr h = net_.lstm.ForwardLast(ag::Constant(features));
+  return net_.head.Forward(h);  // logits [N, 3]
+}
+
+double ALstmPredictor::TrainStep(const Tensor& features, const Tensor& labels,
+                                 ag::Optimizer* optimizer,
+                                 const harness::TrainOptions& options,
+                                 Rng* /*rng*/) {
+  const std::vector<int> classes = TrendClasses(labels);
+  optimizer->ZeroGrad();
+
+  // Clean pass. The latent state is an interior node, so after Backward its
+  // grad field holds dL/dh for the FGSM perturbation.
+  ag::VarPtr h = net_.lstm.ForwardLast(ag::Constant(features));
+  ag::VarPtr logits = net_.head.Forward(h);
+  ag::VarPtr clean_loss = CrossEntropy(logits, classes);
+  ag::Backward(clean_loss);
+
+  // Adversarial pass: h_adv = h + ε · sign(∂L/∂h). Gradients from this pass
+  // accumulate onto the classification head (the encoder already received
+  // the clean-pass gradients).
+  if (h->grad.defined()) {
+    Tensor h_adv = Add(h->value, MulScalar(Sign(h->grad), epsilon_));
+    ag::VarPtr adv_logits = net_.head.Forward(ag::Constant(h_adv));
+    ag::VarPtr adv_loss =
+        ag::MulScalar(CrossEntropy(adv_logits, classes), adv_weight_);
+    ag::Backward(adv_loss);
+  }
+  optimizer->ClipGradNorm(options.grad_clip);
+  optimizer->Step();
+  return clean_loss->value.item();
+}
+
+Tensor ALstmPredictor::Predict(const market::WindowDataset& data,
+                               int64_t day) {
+  ag::NoGradGuard no_grad;
+  net_.SetTraining(false);
+  Rng dummy(0);
+  ag::VarPtr logits = Forward(data.Features(day), &dummy);
+  return ClassificationScores(logits->value);
+}
+
+}  // namespace rtgcn::baselines

@@ -1,0 +1,52 @@
+// A-LSTM: adversarially trained LSTM trend classifier (Feng et al., IJCAI
+// 2019). The clean pass is a standard LSTM → 3-class softmax; an FGSM
+// perturbation of the latent representation provides the adversarial term.
+#ifndef RTGCN_BASELINES_ALSTM_H_
+#define RTGCN_BASELINES_ALSTM_H_
+
+#include <string>
+
+#include "harness/gradient_predictor.h"
+#include "nn/linear.h"
+#include "nn/rnn.h"
+
+namespace rtgcn::baselines {
+
+/// \brief Adversarial LSTM classifier (CLF row of Table IV).
+class ALstmPredictor : public harness::GradientPredictor {
+ public:
+  ALstmPredictor(int64_t num_features, int64_t hidden, uint64_t seed,
+                 float epsilon = 1e-2f, float adv_weight = 0.5f);
+
+  std::string name() const override { return "A-LSTM"; }
+  bool ranks() const override { return false; }
+
+  Tensor Predict(const market::WindowDataset& data, int64_t day) override;
+
+ protected:
+  nn::Module* module() override { return &net_; }
+  ag::VarPtr Forward(const Tensor& features, Rng* rng) override;
+  double TrainStep(const Tensor& features, const Tensor& labels,
+                   ag::Optimizer* optimizer,
+                   const harness::TrainOptions& options, Rng* rng) override;
+
+ private:
+  struct Net : nn::Module {
+    Net(int64_t num_features, int64_t hidden, Rng* rng)
+        : lstm(num_features, hidden, rng), head(hidden, 3, rng) {
+      RegisterModule(&lstm);
+      RegisterModule(&head);
+    }
+    nn::Lstm lstm;
+    nn::Linear head;
+  };
+
+  float epsilon_;
+  float adv_weight_;
+  Rng init_rng_;
+  Net net_;
+};
+
+}  // namespace rtgcn::baselines
+
+#endif  // RTGCN_BASELINES_ALSTM_H_

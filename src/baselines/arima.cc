@@ -1,0 +1,95 @@
+#include "baselines/arima.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+
+namespace rtgcn::baselines {
+
+std::vector<double> SolveLinearSystem(std::vector<std::vector<double>> a,
+                                      std::vector<double> b) {
+  const size_t n = b.size();
+  RTGCN_CHECK_EQ(a.size(), n);
+  for (size_t col = 0; col < n; ++col) {
+    // Partial pivoting.
+    size_t pivot = col;
+    for (size_t r = col + 1; r < n; ++r) {
+      if (std::fabs(a[r][col]) > std::fabs(a[pivot][col])) pivot = r;
+    }
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+    const double diag = a[col][col];
+    if (std::fabs(diag) < 1e-12) continue;  // singular direction: skip
+    for (size_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const double factor = a[r][col] / diag;
+      for (size_t c = col; c < n; ++c) a[r][c] -= factor * a[col][c];
+      b[r] -= factor * b[col];
+    }
+  }
+  std::vector<double> x(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    x[i] = std::fabs(a[i][i]) < 1e-12 ? 0.0 : b[i] / a[i][i];
+  }
+  return x;
+}
+
+void ArimaPredictor::Fit(const market::WindowDataset& data,
+                         const std::vector<int64_t>& train_days,
+                         const harness::TrainOptions& /*options*/) {
+  RTGCN_CHECK(!train_days.empty());
+  Stopwatch watch;
+  const int64_t n = data.num_stocks();
+  const int64_t p = order_;
+  const float* prices = data.prices().data();
+  const int64_t stride = n;
+  coeffs_.assign(n, {});
+
+  // OLS per stock: diff[t] ~ c + sum_k phi_k diff[t-k] over the train days.
+  for (int64_t i = 0; i < n; ++i) {
+    std::vector<std::vector<double>> xtx(p + 1, std::vector<double>(p + 1, 0));
+    std::vector<double> xty(p + 1, 0.0);
+    for (int64_t day : train_days) {
+      if (day - p - 1 < 0) continue;
+      // Regressors: lagged differences; target: diff at `day`.
+      std::vector<double> row(p + 1, 1.0);  // last entry = intercept
+      for (int64_t k = 0; k < p; ++k) {
+        const int64_t t = day - k;
+        row[k] = prices[t * stride + i] - prices[(t - 1) * stride + i];
+      }
+      const double target =
+          prices[(day + 1) * stride + i] - prices[day * stride + i];
+      for (int64_t r = 0; r <= p; ++r) {
+        for (int64_t c = 0; c <= p; ++c) xtx[r][c] += row[r] * row[c];
+        xty[r] += row[r] * target;
+      }
+    }
+    // Ridge epsilon keeps near-constant series solvable.
+    for (int64_t r = 0; r <= p; ++r) xtx[r][r] += 1e-6;
+    coeffs_[i] = SolveLinearSystem(std::move(xtx), std::move(xty));
+  }
+  fit_stats_.train_seconds = watch.ElapsedSeconds();
+  fit_stats_.epochs = 1;
+}
+
+Tensor ArimaPredictor::Predict(const market::WindowDataset& data,
+                               int64_t day) {
+  RTGCN_CHECK(!coeffs_.empty()) << "Fit must run before Predict";
+  const int64_t n = data.num_stocks();
+  const int64_t p = order_;
+  const float* prices = data.prices().data();
+  Tensor scores({n});
+  for (int64_t i = 0; i < n; ++i) {
+    const auto& c = coeffs_[i];
+    double pred = c[p];  // intercept
+    for (int64_t k = 0; k < p; ++k) {
+      const int64_t t = day - k;
+      pred += c[k] * (prices[t * n + i] - prices[(t - 1) * n + i]);
+    }
+    scores.data()[i] = static_cast<float>(pred);  // sign = class
+  }
+  return scores;
+}
+
+}  // namespace rtgcn::baselines

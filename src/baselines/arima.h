@@ -1,0 +1,48 @@
+// ARIMA(p, 1, 0) classification baseline (Wang & Leu style).
+//
+// Per stock, an autoregressive model of order p is fit on the differenced
+// price series by ordinary least squares over the training period. The
+// one-step-ahead forecast's sign gives the class (up / neutral / down);
+// as a classification method it cannot rank stocks (Table IV's '-' MRR).
+#ifndef RTGCN_BASELINES_ARIMA_H_
+#define RTGCN_BASELINES_ARIMA_H_
+
+#include <string>
+#include <vector>
+
+#include "harness/predictor.h"
+
+namespace rtgcn::baselines {
+
+/// \brief Classical per-stock AR model on differenced prices.
+class ArimaPredictor : public harness::StockPredictor {
+ public:
+  explicit ArimaPredictor(int64_t order = 5) : order_(order) {}
+
+  std::string name() const override { return "ARIMA"; }
+  bool ranks() const override { return false; }
+
+  void Fit(const market::WindowDataset& data,
+           const std::vector<int64_t>& train_days,
+           const harness::TrainOptions& options) override;
+
+  Tensor Predict(const market::WindowDataset& data, int64_t day) override;
+
+  /// Fitted AR coefficients for stock i: [order + 1] (intercept last).
+  const std::vector<double>& Coefficients(int64_t stock) const {
+    return coeffs_[stock];
+  }
+
+ private:
+  int64_t order_;
+  std::vector<std::vector<double>> coeffs_;  // per stock
+};
+
+/// Solves the symmetric positive-definite system A x = b in place by
+/// Gaussian elimination with partial pivoting (exposed for tests).
+std::vector<double> SolveLinearSystem(std::vector<std::vector<double>> a,
+                                      std::vector<double> b);
+
+}  // namespace rtgcn::baselines
+
+#endif  // RTGCN_BASELINES_ARIMA_H_

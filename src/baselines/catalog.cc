@@ -1,0 +1,190 @@
+#include "baselines/catalog.h"
+
+#include <numeric>
+#include <set>
+
+#include "baselines/alstm.h"
+#include "baselines/arima.h"
+#include "baselines/lstm_models.h"
+#include "baselines/rl.h"
+#include "baselines/rsr.h"
+#include "baselines/rtgat.h"
+#include "baselines/rtgcn_predictor.h"
+#include "baselines/sfm.h"
+#include "baselines/sthan.h"
+#include "common/logging.h"
+
+namespace rtgcn::baselines {
+
+std::vector<std::string> Table4Models() {
+  return {"ARIMA",     "A-LSTM",     "SFM",        "LSTM",
+          "DQN",       "iRDPG",      "Rank_LSTM",  "RSR_I",
+          "RSR_E",     "RT-GAT",     "RT-GCN (U)", "RT-GCN (W)",
+          "RT-GCN (T)"};
+}
+
+std::string ModelCategory(const std::string& name) {
+  if (name == "ARIMA" || name == "A-LSTM") return "CLF";
+  if (name == "SFM" || name == "LSTM") return "REG";
+  if (name == "DQN" || name == "iRDPG") return "RL";
+  if (name == "Rank_LSTM" || name == "RSR_I" || name == "RSR_E" ||
+      name == "RT-GAT" || name == "STHAN-SR") {
+    return "RAN";
+  }
+  return "Ours";
+}
+
+graph::Hypergraph BuildHypergraph(const market::MarketData& data) {
+  graph::Hypergraph hg(data.universe.size());
+  for (int64_t ind = 0; ind < data.universe.num_industries(); ++ind) {
+    hg.AddHyperedge(data.universe.IndustryMembers(ind));
+  }
+  // One hyperedge per wiki relation type over the stocks it touches.
+  const int64_t wiki_begin = data.relations.num_industry_types;
+  const int64_t wiki_end = wiki_begin + data.relations.num_wiki_types;
+  for (int64_t type = wiki_begin; type < wiki_end; ++type) {
+    std::set<int64_t> members;
+    for (const auto& link : data.relations.wiki_links) {
+      if (link.type == type) {
+        members.insert(link.source);
+        members.insert(link.target);
+      }
+    }
+    hg.AddHyperedge(std::vector<int64_t>(members.begin(), members.end()));
+  }
+  return hg;
+}
+
+std::unique_ptr<harness::StockPredictor> CreateModel(
+    const std::string& name, const graph::RelationTensor& relations,
+    const market::MarketData& data, const ModelConfig& config) {
+  const int64_t d = config.num_features;
+  const int64_t h = config.hidden;
+  const int64_t rh = config.rnn_hidden;
+  const uint64_t seed = config.seed;
+
+  if (name == "ARIMA") return std::make_unique<ArimaPredictor>(5);
+  if (name == "A-LSTM") return std::make_unique<ALstmPredictor>(d, rh, seed);
+  if (name == "SFM") {
+    return std::make_unique<SfmPredictor>(d, rh, /*num_frequencies=*/4, seed);
+  }
+  if (name == "LSTM") {
+    return std::make_unique<LstmPredictor>(d, rh, /*alpha=*/0.0f, seed);
+  }
+  if (name == "DQN") {
+    return std::make_unique<DqnPredictor>(config.window, d, rh, /*ensemble=*/2,
+                                          seed);
+  }
+  if (name == "iRDPG") {
+    return std::make_unique<IrdpgPredictor>(config.window, d, rh, seed);
+  }
+  if (name == "Rank_LSTM") {
+    return std::make_unique<LstmPredictor>(d, rh, config.alpha, seed);
+  }
+  if (name == "RSR_I") {
+    return std::make_unique<RsrPredictor>(relations, RsrVariant::kImplicit, d,
+                                          rh, config.alpha, seed);
+  }
+  if (name == "RSR_E") {
+    return std::make_unique<RsrPredictor>(relations, RsrVariant::kExplicit, d,
+                                          rh, config.alpha, seed);
+  }
+  if (name == "RT-GAT") {
+    return std::make_unique<RtGatPredictor>(relations, d, h, config.alpha,
+                                            seed);
+  }
+  if (name == "STHAN-SR") {
+    // The hypergraph is copied into the predictor's propagation matrix, so
+    // a temporary is fine here.
+    return std::make_unique<SthanPredictor>(BuildHypergraph(data), d, rh,
+                                            config.alpha, seed);
+  }
+
+  core::RtGcnConfig rt;
+  rt.window = config.window;
+  rt.num_features = d;
+  rt.relational_filters = h;
+  if (name == "RT-GCN (U)") {
+    rt.strategy = core::Strategy::kUniform;
+  } else if (name == "RT-GCN (W)") {
+    rt.strategy = core::Strategy::kWeight;
+  } else if (name == "RT-GCN (T)") {
+    rt.strategy = core::Strategy::kTimeSensitive;
+  } else if (name == "R-Conv") {
+    rt.strategy = core::Strategy::kUniform;
+    rt.use_temporal = false;
+  } else if (name == "T-Conv") {
+    rt.use_relational = false;
+  } else {
+    RTGCN_CHECK(false) << "unknown model name: " << name;
+  }
+  return std::make_unique<RtGcnPredictor>(relations, rt, config.alpha, seed);
+}
+
+// ---------------------------------------------------------------------------
+// Experiment runner
+// ---------------------------------------------------------------------------
+
+ExperimentResult RunExperiment(const market::MarketData& data,
+                               const ExperimentConfig& config) {
+  graph::RelationTensor relations =
+      config.relations == RelationSubset::kAll ? data.relations.relations
+      : config.relations == RelationSubset::kIndustryOnly
+          ? data.relations.IndustryOnly()
+          : data.relations.WikiOnly();
+
+  market::WindowDataset dataset = data.MakeDataset(
+      config.model_config.window, config.model_config.num_features);
+  market::DatasetSplit split = SplitByDay(dataset, data.spec.test_boundary());
+  RTGCN_CHECK(!split.train_days.empty() && !split.test_days.empty());
+
+  auto model =
+      CreateModel(config.model, relations, data, config.model_config);
+  model->Fit(dataset, split.train_days, config.train);
+
+  Rng eval_rng(config.model_config.seed * 7919 + 13);
+  ExperimentResult result;
+  result.model = model->name();
+  result.eval = Evaluate(model.get(), dataset, split.test_days, &eval_rng);
+  result.fit = model->fit_stats();
+  return result;
+}
+
+double RepeatedMetrics::MeanMrr() const {
+  return mrr.empty() ? 0
+                     : std::accumulate(mrr.begin(), mrr.end(), 0.0) /
+                           static_cast<double>(mrr.size());
+}
+
+const std::vector<double>& RepeatedMetrics::IrrSamples(int64_t k) const {
+  switch (k) {
+    case 1: return irr1;
+    case 5: return irr5;
+    default: return irr10;
+  }
+}
+
+double RepeatedMetrics::MeanIrr(int64_t k) const {
+  const auto& v = IrrSamples(k);
+  return v.empty() ? 0
+                   : std::accumulate(v.begin(), v.end(), 0.0) /
+                         static_cast<double>(v.size());
+}
+
+RepeatedMetrics RunRepeated(const market::MarketData& data,
+                            ExperimentConfig config, int64_t repetitions) {
+  RepeatedMetrics metrics;
+  for (int64_t rep = 0; rep < repetitions; ++rep) {
+    config.model_config.seed = 1000 + 31 * rep;
+    config.train.seed = 2000 + 17 * rep;
+    ExperimentResult result = RunExperiment(data, config);
+    metrics.has_mrr = result.eval.has_mrr;
+    metrics.mrr.push_back(result.eval.backtest.mrr);
+    metrics.irr1.push_back(result.eval.backtest.irr.at(1));
+    metrics.irr5.push_back(result.eval.backtest.irr.at(5));
+    metrics.irr10.push_back(result.eval.backtest.irr.at(10));
+  }
+  return metrics;
+}
+
+}  // namespace rtgcn::baselines

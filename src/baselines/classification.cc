@@ -1,0 +1,42 @@
+#include "baselines/classification.h"
+
+namespace rtgcn::baselines {
+
+std::vector<int> TrendClasses(const Tensor& labels, float threshold) {
+  std::vector<int> classes(labels.numel());
+  const float* p = labels.data();
+  for (int64_t i = 0; i < labels.numel(); ++i) {
+    classes[i] = p[i] > threshold ? kClassUp
+                                  : (p[i] < -threshold ? kClassDown
+                                                       : kClassNeutral);
+  }
+  return classes;
+}
+
+ag::VarPtr CrossEntropy(const ag::VarPtr& logits,
+                        const std::vector<int>& classes) {
+  const int64_t n = logits->value.dim(0);
+  const int64_t c = logits->value.dim(1);
+  RTGCN_CHECK_EQ(static_cast<int64_t>(classes.size()), n);
+  Tensor onehot = Tensor::Zeros({n, c});
+  for (int64_t i = 0; i < n; ++i) {
+    RTGCN_DCHECK(classes[i] >= 0 && classes[i] < c);
+    onehot.data()[i * c + classes[i]] = 1.0f;
+  }
+  ag::VarPtr probs = ag::Softmax(logits, 1);
+  ag::VarPtr picked = ag::Sum(ag::Mul(probs, ag::Constant(onehot)), 1);
+  return ag::Neg(ag::MeanAll(ag::Log(ag::AddScalar(picked, 1e-8f))));
+}
+
+Tensor ClassificationScores(const Tensor& logits) {
+  Tensor probs = Softmax(logits, 1);
+  const int64_t n = probs.dim(0);
+  Tensor scores({n});
+  for (int64_t i = 0; i < n; ++i) {
+    scores.data()[i] = probs.at({i, static_cast<int64_t>(kClassUp)}) -
+                       probs.at({i, static_cast<int64_t>(kClassDown)});
+  }
+  return scores;
+}
+
+}  // namespace rtgcn::baselines

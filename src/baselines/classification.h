@@ -1,0 +1,30 @@
+// Shared helpers for the classification baselines (ARIMA, A-LSTM):
+// return-ratio → {down, neutral, up} labels and cross-entropy loss.
+#ifndef RTGCN_BASELINES_CLASSIFICATION_H_
+#define RTGCN_BASELINES_CLASSIFICATION_H_
+
+#include <vector>
+
+#include "autograd/ops.h"
+
+namespace rtgcn::baselines {
+
+inline constexpr int kClassDown = 0;
+inline constexpr int kClassNeutral = 1;
+inline constexpr int kClassUp = 2;
+inline constexpr float kTrendThreshold = 2e-3f;  // ±0.2 % daily move
+
+/// Maps return ratios [N] to trend classes.
+std::vector<int> TrendClasses(const Tensor& labels,
+                              float threshold = kTrendThreshold);
+
+/// Mean cross-entropy of `logits` [N, C] against integer classes.
+ag::VarPtr CrossEntropy(const ag::VarPtr& logits,
+                        const std::vector<int>& classes);
+
+/// Classification "score" P(up) - P(down) per stock from logits [N, 3].
+Tensor ClassificationScores(const Tensor& logits);
+
+}  // namespace rtgcn::baselines
+
+#endif  // RTGCN_BASELINES_CLASSIFICATION_H_

@@ -1,0 +1,19 @@
+#include "baselines/lstm_models.h"
+
+#include "autograd/ops.h"
+
+namespace rtgcn::baselines {
+
+LstmPredictor::LstmPredictor(int64_t num_features, int64_t hidden, float alpha,
+                             uint64_t seed)
+    : alpha_(alpha), init_rng_(seed), net_(num_features, hidden, &init_rng_) {}
+
+ag::VarPtr LstmPredictor::Forward(const Tensor& features, Rng* /*rng*/) {
+  // features: [T, N, D] — stocks are the batch dimension.
+  const int64_t n = features.dim(1);
+  ag::VarPtr x = ag::Constant(features);
+  ag::VarPtr h = net_.lstm.ForwardLast(x);          // [N, H]
+  return ag::Reshape(net_.scorer.Forward(h), {n});  // [N]
+}
+
+}  // namespace rtgcn::baselines

@@ -1,0 +1,53 @@
+// LSTM-family baselines:
+//   * LSTM  (REG) — pure regression of next-day return (Bao et al. style);
+//   * Rank_LSTM (RAN) — same backbone trained with the combined
+//     regression + pairwise ranking loss (Feng et al.).
+// Both share one LSTM across all stocks; a day's batch is the N stocks.
+#ifndef RTGCN_BASELINES_LSTM_MODELS_H_
+#define RTGCN_BASELINES_LSTM_MODELS_H_
+
+#include <memory>
+#include <string>
+
+#include "harness/gradient_predictor.h"
+#include "nn/linear.h"
+#include "nn/rnn.h"
+
+namespace rtgcn::baselines {
+
+/// \brief Shared LSTM encoder + linear scorer.
+class LstmPredictor : public harness::GradientPredictor {
+ public:
+  /// `alpha` = 0 gives the REG baseline "LSTM"; `alpha` > 0 gives
+  /// "Rank_LSTM".
+  LstmPredictor(int64_t num_features, int64_t hidden, float alpha,
+                uint64_t seed);
+
+  std::string name() const override {
+    return alpha_ > 0 ? "Rank_LSTM" : "LSTM";
+  }
+
+ protected:
+  nn::Module* module() override { return &net_; }
+  ag::VarPtr Forward(const Tensor& features, Rng* rng) override;
+  float alpha() const override { return alpha_; }
+
+ private:
+  struct Net : nn::Module {
+    Net(int64_t num_features, int64_t hidden, Rng* rng)
+        : lstm(num_features, hidden, rng), scorer(hidden, 1, rng) {
+      RegisterModule(&lstm);
+      RegisterModule(&scorer);
+    }
+    nn::Lstm lstm;
+    nn::Linear scorer;
+  };
+
+  float alpha_;
+  Rng init_rng_;
+  Net net_;
+};
+
+}  // namespace rtgcn::baselines
+
+#endif  // RTGCN_BASELINES_LSTM_MODELS_H_

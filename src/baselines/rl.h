@@ -1,0 +1,93 @@
+// Reinforcement-learning baselines.
+//
+// DQN (Carta et al., "Multi-DQN"): an ensemble of Q-networks over flattened
+// window features with actions {hold, buy}; one-step TD targets where the
+// reward of `buy` is the next-day return ratio. The trading score is the
+// ensemble-averaged advantage Q(s, buy) - Q(s, hold).
+//
+// iRDPG (Liu et al., AAAI 2020): imitative policy gradient, approximated as
+// a deterministic policy network trained with (a) behavior cloning towards
+// the realized-return ordering (the "imitation" of a greedy expert) and
+// (b) a pairwise profitability term standing in for the deterministic
+// policy gradient. See DESIGN.md §1 for the substitution rationale.
+#ifndef RTGCN_BASELINES_RL_H_
+#define RTGCN_BASELINES_RL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harness/predictor.h"
+#include "nn/linear.h"
+#include "nn/module.h"
+
+namespace rtgcn::baselines {
+
+/// \brief Two-layer MLP used by both RL agents.
+class Mlp : public nn::Module {
+ public:
+  Mlp(int64_t in, int64_t hidden, int64_t out, Rng* rng)
+      : fc1_(in, hidden, rng), fc2_(hidden, out, rng) {
+    RegisterModule(&fc1_);
+    RegisterModule(&fc2_);
+  }
+
+  ag::VarPtr Forward(const ag::VarPtr& x) const;
+
+ private:
+  nn::Linear fc1_;
+  nn::Linear fc2_;
+};
+
+/// \brief Ensemble DQN trading baseline (RL row of Table IV).
+class DqnPredictor : public harness::StockPredictor {
+ public:
+  DqnPredictor(int64_t window, int64_t num_features, int64_t hidden,
+               int64_t ensemble, uint64_t seed);
+
+  std::string name() const override { return "DQN"; }
+
+  void Fit(const market::WindowDataset& data,
+           const std::vector<int64_t>& train_days,
+           const harness::TrainOptions& options) override;
+
+  Tensor Predict(const market::WindowDataset& data, int64_t day) override;
+
+ private:
+  Tensor FlattenDay(const market::WindowDataset& data, int64_t day) const;
+
+  int64_t window_;
+  int64_t num_features_;
+  float gamma_ = 0.9f;
+  Rng rng_;
+  std::vector<std::unique_ptr<Mlp>> q_nets_;
+};
+
+/// \brief Imitative policy-gradient trading baseline.
+class IrdpgPredictor : public harness::StockPredictor {
+ public:
+  IrdpgPredictor(int64_t window, int64_t num_features, int64_t hidden,
+                 uint64_t seed);
+
+  std::string name() const override { return "iRDPG"; }
+
+  void Fit(const market::WindowDataset& data,
+           const std::vector<int64_t>& train_days,
+           const harness::TrainOptions& options) override;
+
+  Tensor Predict(const market::WindowDataset& data, int64_t day) override;
+
+ private:
+  Tensor FlattenDay(const market::WindowDataset& data, int64_t day) const;
+
+  int64_t window_;
+  int64_t num_features_;
+  float imitation_weight_ = 1.0f;
+  float profit_weight_ = 0.5f;
+  Rng rng_;
+  std::unique_ptr<Mlp> policy_;
+};
+
+}  // namespace rtgcn::baselines
+
+#endif  // RTGCN_BASELINES_RL_H_

@@ -1,0 +1,34 @@
+#include "baselines/rtgat.h"
+
+#include "autograd/ops.h"
+
+namespace rtgcn::baselines {
+
+RtGatPredictor::RtGatPredictor(const graph::RelationTensor& relations,
+                               int64_t num_features, int64_t filters,
+                               float alpha, uint64_t seed)
+    : alpha_(alpha),
+      init_rng_(seed),
+      net_(relations, num_features, filters, &init_rng_) {}
+
+ag::VarPtr RtGatPredictor::Forward(const Tensor& features, Rng* rng) {
+  const int64_t t_len = features.dim(0);
+  const int64_t n = features.dim(1);
+  const int64_t d = features.dim(2);
+  ag::VarPtr x = ag::Constant(features);
+
+  // Shared GAT applied per time-step of the relation-temporal graph.
+  std::vector<ag::VarPtr> per_step;
+  per_step.reserve(t_len);
+  for (int64_t t = 0; t < t_len; ++t) {
+    ag::VarPtr xt = ag::Reshape(ag::SliceOp(x, 0, t, t + 1), {n, d});
+    ag::VarPtr h = ag::Relu(net_.gat.Forward(xt));
+    per_step.push_back(ag::Reshape(h, {1, n, net_.scorer.in_features()}));
+  }
+  ag::VarPtr seq = ag::ConcatOp(per_step, 0);       // [T, N, F]
+  ag::VarPtr conv = net_.temporal.Forward(seq, rng);
+  ag::VarPtr pooled = ag::Mean(conv, 0);            // [N, F]
+  return ag::Reshape(net_.scorer.Forward(pooled), {n});
+}
+
+}  // namespace rtgcn::baselines

@@ -1,0 +1,24 @@
+#include "baselines/rtgcn_predictor.h"
+
+namespace rtgcn::baselines {
+
+RtGcnPredictor::RtGcnPredictor(const graph::RelationTensor& relations,
+                               core::RtGcnConfig config, float alpha,
+                               uint64_t seed, std::string name_override)
+    : config_(config), alpha_(alpha), name_override_(std::move(name_override)) {
+  Rng rng(seed);
+  model_ = std::make_unique<core::RtGcnModel>(relations, config, &rng);
+}
+
+std::string RtGcnPredictor::name() const {
+  if (!name_override_.empty()) return name_override_;
+  if (!config_.use_temporal) return "R-Conv";
+  if (!config_.use_relational) return "T-Conv";
+  return "RT-GCN (" + core::StrategyName(config_.strategy) + ")";
+}
+
+ag::VarPtr RtGcnPredictor::Forward(const Tensor& features, Rng* rng) {
+  return model_->Forward(ag::Constant(features), rng);
+}
+
+}  // namespace rtgcn::baselines

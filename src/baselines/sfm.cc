@@ -1,0 +1,84 @@
+#include "baselines/sfm.h"
+
+#include <cmath>
+
+#include "autograd/ops.h"
+#include "tensor/init.h"
+
+namespace rtgcn::baselines {
+
+SfmPredictor::Net::Net(int64_t input_size, int64_t hidden_size,
+                       int64_t num_freqs, Rng* rng)
+    : input(input_size), hidden(hidden_size), freqs(num_freqs) {
+  const int64_t gate_width = 4 * hidden + freqs;
+  w_gates = RegisterParameter(
+      "w_gates", XavierUniform({input + hidden, gate_width}, input + hidden,
+                               gate_width, rng));
+  b_gates = RegisterParameter("b_gates", Tensor::Zeros({gate_width}));
+  freq_weights = RegisterParameter(
+      "freq_weights", RandomGaussian({1, 1, freqs}, 1.0f / freqs, 0.01f, rng));
+  agg_bias = RegisterParameter("agg_bias", Tensor::Zeros({hidden}));
+  scorer_storage_ = std::make_unique<nn::Linear>(hidden, 1, rng);
+  scorer = scorer_storage_.get();
+  RegisterModule(scorer);
+}
+
+SfmPredictor::SfmPredictor(int64_t num_features, int64_t hidden,
+                           int64_t num_frequencies, uint64_t seed)
+    : init_rng_(seed), net_(num_features, hidden, num_frequencies, &init_rng_) {}
+
+ag::VarPtr SfmPredictor::Forward(const Tensor& features, Rng* /*rng*/) {
+  const int64_t t_len = features.dim(0);
+  const int64_t n = features.dim(1);
+  const int64_t h = net_.hidden;
+  const int64_t k = net_.freqs;
+
+  ag::VarPtr x = ag::Constant(features);
+  ag::VarPtr hidden = ag::Constant(Tensor::Zeros({n, h}));
+  ag::VarPtr s_re = ag::Constant(Tensor::Zeros({n, h, k}));
+  ag::VarPtr s_im = ag::Constant(Tensor::Zeros({n, h, k}));
+
+  for (int64_t t = 0; t < t_len; ++t) {
+    ag::VarPtr xt = ag::Reshape(ag::SliceOp(x, 0, t, t + 1), {n, net_.input});
+    ag::VarPtr xh = ag::ConcatOp({xt, hidden}, 1);
+    ag::VarPtr z = ag::Add(ag::MatMul(xh, net_.w_gates), net_.b_gates);
+
+    auto gate = [&](int64_t begin, int64_t end) {
+      return ag::SliceOp(z, 1, begin, end);
+    };
+    ag::VarPtr f_state = ag::Sigmoid(gate(0, h));             // [N, H]
+    ag::VarPtr in_gate = ag::Sigmoid(gate(h, 2 * h));         // [N, H]
+    ag::VarPtr modulation = ag::Tanh(gate(2 * h, 3 * h));     // [N, H]
+    ag::VarPtr out_gate = ag::Sigmoid(gate(3 * h, 4 * h));    // [N, H]
+    ag::VarPtr f_freq = ag::Sigmoid(gate(4 * h, 4 * h + k));  // [N, K]
+
+    // Joint forget: outer product of state and frequency forgets.
+    ag::VarPtr forget = ag::Mul(ag::Reshape(f_state, {n, h, 1}),
+                                ag::Reshape(f_freq, {n, 1, k}));
+    ag::VarPtr update = ag::Reshape(ag::Mul(in_gate, modulation), {n, h, 1});
+
+    // Frequency carriers cos(ω_q t), sin(ω_q t), ω_q = 2π q / K.
+    Tensor cos_row({1, 1, k});
+    Tensor sin_row({1, 1, k});
+    for (int64_t q = 0; q < k; ++q) {
+      const double omega = 2.0 * M_PI * (q + 1) / static_cast<double>(k);
+      cos_row.data()[q] = static_cast<float>(std::cos(omega * (t + 1)));
+      sin_row.data()[q] = static_cast<float>(std::sin(omega * (t + 1)));
+    }
+    s_re = ag::Add(ag::Mul(forget, s_re),
+                   ag::Mul(update, ag::Constant(cos_row)));
+    s_im = ag::Add(ag::Mul(forget, s_im),
+                   ag::Mul(update, ag::Constant(sin_row)));
+
+    // Amplitude per (hidden, frequency) and learned aggregation over K.
+    ag::VarPtr amplitude = ag::Sqrt(ag::AddScalar(
+        ag::Add(ag::Square(s_re), ag::Square(s_im)), 1e-8f));
+    ag::VarPtr combined =
+        ag::Sum(ag::Mul(amplitude, net_.freq_weights), 2);  // [N, H]
+    ag::VarPtr cell = ag::Tanh(ag::Add(combined, net_.agg_bias));
+    hidden = ag::Mul(out_gate, cell);
+  }
+  return ag::Reshape(net_.scorer->Forward(hidden), {n});
+}
+
+}  // namespace rtgcn::baselines

@@ -1,0 +1,55 @@
+// SFM: State Frequency Memory recurrent network (Zhang, Aggarwal & Qi,
+// KDD 2017). An LSTM-style cell whose memory is decomposed into K frequency
+// components; real/imaginary states are modulated by cos/sin(ω_k t) and the
+// per-frequency amplitudes are aggregated into the hidden state.
+#ifndef RTGCN_BASELINES_SFM_H_
+#define RTGCN_BASELINES_SFM_H_
+
+#include <string>
+
+#include "harness/gradient_predictor.h"
+#include "nn/linear.h"
+#include "nn/module.h"
+
+namespace rtgcn::baselines {
+
+/// \brief SFM regression baseline (REG row of Table IV).
+class SfmPredictor : public harness::GradientPredictor {
+ public:
+  SfmPredictor(int64_t num_features, int64_t hidden, int64_t num_frequencies,
+               uint64_t seed);
+
+  std::string name() const override { return "SFM"; }
+
+ protected:
+  nn::Module* module() override { return &net_; }
+  ag::VarPtr Forward(const Tensor& features, Rng* rng) override;
+  float alpha() const override { return 0.0f; }  // pure regression
+
+ private:
+  struct Net : nn::Module {
+    Net(int64_t input, int64_t hidden, int64_t freqs, Rng* rng);
+
+    int64_t input;
+    int64_t hidden;
+    int64_t freqs;
+    // Gate projections (state forget, frequency forget, input, modulation,
+    // output), each from [x, h].
+    ag::VarPtr w_gates;  // [input + hidden, 4*hidden + freqs]
+    ag::VarPtr b_gates;  // [4*hidden + freqs]
+    // Frequency aggregation of amplitudes -> hidden.
+    ag::VarPtr freq_weights;  // [1, 1, freqs]
+    ag::VarPtr agg_bias;      // [hidden]
+    nn::Linear* scorer;
+
+   private:
+    std::unique_ptr<nn::Linear> scorer_storage_;
+  };
+
+  Rng init_rng_;
+  Net net_;
+};
+
+}  // namespace rtgcn::baselines
+
+#endif  // RTGCN_BASELINES_SFM_H_

@@ -1,0 +1,65 @@
+#include "baselines/sthan.h"
+
+#include <cmath>
+
+#include "autograd/ops.h"
+#include "tensor/init.h"
+
+namespace rtgcn::baselines {
+
+SthanPredictor::Net::Net(const graph::Hypergraph& hypergraph,
+                         int64_t num_features, int64_t hidden_size, Rng* rng)
+    : hidden(hidden_size),
+      lift(num_features, hidden_size, rng),
+      scorer(hidden_size, 1, rng),
+      propagation(hypergraph.PropagationMatrix()) {
+  RegisterModule(&lift);
+  RegisterModule(&scorer);
+  query = RegisterParameter(
+      "query", XavierUniform({hidden_size, 1}, hidden_size, 1, rng));
+  decay = RegisterParameter("decay", Tensor({1}, {0.5f}));
+  theta = RegisterParameter(
+      "theta", XavierUniform({hidden_size, hidden_size}, hidden_size,
+                             hidden_size, rng));
+}
+
+SthanPredictor::SthanPredictor(const graph::Hypergraph& hypergraph,
+                               int64_t num_features, int64_t hidden,
+                               float alpha, uint64_t seed)
+    : alpha_(alpha),
+      init_rng_(seed),
+      net_(hypergraph, num_features, hidden, &init_rng_) {}
+
+ag::VarPtr SthanPredictor::Forward(const Tensor& features, Rng* /*rng*/) {
+  const int64_t t_len = features.dim(0);
+  const int64_t n = features.dim(1);
+  const int64_t h = net_.hidden;
+
+  // Step 1: temporal Hawkes attention. Score for day u combines content
+  // relevance (query dot) and an exponential decay with lag (T-1-u).
+  ag::VarPtr x = ag::Constant(features);
+  ag::VarPtr lifted = net_.lift.Forward(x);  // [T, N, H]
+  ag::VarPtr flat = ag::Reshape(lifted, {t_len * n, h});
+  ag::VarPtr content = ag::Reshape(ag::MatMul(ag::Tanh(flat), net_.query),
+                                   {t_len, n});
+  // Hawkes kernel: -softplus(decay) * lag, broadcast over stocks.
+  Tensor lags({t_len, 1});
+  for (int64_t u = 0; u < t_len; ++u) {
+    lags.data()[u] = static_cast<float>(t_len - 1 - u);
+  }
+  ag::VarPtr rate = ag::Log(ag::AddScalar(ag::Exp(net_.decay), 1.0f));
+  ag::VarPtr kernel = ag::Mul(ag::Neg(rate), ag::Constant(lags));  // [T,1]
+  ag::VarPtr weights = ag::Softmax(ag::Add(content, kernel), 0);   // [T, N]
+  // e_i = Σ_u weights[u, i] * lifted[u, i, :].
+  ag::VarPtr weighted =
+      ag::Mul(lifted, ag::Reshape(weights, {t_len, n, 1}));
+  ag::VarPtr embedding = ag::Sum(weighted, 0);  // [N, H]
+
+  // Step 2: hypergraph convolution with residual.
+  ag::VarPtr propagated = ag::MatMul(ag::Constant(net_.propagation),
+                                     ag::MatMul(embedding, net_.theta));
+  ag::VarPtr fused = ag::Relu(ag::Add(embedding, propagated));
+  return ag::Reshape(net_.scorer.Forward(fused), {n});
+}
+
+}  // namespace rtgcn::baselines

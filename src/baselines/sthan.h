@@ -1,0 +1,57 @@
+// STHAN-SR: Spatio-Temporal Hypergraph Attention Network for Stock Ranking
+// (Sawhney et al., AAAI 2021), reimplemented at this repo's scale.
+//
+// Two-step architecture (the inefficiency RT-GCN's Fig. 5 targets):
+//   1. temporal Hawkes attention — per-stock attention over the window with
+//      a learnable exponential decay (recent days excite more, older days'
+//      influence decays like a Hawkes kernel);
+//   2. spatial hypergraph convolution — one hyperedge per industry and per
+//      wiki relation type; features propagate through the normalized
+//      hypergraph operator with a learnable filter.
+// Scores from an FC, trained with the combined ranking loss.
+#ifndef RTGCN_BASELINES_STHAN_H_
+#define RTGCN_BASELINES_STHAN_H_
+
+#include <string>
+
+#include "graph/hypergraph.h"
+#include "harness/gradient_predictor.h"
+#include "nn/linear.h"
+
+namespace rtgcn::baselines {
+
+/// \brief STHAN-SR ranking baseline over a prebuilt hypergraph.
+class SthanPredictor : public harness::GradientPredictor {
+ public:
+  SthanPredictor(const graph::Hypergraph& hypergraph, int64_t num_features,
+                 int64_t hidden, float alpha, uint64_t seed);
+
+  std::string name() const override { return "STHAN-SR"; }
+
+ protected:
+  nn::Module* module() override { return &net_; }
+  ag::VarPtr Forward(const Tensor& features, Rng* rng) override;
+  float alpha() const override { return alpha_; }
+
+ private:
+  struct Net : nn::Module {
+    Net(const graph::Hypergraph& hypergraph, int64_t num_features,
+        int64_t hidden, Rng* rng);
+
+    int64_t hidden;
+    nn::Linear lift;      // per-day feature lift D -> H
+    ag::VarPtr query;     // [H, 1] temporal attention query
+    ag::VarPtr decay;     // [1] Hawkes decay rate (softplus-activated)
+    ag::VarPtr theta;     // [H, H] hypergraph filter
+    nn::Linear scorer;    // H -> 1
+    Tensor propagation;   // normalized hypergraph operator [N, N]
+  };
+
+  float alpha_;
+  Rng init_rng_;
+  Net net_;
+};
+
+}  // namespace rtgcn::baselines
+
+#endif  // RTGCN_BASELINES_STHAN_H_

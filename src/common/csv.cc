@@ -1,0 +1,55 @@
+#include "common/csv.h"
+
+#include <fstream>
+
+#include "common/strings.h"
+
+namespace rtgcn {
+
+int CsvTable::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Result<CsvTable> ReadCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open ", path);
+  CsvTable table;
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    auto fields = Split(line, ',');
+    if (first) {
+      table.header = std::move(fields);
+      first = false;
+    } else {
+      if (fields.size() != table.header.size()) {
+        return Status::IoError("row width mismatch in ", path, ": expected ",
+                               table.header.size(), " got ", fields.size());
+      }
+      table.rows.push_back(std::move(fields));
+    }
+  }
+  if (first) return Status::IoError("empty CSV ", path);
+  return table;
+}
+
+Status WriteCsv(const std::string& path, const CsvTable& table) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot create ", path);
+  out << Join(table.header, ",") << "\n";
+  for (const auto& row : table.rows) {
+    if (row.size() != table.header.size()) {
+      return Status::InvalidArgument("row width mismatch when writing ", path);
+    }
+    out << Join(row, ",") << "\n";
+  }
+  if (!out) return Status::IoError("write failure on ", path);
+  return Status::OK();
+}
+
+}  // namespace rtgcn

@@ -1,0 +1,31 @@
+// Tiny CSV reader/writer used to persist simulated market data and
+// benchmark outputs (so figures can be re-plotted outside C++).
+#ifndef RTGCN_COMMON_CSV_H_
+#define RTGCN_COMMON_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace rtgcn {
+
+/// \brief In-memory CSV table with a header row.
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Returns the column index of `name` or -1.
+  int ColumnIndex(const std::string& name) const;
+};
+
+/// Reads a CSV file. Fields are split on commas; no quoting support
+/// (our files never contain embedded commas).
+Result<CsvTable> ReadCsv(const std::string& path);
+
+/// Writes a CSV file, creating/truncating `path`.
+Status WriteCsv(const std::string& path, const CsvTable& table);
+
+}  // namespace rtgcn
+
+#endif  // RTGCN_COMMON_CSV_H_

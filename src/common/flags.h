@@ -1,0 +1,39 @@
+// Minimal command-line flag parser used by the bench harness binaries.
+//
+// Supports `--name value` and `--name=value` forms. Unknown flags are an
+// error so typos in experiment scripts fail loudly.
+#ifndef RTGCN_COMMON_FLAGS_H_
+#define RTGCN_COMMON_FLAGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace rtgcn {
+
+/// \brief Parsed command-line flags with typed accessors and defaults.
+class Flags {
+ public:
+  /// Parses argv; returns error on a malformed or unpaired flag.
+  static Result<Flags> Parse(int argc, char** argv);
+
+  bool Has(const std::string& name) const { return values_.count(name) > 0; }
+
+  std::string GetString(const std::string& name,
+                        const std::string& default_value) const;
+  int64_t GetInt(const std::string& name, int64_t default_value) const;
+  double GetDouble(const std::string& name, double default_value) const;
+  bool GetBool(const std::string& name, bool default_value) const;
+
+  /// Names of all flags that were provided.
+  std::vector<std::string> Names() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace rtgcn
+
+#endif  // RTGCN_COMMON_FLAGS_H_

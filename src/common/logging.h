@@ -1,0 +1,110 @@
+// Minimal leveled logging and check macros (RocksDB/Arrow DCHECK style).
+#ifndef RTGCN_COMMON_LOGGING_H_
+#define RTGCN_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace rtgcn {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global log threshold; messages below it are suppressed.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line, bool fatal = false)
+      : level_(level), fatal_(fatal) {
+    const char* base = file;
+    for (const char* p = file; *p; ++p) {
+      if (*p == '/') base = p + 1;
+    }
+    stream_ << "[" << LevelName(level) << " " << base << ":" << line << "] ";
+  }
+
+  ~LogMessage() {
+    if (fatal_ || level_ >= GetLogLevel()) {
+      std::cerr << stream_.str() << std::endl;
+    }
+    if (fatal_) std::abort();
+  }
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  static const char* LevelName(LogLevel level) {
+    switch (level) {
+      case LogLevel::kDebug: return "DEBUG";
+      case LogLevel::kInfo: return "INFO";
+      case LogLevel::kWarning: return "WARN";
+      case LogLevel::kError: return "ERROR";
+    }
+    return "?";
+  }
+
+  std::ostringstream stream_;
+  LogLevel level_;
+  bool fatal_;
+};
+
+// Swallows the streamed expression when a check passes.
+struct NullStream {
+  template <typename T>
+  NullStream& operator<<(const T&) { return *this; }
+};
+
+// Turns a streamed expression into void so it can sit in a ternary.
+// operator& binds looser than operator<<, so the whole chain runs first.
+struct Voidify {
+  void operator&(std::ostream&) {}
+  void operator&(NullStream&) {}
+};
+
+inline NullStream& DevNull() {
+  static NullStream stream;
+  return stream;
+}
+
+}  // namespace internal
+
+#define RTGCN_LOG(level)                                                  \
+  ::rtgcn::internal::LogMessage(::rtgcn::LogLevel::k##level, __FILE__,    \
+                                __LINE__)                                 \
+      .stream()
+
+// Fatal invariant check: aborts with message when `cond` is false. Used for
+// programming errors (bad shapes, indexing bugs), not for recoverable errors.
+#define RTGCN_CHECK(cond)                                                  \
+  (cond) ? (void)0                                                         \
+         : ::rtgcn::internal::Voidify() &                                  \
+               ::rtgcn::internal::LogMessage(::rtgcn::LogLevel::kError,    \
+                                             __FILE__, __LINE__, true)     \
+                   .stream()                                               \
+               << "Check failed: " #cond " "
+
+#define RTGCN_CHECK_EQ(a, b) RTGCN_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define RTGCN_CHECK_NE(a, b) RTGCN_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define RTGCN_CHECK_LT(a, b) RTGCN_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define RTGCN_CHECK_LE(a, b) RTGCN_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define RTGCN_CHECK_GT(a, b) RTGCN_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define RTGCN_CHECK_GE(a, b) RTGCN_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+#ifdef NDEBUG
+#define RTGCN_DCHECK(cond)                    \
+  true ? (void)0                              \
+       : ::rtgcn::internal::Voidify() &       \
+             ::rtgcn::internal::DevNull() << !(cond)
+#else
+#define RTGCN_DCHECK(cond) RTGCN_CHECK(cond)
+#endif
+
+}  // namespace rtgcn
+
+#endif  // RTGCN_COMMON_LOGGING_H_

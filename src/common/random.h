@@ -1,0 +1,127 @@
+// Deterministic pseudo-random number generation for simulation and training.
+//
+// All stochastic components in the library (market simulator, weight init,
+// dropout) draw from an explicitly passed Rng so experiments are exactly
+// reproducible from a seed. The generator is SplitMix64-seeded xoshiro256++.
+#ifndef RTGCN_COMMON_RANDOM_H_
+#define RTGCN_COMMON_RANDOM_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace rtgcn {
+
+/// \brief Fast, seedable PRNG (xoshiro256++) with convenience distributions.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    // SplitMix64 expansion of the seed into the 256-bit state.
+    uint64_t x = seed;
+    for (int i = 0; i < 4; ++i) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      state_[i] = z ^ (z >> 31);
+    }
+    has_gauss_ = false;
+  }
+
+  uint64_t NextU64() {
+    const uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, 1).
+  double Uniform() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+  /// Uniform integer in [0, n).
+  uint64_t UniformInt(uint64_t n) {
+    RTGCN_DCHECK(n > 0);
+    // Rejection sampling to avoid modulo bias.
+    const uint64_t threshold = (0 - n) % n;
+    for (;;) {
+      uint64_t r = NextU64();
+      if (r >= threshold) return r % n;
+    }
+  }
+
+  /// Standard normal via Marsaglia polar method (cached pair).
+  double Gaussian() {
+    if (has_gauss_) {
+      has_gauss_ = false;
+      return cached_gauss_;
+    }
+    double u, v, s;
+    do {
+      u = Uniform(-1.0, 1.0);
+      v = Uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double m = std::sqrt(-2.0 * std::log(s) / s);
+    cached_gauss_ = v * m;
+    has_gauss_ = true;
+    return u * m;
+  }
+
+  double Gaussian(double mean, double stddev) {
+    return mean + stddev * Gaussian();
+  }
+
+  bool Bernoulli(double p) { return Uniform() < p; }
+
+  /// In-place Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = UniformInt(i);
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  /// Draws an index from unnormalized non-negative weights.
+  size_t Categorical(const std::vector<double>& weights) {
+    double total = 0;
+    for (double w : weights) total += w;
+    RTGCN_DCHECK(total > 0);
+    double r = Uniform() * total;
+    for (size_t i = 0; i < weights.size(); ++i) {
+      r -= weights[i];
+      if (r <= 0) return i;
+    }
+    return weights.size() - 1;
+  }
+
+  /// Derives an independent child stream (for per-component seeding).
+  Rng Fork() { return Rng(NextU64()); }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+  bool has_gauss_ = false;
+  double cached_gauss_ = 0.0;
+};
+
+}  // namespace rtgcn
+
+#endif  // RTGCN_COMMON_RANDOM_H_

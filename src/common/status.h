@@ -1,0 +1,156 @@
+// Arrow/RocksDB-style Status and Result<T> for recoverable error handling.
+//
+// Library code returns Status (or Result<T>) instead of throwing; callers
+// either propagate with RTGCN_RETURN_NOT_OK or terminate deliberately via
+// ValueOrDie() in tests/examples where failure is a programming error.
+#ifndef RTGCN_COMMON_STATUS_H_
+#define RTGCN_COMMON_STATUS_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace rtgcn {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kAlreadyExists,
+  kIoError,
+  kNotImplemented,
+  kInternal,
+};
+
+/// \brief Lightweight error-carrying status, modeled on arrow::Status.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+
+  template <typename... Args>
+  static Status InvalidArgument(Args&&... args) {
+    return Make(StatusCode::kInvalidArgument, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status OutOfRange(Args&&... args) {
+    return Make(StatusCode::kOutOfRange, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status NotFound(Args&&... args) {
+    return Make(StatusCode::kNotFound, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status AlreadyExists(Args&&... args) {
+    return Make(StatusCode::kAlreadyExists, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status IoError(Args&&... args) {
+    return Make(StatusCode::kIoError, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status NotImplemented(Args&&... args) {
+    return Make(StatusCode::kNotImplemented, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status Internal(Args&&... args) {
+    return Make(StatusCode::kInternal, std::forward<Args>(args)...);
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return std::string(CodeName(code_)) + ": " + msg_;
+  }
+
+  /// Aborts the process if the status is not OK. For unrecoverable callers.
+  void Abort() const {
+    if (!ok()) {
+      std::fprintf(stderr, "Fatal status: %s\n", ToString().c_str());
+      std::abort();
+    }
+  }
+
+ private:
+  template <typename... Args>
+  static Status Make(StatusCode code, Args&&... args) {
+    std::ostringstream oss;
+    (oss << ... << args);
+    return Status(code, oss.str());
+  }
+
+  static const char* CodeName(StatusCode code) {
+    switch (code) {
+      case StatusCode::kOk: return "OK";
+      case StatusCode::kInvalidArgument: return "Invalid argument";
+      case StatusCode::kOutOfRange: return "Out of range";
+      case StatusCode::kNotFound: return "Not found";
+      case StatusCode::kAlreadyExists: return "Already exists";
+      case StatusCode::kIoError: return "IO error";
+      case StatusCode::kNotImplemented: return "Not implemented";
+      case StatusCode::kInternal: return "Internal";
+    }
+    return "Unknown";
+  }
+
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// \brief Either a value of type T or an error Status (arrow::Result<T>).
+template <typename T>
+class Result {
+ public:
+  Result(T value) : payload_(std::move(value)) {}          // NOLINT(google-explicit-constructor)
+  Result(Status status) : payload_(std::move(status)) {}   // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  const Status& status() const {
+    static const Status ok_status = Status::OK();
+    if (ok()) return ok_status;
+    return std::get<Status>(payload_);
+  }
+
+  T& ValueOrDie() {
+    if (!ok()) status().Abort();
+    return std::get<T>(payload_);
+  }
+  const T& ValueOrDie() const {
+    if (!ok()) status().Abort();
+    return std::get<T>(payload_);
+  }
+
+  T&& MoveValueOrDie() {
+    if (!ok()) status().Abort();
+    return std::move(std::get<T>(payload_));
+  }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+#define RTGCN_RETURN_NOT_OK(expr)            \
+  do {                                       \
+    ::rtgcn::Status _st = (expr);            \
+    if (!_st.ok()) return _st;               \
+  } while (false)
+
+#define RTGCN_ASSIGN_OR_RETURN(lhs, expr)    \
+  auto&& _res_##__LINE__ = (expr);           \
+  if (!_res_##__LINE__.ok()) return _res_##__LINE__.status(); \
+  lhs = _res_##__LINE__.MoveValueOrDie()
+
+}  // namespace rtgcn
+
+#endif  // RTGCN_COMMON_STATUS_H_

@@ -1,0 +1,29 @@
+// Wall-clock timing used by the speed benchmarks (Figure 5).
+#ifndef RTGCN_COMMON_STOPWATCH_H_
+#define RTGCN_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace rtgcn {
+
+/// \brief Monotonic stopwatch with millisecond/second accessors.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace rtgcn
+
+#endif  // RTGCN_COMMON_STOPWATCH_H_

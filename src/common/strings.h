@@ -1,0 +1,32 @@
+// Small string helpers shared across modules.
+#ifndef RTGCN_COMMON_STRINGS_H_
+#define RTGCN_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rtgcn {
+
+/// Splits `s` on `delim`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view Trim(std::string_view s);
+
+/// Joins elements with `sep`.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Formats a double with fixed decimals (benchmark tables).
+std::string FormatFixed(double value, int decimals);
+
+/// Left-pads/truncates to a column width for table printing.
+std::string PadRight(std::string s, size_t width);
+std::string PadLeft(std::string s, size_t width);
+
+}  // namespace rtgcn
+
+#endif  // RTGCN_COMMON_STRINGS_H_

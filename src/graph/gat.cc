@@ -1,0 +1,43 @@
+#include "graph/gat.h"
+
+#include "autograd/ops.h"
+#include "graph/adjacency.h"
+#include "tensor/init.h"
+
+namespace rtgcn::graph {
+
+GatLayer::GatLayer(Tensor edge_mask, int64_t in_features, int64_t out_features,
+                   Rng* rng, float leaky_slope)
+    : in_features_(in_features),
+      out_features_(out_features),
+      leaky_slope_(leaky_slope) {
+  RTGCN_CHECK_EQ(edge_mask.ndim(), 2);
+  const int64_t n = edge_mask.dim(0);
+  RTGCN_CHECK_EQ(edge_mask.dim(1), n);
+  mask_ = edge_mask.Clone();
+  float* pm = mask_.data();
+  for (int64_t i = 0; i < n; ++i) pm[i * n + i] = 1.0f;  // self loops
+  weight_ = RegisterParameter(
+      "weight",
+      XavierUniform({in_features, out_features}, in_features, out_features,
+                    rng));
+  a_src_ = RegisterParameter(
+      "a_src", XavierUniform({out_features, 1}, out_features, 1, rng));
+  a_dst_ = RegisterParameter(
+      "a_dst", XavierUniform({out_features, 1}, out_features, 1, rng));
+}
+
+ag::VarPtr GatLayer::Forward(const ag::VarPtr& x) const {
+  RTGCN_CHECK_EQ(x->value.ndim(), 2);
+  RTGCN_CHECK_EQ(x->value.dim(1), in_features_);
+  ag::VarPtr h = ag::MatMul(x, weight_);  // [N, out]
+  // e_ij = LeakyReLU(src_i + dst_j): outer sum via broadcasting.
+  ag::VarPtr src = ag::MatMul(h, a_src_);                  // [N, 1]
+  ag::VarPtr dst = ag::Transpose(ag::MatMul(h, a_dst_));   // [1, N]
+  ag::VarPtr e = ag::LeakyRelu(ag::Add(src, dst), leaky_slope_);
+  ag::VarPtr alpha = MaskedRowSoftmax(e, mask_);
+  last_attention_ = alpha->value;
+  return ag::MatMul(alpha, h);
+}
+
+}  // namespace rtgcn::graph

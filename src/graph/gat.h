@@ -1,0 +1,39 @@
+// Graph attention layer (Velickovic et al.), used by the RT-GAT baseline.
+#ifndef RTGCN_GRAPH_GAT_H_
+#define RTGCN_GRAPH_GAT_H_
+
+#include "nn/module.h"
+#include "tensor/tensor.h"
+
+namespace rtgcn::graph {
+
+/// \brief Single-head GAT layer over a fixed binary edge mask.
+///
+/// e_ij = LeakyReLU(a_src · Wh_i + a_dst · Wh_j), softmax over the masked
+/// neighborhood (self loops included), h'_i = Σ_j α_ij W h_j.
+class GatLayer : public nn::Module {
+ public:
+  /// `edge_mask` is a binary [N, N] adjacency; self loops are added here.
+  GatLayer(Tensor edge_mask, int64_t in_features, int64_t out_features,
+           Rng* rng, float leaky_slope = 0.2f);
+
+  /// x: [N, in] -> [N, out].
+  ag::VarPtr Forward(const ag::VarPtr& x) const;
+
+  /// Attention matrix from the most recent Forward call ([N, N], detached).
+  const Tensor& last_attention() const { return last_attention_; }
+
+ private:
+  Tensor mask_;  // binary with self loops
+  int64_t in_features_;
+  int64_t out_features_;
+  float leaky_slope_;
+  ag::VarPtr weight_;  // [in, out]
+  ag::VarPtr a_src_;   // [out, 1]
+  ag::VarPtr a_dst_;   // [out, 1]
+  mutable Tensor last_attention_;
+};
+
+}  // namespace rtgcn::graph
+
+#endif  // RTGCN_GRAPH_GAT_H_

@@ -1,0 +1,29 @@
+#include "graph/gcn.h"
+
+#include "autograd/ops.h"
+#include "tensor/init.h"
+
+namespace rtgcn::graph {
+
+GcnLayer::GcnLayer(Tensor normalized_adjacency, int64_t in_features,
+                   int64_t out_features, Rng* rng, bool bias)
+    : in_features_(in_features), out_features_(out_features) {
+  RTGCN_CHECK_EQ(normalized_adjacency.ndim(), 2);
+  RTGCN_CHECK_EQ(normalized_adjacency.dim(0), normalized_adjacency.dim(1));
+  adjacency_ = ag::Constant(std::move(normalized_adjacency));
+  weight_ = RegisterParameter(
+      "weight",
+      XavierUniform({in_features, out_features}, in_features, out_features,
+                    rng));
+  if (bias) bias_ = RegisterParameter("bias", Tensor::Zeros({out_features}));
+}
+
+ag::VarPtr GcnLayer::Forward(const ag::VarPtr& x) const {
+  RTGCN_CHECK_EQ(x->value.ndim(), 2);
+  RTGCN_CHECK_EQ(x->value.dim(1), in_features_);
+  ag::VarPtr out = ag::MatMul(adjacency_, ag::MatMul(x, weight_));
+  if (bias_) out = ag::Add(out, bias_);
+  return out;
+}
+
+}  // namespace rtgcn::graph

@@ -1,0 +1,32 @@
+// Generic graph convolution layer, Z = Â X Θ (Kipf & Welling, Eq. 2).
+#ifndef RTGCN_GRAPH_GCN_H_
+#define RTGCN_GRAPH_GCN_H_
+
+#include "nn/module.h"
+#include "tensor/tensor.h"
+
+namespace rtgcn::graph {
+
+/// \brief Single GCN layer over a fixed normalized adjacency.
+class GcnLayer : public nn::Module {
+ public:
+  /// `normalized_adjacency` is Â = D̃^{-1/2}(A+I)D̃^{-1/2}, [N, N].
+  GcnLayer(Tensor normalized_adjacency, int64_t in_features,
+           int64_t out_features, Rng* rng, bool bias = true);
+
+  /// x: [N, in] -> [N, out].
+  ag::VarPtr Forward(const ag::VarPtr& x) const;
+
+  const Tensor& adjacency() const { return adjacency_->value; }
+
+ private:
+  ag::VarPtr adjacency_;  // constant
+  int64_t in_features_;
+  int64_t out_features_;
+  ag::VarPtr weight_;  // [in, out]
+  ag::VarPtr bias_;    // [out] or null
+};
+
+}  // namespace rtgcn::graph
+
+#endif  // RTGCN_GRAPH_GCN_H_

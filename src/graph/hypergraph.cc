@@ -1,0 +1,61 @@
+#include "graph/hypergraph.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "tensor/ops.h"
+
+namespace rtgcn::graph {
+
+void Hypergraph::AddHyperedge(const std::vector<int64_t>& members) {
+  if (members.size() < 2) return;
+  for (int64_t m : members) {
+    RTGCN_CHECK(m >= 0 && m < num_nodes_) << "hyperedge member " << m;
+  }
+  edges_.push_back(members);
+}
+
+Tensor Hypergraph::Incidence() const {
+  const int64_t e = num_hyperedges();
+  Tensor h = Tensor::Zeros({num_nodes_, std::max<int64_t>(e, 1)});
+  float* p = h.data();
+  const int64_t cols = h.dim(1);
+  for (int64_t j = 0; j < e; ++j) {
+    for (int64_t i : edges_[j]) p[i * cols + j] = 1.0f;
+  }
+  return h;
+}
+
+Tensor Hypergraph::PropagationMatrix() const {
+  const int64_t n = num_nodes_;
+  const int64_t e = num_hyperedges();
+  Tensor p = Tensor::Zeros({n, n});
+  float* pp = p.data();
+
+  // Node degrees (number of incident hyperedges).
+  std::vector<double> node_deg(n, 0.0);
+  for (const auto& edge : edges_) {
+    for (int64_t i : edge) node_deg[i] += 1.0;
+  }
+
+  // P = Σ_edges (1/|e|) * d_i^{-1/2} d_j^{-1/2} over member pairs (i, j),
+  // including i == j, which is the expanded form of Dv^-1/2 H De^-1 H^T Dv^-1/2.
+  for (int64_t k = 0; k < e; ++k) {
+    const auto& edge = edges_[k];
+    const double inv_size = 1.0 / static_cast<double>(edge.size());
+    for (int64_t i : edge) {
+      const double di = 1.0 / std::sqrt(node_deg[i]);
+      for (int64_t j : edge) {
+        const double dj = 1.0 / std::sqrt(node_deg[j]);
+        pp[i * n + j] += static_cast<float>(inv_size * di * dj);
+      }
+    }
+  }
+  // Isolated nodes: identity pass-through.
+  for (int64_t i = 0; i < n; ++i) {
+    if (node_deg[i] == 0.0) pp[i * n + i] = 1.0f;
+  }
+  return p;
+}
+
+}  // namespace rtgcn::graph

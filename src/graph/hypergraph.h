@@ -1,0 +1,45 @@
+// Hypergraph utilities for the STHAN-SR baseline (Sawhney et al.).
+//
+// Each relation group (an industry, or a wiki relation type) becomes one
+// hyperedge joining all member stocks. Propagation uses the normalized
+// hypergraph convolution operator
+//   P = D_v^{-1/2} H W D_e^{-1} H^T D_v^{-1/2}
+// with unit hyperedge weights W = I.
+#ifndef RTGCN_GRAPH_HYPERGRAPH_H_
+#define RTGCN_GRAPH_HYPERGRAPH_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace rtgcn::graph {
+
+/// \brief Node-hyperedge incidence structure.
+class Hypergraph {
+ public:
+  explicit Hypergraph(int64_t num_nodes) : num_nodes_(num_nodes) {}
+
+  /// Adds a hyperedge over `members` (indices into [0, num_nodes)).
+  /// Hyperedges with fewer than two members are ignored.
+  void AddHyperedge(const std::vector<int64_t>& members);
+
+  int64_t num_nodes() const { return num_nodes_; }
+  int64_t num_hyperedges() const {
+    return static_cast<int64_t>(edges_.size());
+  }
+
+  /// Dense incidence matrix H [N, E].
+  Tensor Incidence() const;
+
+  /// Normalized propagation operator P [N, N] (see file comment). Nodes in
+  /// no hyperedge get a unit self loop so features pass through.
+  Tensor PropagationMatrix() const;
+
+ private:
+  int64_t num_nodes_;
+  std::vector<std::vector<int64_t>> edges_;
+};
+
+}  // namespace rtgcn::graph
+
+#endif  // RTGCN_GRAPH_HYPERGRAPH_H_

@@ -1,0 +1,106 @@
+#include "graph/relation_tensor.h"
+
+#include <algorithm>
+
+namespace rtgcn::graph {
+
+Status RelationTensor::AddRelation(int64_t i, int64_t j, int64_t type) {
+  if (i < 0 || i >= num_stocks_ || j < 0 || j >= num_stocks_) {
+    return Status::OutOfRange("stock index (", i, ", ", j,
+                              ") out of range for N=", num_stocks_);
+  }
+  if (i == j) {
+    return Status::InvalidArgument("self relation on stock ", i);
+  }
+  if (type < 0 || type >= num_types_) {
+    return Status::OutOfRange("relation type ", type, " out of range for K=",
+                              num_types_);
+  }
+  auto& types = edges_[Key(i, j)];
+  if (std::find(types.begin(), types.end(), static_cast<int32_t>(type)) ==
+      types.end()) {
+    types.push_back(static_cast<int32_t>(type));
+  }
+  return Status::OK();
+}
+
+bool RelationTensor::HasEdge(int64_t i, int64_t j) const {
+  if (i == j) return false;
+  return edges_.count(Key(i, j)) > 0;
+}
+
+std::vector<int32_t> RelationTensor::Types(int64_t i, int64_t j) const {
+  if (i == j) return {};
+  auto it = edges_.find(Key(i, j));
+  if (it == edges_.end()) return {};
+  return it->second;
+}
+
+double RelationTensor::RelationRatio() const {
+  const double pairs =
+      static_cast<double>(num_stocks_) * (num_stocks_ - 1) / 2.0;
+  return pairs == 0 ? 0.0 : static_cast<double>(edges_.size()) / pairs;
+}
+
+Tensor RelationTensor::DenseMask() const {
+  Tensor mask = Tensor::Zeros({num_stocks_, num_stocks_});
+  float* p = mask.data();
+  for (const auto& [key, types] : edges_) {
+    const int64_t i = key / num_stocks_;
+    const int64_t j = key % num_stocks_;
+    p[i * num_stocks_ + j] = 1.0f;
+    p[j * num_stocks_ + i] = 1.0f;
+  }
+  return mask;
+}
+
+Tensor RelationTensor::DenseTypeSlice(int64_t type) const {
+  RTGCN_CHECK(type >= 0 && type < num_types_);
+  Tensor mask = Tensor::Zeros({num_stocks_, num_stocks_});
+  float* p = mask.data();
+  for (const auto& [key, types] : edges_) {
+    if (std::find(types.begin(), types.end(), static_cast<int32_t>(type)) ==
+        types.end()) {
+      continue;
+    }
+    const int64_t i = key / num_stocks_;
+    const int64_t j = key % num_stocks_;
+    p[i * num_stocks_ + j] = 1.0f;
+    p[j * num_stocks_ + i] = 1.0f;
+  }
+  return mask;
+}
+
+std::vector<RelationTensor::Edge> RelationTensor::EdgeList() const {
+  std::vector<Edge> out;
+  out.reserve(edges_.size());
+  for (const auto& [key, types] : edges_) {
+    Edge e;
+    e.i = key / num_stocks_;
+    e.j = key % num_stocks_;
+    e.types = types;
+    std::sort(e.types.begin(), e.types.end());
+    out.push_back(std::move(e));
+  }
+  std::sort(out.begin(), out.end(), [](const Edge& a, const Edge& b) {
+    return a.i != b.i ? a.i < b.i : a.j < b.j;
+  });
+  return out;
+}
+
+RelationTensor RelationTensor::FilterTypes(int64_t type_begin,
+                                           int64_t type_end) const {
+  RelationTensor out(num_stocks_, num_types_);
+  for (const auto& [key, types] : edges_) {
+    const int64_t i = key / num_stocks_;
+    const int64_t j = key % num_stocks_;
+    for (int32_t t : types) {
+      if (t >= type_begin && t < type_end) {
+        out.AddRelation(i, j, t).Abort();
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace rtgcn::graph

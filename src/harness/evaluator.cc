@@ -1,0 +1,42 @@
+#include "harness/evaluator.h"
+
+#include "common/stopwatch.h"
+
+namespace rtgcn::harness {
+
+namespace {
+
+// Replaces classification outputs with a random ordering of the predicted
+// "up" (positive-score) stocks ahead of the rest, so TopK sampling matches
+// the paper's "randomly select top-N" protocol for CLF baselines.
+Tensor RandomizeWithinClasses(const Tensor& scores, Rng* rng) {
+  const int64_t n = scores.numel();
+  Tensor shuffled({n});
+  const float* ps = scores.data();
+  float* po = shuffled.data();
+  for (int64_t i = 0; i < n; ++i) {
+    const float base = ps[i] > 0 ? 1.0f : 0.0f;
+    po[i] = base + static_cast<float>(rng->Uniform()) * 0.5f;
+  }
+  return shuffled;
+}
+
+}  // namespace
+
+EvalResult Evaluate(StockPredictor* model, const market::WindowDataset& data,
+                    const std::vector<int64_t>& test_days, Rng* rng) {
+  EvalResult result;
+  result.has_mrr = model->ranks();
+  rank::Backtester backtester;
+  Stopwatch watch;
+  for (int64_t day : test_days) {
+    Tensor scores = model->Predict(data, day);
+    if (!model->ranks()) scores = RandomizeWithinClasses(scores, rng);
+    backtester.AddDay(scores, data.Labels(day));
+  }
+  result.test_seconds = watch.ElapsedSeconds();
+  result.backtest = backtester.Finalize();
+  return result;
+}
+
+}  // namespace rtgcn::harness

@@ -1,0 +1,29 @@
+// Runs a fitted model over the test period and computes ranking metrics.
+#ifndef RTGCN_HARNESS_EVALUATOR_H_
+#define RTGCN_HARNESS_EVALUATOR_H_
+
+#include <vector>
+
+#include "harness/predictor.h"
+#include "rank/backtest.h"
+
+namespace rtgcn::harness {
+
+/// \brief Test-period metrics plus timing.
+struct EvalResult {
+  rank::BacktestResult backtest;
+  double test_seconds = 0;
+  bool has_mrr = true;  ///< false for classification models ('-' in Table IV)
+};
+
+/// Evaluates `model` on `test_days` under the daily buy-sell protocol.
+///
+/// For non-ranking (classification) models, top-N picks are drawn uniformly
+/// among stocks whose predicted score is positive ("up"), per the paper's
+/// Table IV note; `rng` drives that sampling.
+EvalResult Evaluate(StockPredictor* model, const market::WindowDataset& data,
+                    const std::vector<int64_t>& test_days, Rng* rng);
+
+}  // namespace rtgcn::harness
+
+#endif  // RTGCN_HARNESS_EVALUATOR_H_

@@ -1,0 +1,64 @@
+#include "harness/gradient_predictor.h"
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "core/loss.h"
+
+namespace rtgcn::harness {
+
+ag::VarPtr GradientPredictor::Loss(const ag::VarPtr& scores,
+                                   const Tensor& labels) {
+  return core::CombinedLoss(scores, labels, alpha());
+}
+
+double GradientPredictor::TrainStep(const Tensor& features,
+                                    const Tensor& labels,
+                                    ag::Optimizer* optimizer,
+                                    const TrainOptions& options, Rng* rng) {
+  optimizer->ZeroGrad();
+  ag::VarPtr scores = Forward(features, rng);
+  ag::VarPtr loss = Loss(scores, labels);
+  ag::Backward(loss);
+  optimizer->ClipGradNorm(options.grad_clip);
+  optimizer->Step();
+  return loss->value.item();
+}
+
+void GradientPredictor::Fit(const market::WindowDataset& data,
+                            const std::vector<int64_t>& train_days,
+                            const TrainOptions& options) {
+  RTGCN_CHECK(!train_days.empty());
+  rng_ = std::make_unique<Rng>(options.seed);
+  nn::Module* mod = module();
+  mod->SetTraining(true);
+  ag::Adam optimizer(mod->Parameters(), options.learning_rate, 0.9f, 0.999f,
+                     1e-8f, options.weight_decay);
+
+  Stopwatch watch;
+  std::vector<int64_t> days = train_days;
+  for (int64_t epoch = 0; epoch < options.epochs; ++epoch) {
+    rng_->Shuffle(&days);
+    double epoch_loss = 0;
+    for (int64_t day : days) {
+      epoch_loss += TrainStep(data.Features(day), data.Labels(day), &optimizer,
+                              options, rng_.get());
+    }
+    if (options.verbose) {
+      RTGCN_LOG(Info) << name() << " epoch " << epoch << " loss "
+                      << epoch_loss / static_cast<double>(days.size());
+    }
+  }
+  fit_stats_.train_seconds = watch.ElapsedSeconds();
+  fit_stats_.epochs = options.epochs;
+  mod->SetTraining(false);
+}
+
+Tensor GradientPredictor::Predict(const market::WindowDataset& data,
+                                  int64_t day) {
+  ag::NoGradGuard no_grad;
+  module()->SetTraining(false);
+  if (!rng_) rng_ = std::make_unique<Rng>(1);
+  return Forward(data.Features(day), rng_.get())->value;
+}
+
+}  // namespace rtgcn::harness

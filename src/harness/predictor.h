@@ -1,0 +1,62 @@
+// Uniform interface for every stock-prediction model in the benchmark
+// sweep (RT-GCN and all baselines), plus shared training options.
+#ifndef RTGCN_HARNESS_PREDICTOR_H_
+#define RTGCN_HARNESS_PREDICTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "market/dataset.h"
+#include "tensor/tensor.h"
+
+namespace rtgcn::harness {
+
+/// \brief Options shared by every model's Fit.
+struct TrainOptions {
+  int64_t epochs = 10;
+  float learning_rate = 1e-3f;
+  float weight_decay = 1e-4f;   ///< the λ‖β‖² term of Eq. (9)
+  float grad_clip = 5.0f;
+  uint64_t seed = 1;
+  bool verbose = false;
+};
+
+/// \brief Timing collected during Fit/Predict (Figure 5).
+struct FitStats {
+  double train_seconds = 0;
+  int64_t epochs = 0;
+  double seconds_per_epoch() const {
+    return epochs > 0 ? train_seconds / static_cast<double>(epochs) : 0;
+  }
+};
+
+/// \brief A model that scores stocks for one prediction day.
+class StockPredictor {
+ public:
+  virtual ~StockPredictor() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Trains on the given prediction days of `data`.
+  virtual void Fit(const market::WindowDataset& data,
+                   const std::vector<int64_t>& train_days,
+                   const TrainOptions& options) = 0;
+
+  /// Scores [N] for prediction day `day` (higher = buy).
+  virtual Tensor Predict(const market::WindowDataset& data, int64_t day) = 0;
+
+  /// False for classification models (up/neutral/down): their outputs
+  /// cannot order stocks, so the evaluator samples top-N randomly among
+  /// predicted "up" stocks and reports MRR as '-' (paper Table IV note).
+  virtual bool ranks() const { return true; }
+
+  const FitStats& fit_stats() const { return fit_stats_; }
+
+ protected:
+  FitStats fit_stats_;
+};
+
+}  // namespace rtgcn::harness
+
+#endif  // RTGCN_HARNESS_PREDICTOR_H_

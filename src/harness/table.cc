@@ -1,0 +1,42 @@
+#include "harness/table.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace rtgcn::harness {
+
+void TablePrinter::Print(std::ostream& os) const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  size_t total = 0;
+  for (size_t w : widths) total += w + 3;
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string cell = c < row.size() ? row[c] : "";
+      os << (c == 0 ? "" : " | ")
+         << (c == 0 ? PadRight(cell, widths[c]) : PadLeft(cell, widths[c]));
+    }
+    os << "\n";
+  };
+
+  auto print_sep = [&] { os << std::string(total, '-') << "\n"; };
+
+  print_row(header_);
+  print_sep();
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    if (std::find(separators_.begin(), separators_.end(), r) !=
+        separators_.end()) {
+      print_sep();
+    }
+    print_row(rows_[r]);
+  }
+}
+
+}  // namespace rtgcn::harness

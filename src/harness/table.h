@@ -1,0 +1,32 @@
+// Column-aligned console table printer for the benchmark binaries.
+#ifndef RTGCN_HARNESS_TABLE_H_
+#define RTGCN_HARNESS_TABLE_H_
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace rtgcn::harness {
+
+/// \brief Accumulates rows and prints them with aligned columns.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  /// Adds a horizontal separator at the current position.
+  void AddSeparator() { separators_.push_back(rows_.size()); }
+
+  void Print(std::ostream& os = std::cout) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<size_t> separators_;
+};
+
+}  // namespace rtgcn::harness
+
+#endif  // RTGCN_HARNESS_TABLE_H_

@@ -1,0 +1,72 @@
+#include "market/csv_loader.h"
+
+#include <cstdlib>
+
+#include "common/csv.h"
+
+namespace rtgcn::market {
+
+int64_t PricePanel::TickerIndex(const std::string& ticker) const {
+  for (size_t i = 0; i < tickers.size(); ++i) {
+    if (tickers[i] == ticker) return static_cast<int64_t>(i);
+  }
+  return -1;
+}
+
+Result<PricePanel> LoadPricePanel(const std::string& path) {
+  RTGCN_ASSIGN_OR_RETURN(CsvTable table, ReadCsv(path));
+  if (table.header.size() < 2) {
+    return Status::InvalidArgument(path, ": need at least one ticker column");
+  }
+  if (table.rows.empty()) {
+    return Status::InvalidArgument(path, ": no data rows");
+  }
+  PricePanel panel;
+  panel.tickers.assign(table.header.begin() + 1, table.header.end());
+  const int64_t n = static_cast<int64_t>(panel.tickers.size());
+  const int64_t days = static_cast<int64_t>(table.rows.size());
+  panel.prices = Tensor({days, n});
+  for (int64_t t = 0; t < days; ++t) {
+    for (int64_t i = 0; i < n; ++i) {
+      const std::string& cell = table.rows[t][i + 1];
+      char* end = nullptr;
+      const double value = std::strtod(cell.c_str(), &end);
+      if (end == cell.c_str() || *end != '\0') {
+        return Status::InvalidArgument(path, " row ", t, ": bad price '",
+                                       cell, "'");
+      }
+      if (value <= 0) {
+        return Status::InvalidArgument(path, " row ", t,
+                                       ": non-positive price ", value);
+      }
+      panel.prices.at({t, i}) = static_cast<float>(value);
+    }
+  }
+  return panel;
+}
+
+Result<graph::RelationTensor> LoadRelations(const std::string& path,
+                                            const PricePanel& panel,
+                                            int64_t num_relation_types) {
+  RTGCN_ASSIGN_OR_RETURN(CsvTable table, ReadCsv(path));
+  if (table.header.size() != 3) {
+    return Status::InvalidArgument(path,
+                                   ": expected header stock_i,stock_j,type");
+  }
+  graph::RelationTensor relations(
+      static_cast<int64_t>(panel.tickers.size()), num_relation_types);
+  for (size_t r = 0; r < table.rows.size(); ++r) {
+    const auto& row = table.rows[r];
+    const int64_t i = panel.TickerIndex(row[0]);
+    const int64_t j = panel.TickerIndex(row[1]);
+    if (i < 0 || j < 0) {
+      return Status::NotFound(path, " row ", r, ": unknown ticker '",
+                              i < 0 ? row[0] : row[1], "'");
+    }
+    const int64_t type = std::strtoll(row[2].c_str(), nullptr, 10);
+    RTGCN_RETURN_NOT_OK(relations.AddRelation(i, j, type));
+  }
+  return relations;
+}
+
+}  // namespace rtgcn::market

@@ -1,0 +1,41 @@
+// Loads real market data from CSV so the library can run on actual price
+// histories (e.g. exported from yfinance) instead of the simulator.
+//
+// Price panel format: header "day,<ticker1>,<ticker2>,...", one row per
+// trading day, close prices as decimals.
+// Relation list format: header "stock_i,stock_j,type" with ticker names and
+// integer relation-type ids.
+#ifndef RTGCN_MARKET_CSV_LOADER_H_
+#define RTGCN_MARKET_CSV_LOADER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/relation_tensor.h"
+#include "tensor/tensor.h"
+
+namespace rtgcn::market {
+
+/// \brief A loaded real-data price panel.
+struct PricePanel {
+  std::vector<std::string> tickers;
+  Tensor prices;  ///< [days, N]
+
+  /// Index of `ticker` or -1.
+  int64_t TickerIndex(const std::string& ticker) const;
+};
+
+/// Parses a price-panel CSV. Fails on non-numeric or non-positive prices,
+/// or on inconsistent row widths.
+Result<PricePanel> LoadPricePanel(const std::string& path);
+
+/// Parses a relation-list CSV against a loaded panel's tickers.
+/// `num_relation_types` must exceed every type id in the file.
+Result<graph::RelationTensor> LoadRelations(const std::string& path,
+                                            const PricePanel& panel,
+                                            int64_t num_relation_types);
+
+}  // namespace rtgcn::market
+
+#endif  // RTGCN_MARKET_CSV_LOADER_H_

@@ -1,0 +1,91 @@
+#include "market/dataset.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace rtgcn::market {
+
+WindowDataset::WindowDataset(Tensor prices, int64_t window,
+                             int64_t num_features)
+    : prices_(std::move(prices)), window_(window), num_features_(num_features) {
+  RTGCN_CHECK_EQ(prices_.ndim(), 2);
+  RTGCN_CHECK_GE(window_, 1);
+  RTGCN_CHECK(num_features_ >= 1 && num_features_ <= kMaxFeatures)
+      << "num_features " << num_features_;
+  const int64_t days = prices_.dim(0);
+  const int64_t n = prices_.dim(1);
+  prefix_.assign((days + 1) * n, 0.0);
+  const float* p = prices_.data();
+  for (int64_t t = 0; t < days; ++t) {
+    for (int64_t i = 0; i < n; ++i) {
+      prefix_[(t + 1) * n + i] = prefix_[t * n + i] + p[t * n + i];
+    }
+  }
+}
+
+int64_t WindowDataset::first_day() const {
+  const int64_t max_period = kFeaturePeriods[num_features_ - 1];
+  // The oldest window day needs `max_period` prior days for its MA.
+  return window_ - 1 + max_period - 1;
+}
+
+float WindowDataset::MovingAverage(int64_t t, int64_t i, int64_t period) const {
+  const int64_t n = num_stocks();
+  const int64_t begin = std::max<int64_t>(0, t - period + 1);
+  const double sum = prefix_[(t + 1) * n + i] - prefix_[begin * n + i];
+  return static_cast<float>(sum / static_cast<double>(t + 1 - begin));
+}
+
+Tensor WindowDataset::Features(int64_t t) const {
+  RTGCN_CHECK(t >= first_day() && t < num_days())
+      << "prediction day " << t << " outside valid range";
+  const int64_t n = num_stocks();
+  Tensor x({window_, n, num_features_});
+  float* px = x.data();
+  const float* prices = prices_.data();
+  for (int64_t i = 0; i < n; ++i) {
+    const float anchor = prices[t * n + i];
+    RTGCN_DCHECK(anchor > 0);
+    const float inv = 1.0f / anchor;
+    for (int64_t u = 0; u < window_; ++u) {
+      const int64_t day = t - window_ + 1 + u;
+      for (int64_t f = 0; f < num_features_; ++f) {
+        px[(u * n + i) * num_features_ + f] =
+            MovingAverage(day, i, kFeaturePeriods[f]) * inv;
+      }
+    }
+  }
+  return x;
+}
+
+Tensor WindowDataset::Labels(int64_t t) const {
+  RTGCN_CHECK(t >= first_day() && t <= last_day());
+  const int64_t n = num_stocks();
+  Tensor y({n});
+  const float* prices = prices_.data();
+  float* py = y.data();
+  for (int64_t i = 0; i < n; ++i) {
+    const float cur = prices[t * n + i];
+    const float next = prices[(t + 1) * n + i];
+    py[i] = (next - cur) / cur;
+  }
+  return y;
+}
+
+std::vector<int64_t> WindowDataset::Days(int64_t begin, int64_t end) const {
+  begin = std::max(begin, first_day());
+  end = std::min(end, last_day());
+  std::vector<int64_t> days;
+  for (int64_t t = begin; t <= end; ++t) days.push_back(t);
+  return days;
+}
+
+DatasetSplit SplitByDay(const WindowDataset& dataset, int64_t boundary) {
+  DatasetSplit split;
+  split.train_days = dataset.Days(dataset.first_day(), boundary - 1);
+  split.test_days = dataset.Days(boundary, dataset.last_day());
+  return split;
+}
+
+}  // namespace rtgcn::market

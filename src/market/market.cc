@@ -1,0 +1,73 @@
+#include "market/market.h"
+
+#include <cmath>
+
+namespace rtgcn::market {
+
+namespace {
+
+int64_t Scaled(int64_t base, double scale) {
+  return std::max<int64_t>(1, static_cast<int64_t>(std::llround(base * scale)));
+}
+
+}  // namespace
+
+MarketSpec NasdaqSpec(double scale) {
+  MarketSpec spec;
+  spec.name = "NASDAQ";
+  spec.num_stocks = Scaled(120, scale);
+  spec.num_industries = Scaled(20, std::sqrt(scale));
+  spec.num_wiki_types = 8;
+  spec.wiki_links_per_stock = 1.0;
+  spec.train_days = 380;
+  spec.test_days = 120;
+  spec.seed = 11;
+  return spec;
+}
+
+MarketSpec NyseSpec(double scale) {
+  MarketSpec spec;
+  spec.name = "NYSE";
+  spec.num_stocks = Scaled(150, scale);
+  spec.num_industries = Scaled(24, std::sqrt(scale));
+  spec.num_wiki_types = 6;
+  spec.wiki_links_per_stock = 1.0;
+  spec.train_days = 380;
+  spec.test_days = 120;
+  spec.seed = 22;
+  return spec;
+}
+
+MarketSpec CsiSpec(double scale) {
+  MarketSpec spec;
+  spec.name = "CSI";
+  spec.num_stocks = Scaled(64, scale);
+  spec.num_industries = Scaled(12, std::sqrt(scale));
+  spec.num_wiki_types = 0;  // Table III: no wiki relations for CSI
+  spec.wiki_links_per_stock = 0.0;
+  spec.train_days = 380;
+  spec.test_days = 100;
+  spec.seed = 33;
+  return spec;
+}
+
+MarketData BuildMarket(const MarketSpec& spec) {
+  MarketData data;
+  data.spec = spec;
+  Rng rng(spec.seed);
+  data.universe =
+      StockUniverse::Generate(spec.num_stocks, spec.num_industries, &rng);
+  RelationConfig rel_config;
+  rel_config.num_wiki_types = spec.num_wiki_types;
+  rel_config.wiki_links_per_stock = spec.wiki_links_per_stock;
+  data.relations = GenerateRelations(data.universe, rel_config, &rng);
+
+  SimulatorConfig sim_config;
+  sim_config.num_days = spec.num_days();
+  sim_config.crash_day = spec.crash_at_test_start ? spec.test_boundary() : -1;
+  sim_config.seed = spec.seed * 1000003 + 17;
+  data.sim = Simulate(data.universe, data.relations, sim_config);
+  return data;
+}
+
+}  // namespace rtgcn::market

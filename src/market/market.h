@@ -1,0 +1,57 @@
+// Preset simulated markets mirroring the paper's three datasets (Table II /
+// Table III) and a bundle type holding everything an experiment needs.
+#ifndef RTGCN_MARKET_MARKET_H_
+#define RTGCN_MARKET_MARKET_H_
+
+#include <string>
+
+#include "market/dataset.h"
+#include "market/relation_generator.h"
+#include "market/simulator.h"
+#include "market/universe.h"
+
+namespace rtgcn::market {
+
+/// \brief Full specification of one simulated market.
+struct MarketSpec {
+  std::string name;
+  int64_t num_stocks;
+  int64_t num_industries;
+  int64_t num_wiki_types;       ///< 0 for CSI (Table III: no wiki relations)
+  double wiki_links_per_stock;
+  int64_t train_days;           ///< days before the test boundary
+  int64_t test_days;
+  bool crash_at_test_start = true;  ///< COVID-like drawdown at the boundary
+  uint64_t seed = 7;
+
+  int64_t num_days() const { return train_days + test_days; }
+  /// First test prediction day (also the crash day when enabled).
+  int64_t test_boundary() const { return train_days; }
+};
+
+/// Scaled presets (defaults run a full baseline sweep on one CPU core;
+/// `scale` > 1 grows the universe towards the paper's sizes: NASDAQ 854,
+/// NYSE 1405, CSI 242 at scale ≈ 7).
+MarketSpec NasdaqSpec(double scale = 1.0);
+MarketSpec NyseSpec(double scale = 1.0);
+MarketSpec CsiSpec(double scale = 1.0);
+
+/// \brief Everything an experiment consumes.
+struct MarketData {
+  MarketSpec spec;
+  StockUniverse universe;
+  RelationData relations;
+  SimulatedMarket sim;
+
+  /// Builds the window dataset over this market's prices.
+  WindowDataset MakeDataset(int64_t window, int64_t num_features) const {
+    return WindowDataset(sim.prices, window, num_features);
+  }
+};
+
+/// Generates universe + relations and simulates prices for `spec`.
+MarketData BuildMarket(const MarketSpec& spec);
+
+}  // namespace rtgcn::market
+
+#endif  // RTGCN_MARKET_MARKET_H_

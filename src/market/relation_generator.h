@@ -1,0 +1,62 @@
+// Builds the multi-hot relation tensor for a stock universe, mirroring the
+// paper's two relation sources (Table III):
+//   * industry relations — stocks in the same industry share that industry's
+//     relation type (relation ratio ≈ 5–7 %);
+//   * wiki relations — sparse company-to-company facts (supplier–customer,
+//     owned-by, funded-by, ...) with pair ratio ≈ 0.3–0.4 %.
+//
+// Relation-type layout: types [0, num_industries) are industry relations,
+// types [num_industries, num_industries + num_wiki_types) are wiki relations.
+// This contiguous layout lets Table VI's ablation mask one family with
+// RelationTensor::FilterTypes.
+#ifndef RTGCN_MARKET_RELATION_GENERATOR_H_
+#define RTGCN_MARKET_RELATION_GENERATOR_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "graph/relation_tensor.h"
+#include "market/universe.h"
+
+namespace rtgcn::market {
+
+/// \brief One directional wiki fact, kept for the simulator's lead–lag
+/// spillover (the "Apple → Lens Technology" effect in the paper's intro).
+struct WikiLink {
+  int64_t source;  ///< the influencing company (e.g. the customer)
+  int64_t target;  ///< the influenced company (e.g. the supplier)
+  int32_t type;    ///< relation-type index in the RelationTensor
+};
+
+/// \brief Relation tensor plus the metadata needed by the simulator and the
+/// Table VI ablation.
+struct RelationData {
+  graph::RelationTensor relations;
+  int64_t num_industry_types = 0;
+  int64_t num_wiki_types = 0;
+  std::vector<WikiLink> wiki_links;
+
+  /// Industry-only / wiki-only views (Table VI).
+  graph::RelationTensor IndustryOnly() const {
+    return relations.FilterTypes(0, num_industry_types);
+  }
+  graph::RelationTensor WikiOnly() const {
+    return relations.FilterTypes(num_industry_types,
+                                 num_industry_types + num_wiki_types);
+  }
+};
+
+/// \brief Generator configuration.
+struct RelationConfig {
+  int64_t num_wiki_types = 8;
+  /// Expected number of wiki links per stock (pair ratio ≈ this / N).
+  double wiki_links_per_stock = 0.5;
+};
+
+/// Builds industry + wiki relations for `universe`.
+RelationData GenerateRelations(const StockUniverse& universe,
+                               const RelationConfig& config, Rng* rng);
+
+}  // namespace rtgcn::market
+
+#endif  // RTGCN_MARKET_RELATION_GENERATOR_H_

@@ -1,0 +1,168 @@
+#include "market/simulator.h"
+
+#include <cmath>
+
+namespace rtgcn::market {
+
+namespace {
+
+struct RegimeParams {
+  double drift;
+  double vol_scale;
+};
+
+RegimeParams ParamsFor(Regime r) {
+  switch (r) {
+    case Regime::kBull: return {6e-4, 1.0};
+    case Regime::kBear: return {-4e-4, 1.4};
+    case Regime::kCrash: return {-1.8e-2, 3.0};
+    case Regime::kRecovery: return {5e-3, 1.8};
+  }
+  return {0, 1.0};
+}
+
+Regime NextRegime(Regime r, Rng* rng) {
+  const double u = rng->Uniform();
+  switch (r) {
+    case Regime::kBull:
+      if (u < 0.985) return Regime::kBull;
+      if (u < 0.998) return Regime::kBear;
+      return Regime::kCrash;
+    case Regime::kBear:
+      if (u < 0.03) return Regime::kBull;
+      if (u < 0.985) return Regime::kBear;
+      return Regime::kCrash;
+    case Regime::kCrash:
+      if (u < 0.88) return Regime::kCrash;
+      return Regime::kRecovery;
+    case Regime::kRecovery:
+      if (u < 0.95) return Regime::kRecovery;
+      return Regime::kBull;
+  }
+  return Regime::kBull;
+}
+
+}  // namespace
+
+SimulatedMarket Simulate(const StockUniverse& universe,
+                         const RelationData& relations,
+                         const SimulatorConfig& config) {
+  const int64_t n = universe.size();
+  const int64_t days = config.num_days;
+  const int64_t num_industries = universe.num_industries();
+  RTGCN_CHECK_GT(days, 1);
+  Rng rng(config.seed);
+
+  SimulatedMarket out;
+  out.prices = Tensor({days, n});
+  out.returns = Tensor::Zeros({days, n});
+  out.regimes.resize(days, Regime::kBull);
+  out.index.resize(days, 1.0);
+
+  // Initial prices: log-normal spread around 100.
+  float* prices = out.prices.data();
+  float* returns = out.returns.data();
+  for (int64_t i = 0; i < n; ++i) {
+    prices[i] = static_cast<float>(100.0 * std::exp(rng.Gaussian(0.0, 0.5)));
+  }
+
+  std::vector<double> sector(num_industries, 0.0);
+  // Per-link phase for the time-varying spillover strength and EMA of each
+  // pair's recent co-movement (the self-excitation state).
+  std::vector<double> link_phase(relations.wiki_links.size());
+  std::vector<double> link_excitation(relations.wiki_links.size(), 0.0);
+  for (auto& p : link_phase) p = rng.Uniform(0.0, 2.0 * M_PI);
+
+  // Cap weights for the index.
+  std::vector<double> cap(n);
+  double cap_total = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    cap[i] = universe.stock(i).market_cap;
+    cap_total += cap[i];
+  }
+
+  Regime regime = Regime::kBull;
+  for (int64_t t = 1; t < days; ++t) {
+    // Regime evolution (forced crash window overrides the chain).
+    if (config.crash_day >= 0 && t >= config.crash_day &&
+        t < config.crash_day + config.crash_duration) {
+      regime = Regime::kCrash;
+    } else if (config.crash_day >= 0 &&
+               t == config.crash_day + config.crash_duration) {
+      regime = Regime::kRecovery;
+    } else {
+      regime = NextRegime(regime, &rng);
+    }
+    out.regimes[t] = regime;
+    const RegimeParams rp = ParamsFor(regime);
+
+    const double m = rp.drift + rp.vol_scale * config.market_vol * rng.Gaussian();
+
+    for (int64_t k = 0; k < num_industries; ++k) {
+      sector[k] = config.sector_persistence * sector[k] +
+                  config.sector_vol * rng.Gaussian();
+    }
+
+    const float* prev_ret = returns + (t - 1) * n;
+    float* cur_ret = returns + t * n;
+
+    for (int64_t i = 0; i < n; ++i) {
+      const Stock& s = universe.stock(i);
+      double r = s.drift + s.beta * m + sector[s.industry] +
+                 config.momentum * prev_ret[i] +
+                 rp.vol_scale * s.idio_vol * rng.Gaussian();
+      if (config.jump_probability > 0 &&
+          rng.Bernoulli(config.jump_probability)) {
+        r += config.jump_size * rng.Gaussian();
+      }
+      cur_ret[i] = static_cast<float>(r);
+    }
+
+    // Lead–lag spillover: target follows source's previous-day return. The
+    // strength combines a slow exogenous cycle with self-excitation from the
+    // pair's recent co-movement, so active links are detectable from recent
+    // joint price behavior.
+    for (size_t l = 0; l < relations.wiki_links.size(); ++l) {
+      const WikiLink& link = relations.wiki_links[l];
+      const double cycle =
+          std::max(0.0, std::sin(2.0 * M_PI * t / config.spillover_period +
+                                 link_phase[l]));
+      const double excitation = std::min(
+          1.0, std::max(0.0, config.spillover_excitation * link_excitation[l]));
+      const double strength =
+          config.spillover * cycle * (0.5 + excitation);
+      cur_ret[link.target] +=
+          static_cast<float>(strength * prev_ret[link.source]);
+
+      // Update the co-movement EMA with the normalized return product of
+      // the previous day (both already final at t-1).
+      const Stock& src = universe.stock(link.source);
+      const Stock& dst = universe.stock(link.target);
+      const double norm = 2.0 * src.idio_vol * dst.idio_vol;
+      // Unsigned activity product: excitation tracks how *active* the pair
+      // is, not the direction, so it adds no own-history momentum to the
+      // target — direction stays graph-exclusive.
+      const double product = std::fabs(
+          static_cast<double>(prev_ret[link.source]) * prev_ret[link.target] /
+          std::max(norm, 1e-8));
+      link_excitation[l] = config.excitation_decay * link_excitation[l] +
+                           (1.0 - config.excitation_decay) * product;
+    }
+
+    // Prices and index.
+    double index_ret = 0;
+    const float* prev_price = prices + (t - 1) * n;
+    float* cur_price = prices + t * n;
+    for (int64_t i = 0; i < n; ++i) {
+      // Floor the simple return so prices stay positive even in a crash.
+      const double r = std::max(-0.5, static_cast<double>(cur_ret[i]));
+      cur_ret[i] = static_cast<float>(r);
+      cur_price[i] = static_cast<float>(prev_price[i] * (1.0 + r));
+      index_ret += cap[i] / cap_total * r;
+    }
+    out.index[t] = out.index[t - 1] * (1.0 + index_ret);
+  }
+  return out;
+}
+
+}  // namespace rtgcn::market

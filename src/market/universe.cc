@@ -1,0 +1,64 @@
+#include "market/universe.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace rtgcn::market {
+
+namespace {
+
+std::string MakeTicker(int64_t i) {
+  // AAAA, AAAB, ... deterministic 4-letter tickers.
+  std::string t(4, 'A');
+  for (int pos = 3; pos >= 0; --pos) {
+    t[pos] = static_cast<char>('A' + i % 26);
+    i /= 26;
+  }
+  return t;
+}
+
+}  // namespace
+
+StockUniverse StockUniverse::Generate(int64_t num_stocks,
+                                      int64_t num_industries, Rng* rng) {
+  RTGCN_CHECK_GT(num_stocks, 0);
+  RTGCN_CHECK_GT(num_industries, 0);
+  StockUniverse u;
+  u.num_industries_ = num_industries;
+  u.stocks_.reserve(num_stocks);
+
+  // Mildly skewed industry sizes (a few bigger sectors, no giant cliques:
+  // huge cliques would dilute self features under GCN normalization far
+  // beyond what the paper's ~5 % relation ratio implies).
+  std::vector<double> weights(num_industries);
+  for (int64_t k = 0; k < num_industries; ++k) {
+    weights[k] = 1.0 / std::sqrt(k + 1.0);
+  }
+
+  for (int64_t i = 0; i < num_stocks; ++i) {
+    Stock s;
+    s.ticker = MakeTicker(i);
+    // Guarantee every industry is non-empty, then sample Zipf.
+    s.industry = i < num_industries
+                     ? static_cast<int32_t>(i)
+                     : static_cast<int32_t>(rng->Categorical(weights));
+    s.beta = static_cast<float>(std::max(0.2, rng->Gaussian(1.0, 0.3)));
+    s.idio_vol = static_cast<float>(
+        std::max(0.005, rng->Gaussian(0.013, 0.004)));
+    s.market_cap = static_cast<float>(std::exp(rng->Gaussian(0.0, 1.0)));
+    s.drift = static_cast<float>(rng->Gaussian(2e-4, 2e-4));
+    u.stocks_.push_back(std::move(s));
+  }
+  return u;
+}
+
+std::vector<int64_t> StockUniverse::IndustryMembers(int64_t industry) const {
+  std::vector<int64_t> out;
+  for (int64_t i = 0; i < size(); ++i) {
+    if (stocks_[i].industry == industry) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace rtgcn::market

@@ -1,0 +1,53 @@
+// Stock universe: the set of tradable instruments with their static
+// attributes (sector membership, market beta, capitalization).
+//
+// The paper's universes are the 854 NASDAQ / 1405 NYSE / 242 CSI stocks
+// that survived 2015–2020; here a StockUniverse is generated synthetically
+// with matching structural statistics (see DESIGN.md §1).
+#ifndef RTGCN_MARKET_UNIVERSE_H_
+#define RTGCN_MARKET_UNIVERSE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+
+namespace rtgcn::market {
+
+/// \brief One listed company.
+struct Stock {
+  std::string ticker;
+  int32_t industry;     ///< industry id in [0, num_industries)
+  float beta;           ///< sensitivity to the market factor
+  float idio_vol;       ///< idiosyncratic daily volatility
+  float market_cap;     ///< relative capitalization weight (for the index)
+  float drift;          ///< small per-stock drift component
+};
+
+/// \brief A set of stocks partitioned into industries.
+class StockUniverse {
+ public:
+  StockUniverse() = default;
+
+  /// Generates `num_stocks` companies over `num_industries` industries with
+  /// Zipf-like industry sizes (a few big sectors, a long tail), log-normal
+  /// caps, betas around 1.
+  static StockUniverse Generate(int64_t num_stocks, int64_t num_industries,
+                                Rng* rng);
+
+  int64_t size() const { return static_cast<int64_t>(stocks_.size()); }
+  int64_t num_industries() const { return num_industries_; }
+  const Stock& stock(int64_t i) const { return stocks_[i]; }
+  const std::vector<Stock>& stocks() const { return stocks_; }
+
+  /// Indices of all stocks in `industry`.
+  std::vector<int64_t> IndustryMembers(int64_t industry) const;
+
+ private:
+  std::vector<Stock> stocks_;
+  int64_t num_industries_ = 0;
+};
+
+}  // namespace rtgcn::market
+
+#endif  // RTGCN_MARKET_UNIVERSE_H_

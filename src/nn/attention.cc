@@ -1,0 +1,23 @@
+#include "nn/attention.h"
+
+#include <cmath>
+
+#include "autograd/ops.h"
+
+namespace rtgcn::nn {
+
+ag::VarPtr ScaledDotProductScores(const VarPtr& x) {
+  RTGCN_CHECK_EQ(x->value.ndim(), 2);
+  const float scale = 1.0f / std::sqrt(static_cast<float>(x->value.dim(1)));
+  return ag::MulScalar(ag::MatMul(x, ag::Transpose(x)), scale);
+}
+
+ag::VarPtr ScaledDotProductAttention(const VarPtr& q, const VarPtr& k,
+                                     const VarPtr& v) {
+  RTGCN_CHECK_EQ(q->value.dim(1), k->value.dim(1));
+  const float scale = 1.0f / std::sqrt(static_cast<float>(q->value.dim(1)));
+  VarPtr scores = ag::MulScalar(ag::MatMul(q, ag::Transpose(k)), scale);
+  return ag::MatMul(ag::Softmax(scores, 1), v);
+}
+
+}  // namespace rtgcn::nn

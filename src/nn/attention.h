@@ -1,0 +1,21 @@
+// Attention primitives: scaled dot-product (Vaswani et al.) used by the
+// time-sensitive strategy (Eq. 5) and the STHAN-SR baseline's Hawkes-style
+// temporal attention.
+#ifndef RTGCN_NN_ATTENTION_H_
+#define RTGCN_NN_ATTENTION_H_
+
+#include "nn/module.h"
+
+namespace rtgcn::nn {
+
+/// Pairwise scaled dot-product scores: x [N, D] -> x x^T / sqrt(D) [N, N].
+ag::VarPtr ScaledDotProductScores(const VarPtr& x);
+
+/// Full attention: softmax(q k^T / sqrt(d)) v with q [M, D], k [N, D],
+/// v [N, Dv] -> [M, Dv].
+ag::VarPtr ScaledDotProductAttention(const VarPtr& q, const VarPtr& k,
+                                     const VarPtr& v);
+
+}  // namespace rtgcn::nn
+
+#endif  // RTGCN_NN_ATTENTION_H_

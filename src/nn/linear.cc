@@ -1,0 +1,38 @@
+#include "nn/linear.h"
+
+#include "autograd/ops.h"
+#include "tensor/init.h"
+
+namespace rtgcn::nn {
+
+Linear::Linear(int64_t in_features, int64_t out_features, Rng* rng, bool bias)
+    : in_features_(in_features), out_features_(out_features) {
+  weight_ = RegisterParameter(
+      "weight",
+      XavierUniform({in_features, out_features}, in_features, out_features,
+                    rng));
+  if (bias) {
+    bias_ = RegisterParameter("bias", Tensor::Zeros({out_features}));
+  }
+}
+
+VarPtr Linear::Forward(const VarPtr& x) const {
+  RTGCN_CHECK_GE(x->value.ndim(), 1);
+  RTGCN_CHECK_EQ(x->shape().back(), in_features_);
+  VarPtr out;
+  if (x->value.ndim() == 2) {
+    out = ag::MatMul(x, weight_);
+  } else {
+    // Flatten leading dims, multiply, restore.
+    Shape orig = x->shape();
+    VarPtr flat = ag::Reshape(x, {-1, in_features_});
+    out = ag::MatMul(flat, weight_);
+    Shape out_shape = orig;
+    out_shape.back() = out_features_;
+    out = ag::Reshape(out, std::move(out_shape));
+  }
+  if (bias_) out = ag::Add(out, bias_);
+  return out;
+}
+
+}  // namespace rtgcn::nn

@@ -1,0 +1,33 @@
+// Fully connected layer.
+#ifndef RTGCN_NN_LINEAR_H_
+#define RTGCN_NN_LINEAR_H_
+
+#include "nn/module.h"
+
+namespace rtgcn::nn {
+
+/// \brief Affine map y = x W + b applied to the trailing dimension.
+///
+/// Accepts input of any rank; the last axis must equal `in_features`.
+class Linear : public Module {
+ public:
+  Linear(int64_t in_features, int64_t out_features, Rng* rng,
+         bool bias = true);
+
+  VarPtr Forward(const VarPtr& x) const;
+
+  int64_t in_features() const { return in_features_; }
+  int64_t out_features() const { return out_features_; }
+  const VarPtr& weight() const { return weight_; }
+  const VarPtr& bias() const { return bias_; }
+
+ private:
+  int64_t in_features_;
+  int64_t out_features_;
+  VarPtr weight_;       // [in, out]
+  VarPtr bias_;         // [out] or null
+};
+
+}  // namespace rtgcn::nn
+
+#endif  // RTGCN_NN_LINEAR_H_

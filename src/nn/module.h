@@ -1,0 +1,76 @@
+// Base class for neural-network modules.
+//
+// A Module owns named parameter Variables and registers (non-owning
+// pointers to) submodules so that parameters() and set_training() recurse
+// through the whole model tree.
+#ifndef RTGCN_NN_MODULE_H_
+#define RTGCN_NN_MODULE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "autograd/variable.h"
+#include "common/random.h"
+
+namespace rtgcn::nn {
+
+using ag::VarPtr;
+using rtgcn::Rng;
+
+/// \brief Base for all trainable components.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// All trainable parameters of this module and its submodules.
+  std::vector<VarPtr> Parameters() const {
+    std::vector<VarPtr> out;
+    CollectParameters(&out);
+    return out;
+  }
+
+  /// Total number of trainable scalars.
+  int64_t NumParameters() const {
+    int64_t n = 0;
+    for (const auto& p : Parameters()) n += p->numel();
+    return n;
+  }
+
+  /// Switches train/eval mode (affects dropout etc.) recursively.
+  void SetTraining(bool training) {
+    training_ = training;
+    for (Module* m : submodules_) m->SetTraining(training);
+  }
+
+  bool training() const { return training_; }
+
+ protected:
+  /// Registers a parameter initialized to `init`; returns the Variable.
+  VarPtr RegisterParameter(std::string name, Tensor init) {
+    auto v = ag::MakeVariable(std::move(init), /*requires_grad=*/true);
+    params_.emplace_back(std::move(name), v);
+    return v;
+  }
+
+  /// Registers a child module (must outlive this module; typically a member).
+  void RegisterModule(Module* module) { submodules_.push_back(module); }
+
+ private:
+  void CollectParameters(std::vector<VarPtr>* out) const {
+    for (const auto& [name, p] : params_) out->push_back(p);
+    for (const Module* m : submodules_) m->CollectParameters(out);
+  }
+
+  std::vector<std::pair<std::string, VarPtr>> params_;
+  std::vector<Module*> submodules_;
+  bool training_ = true;
+};
+
+}  // namespace rtgcn::nn
+
+#endif  // RTGCN_NN_MODULE_H_

@@ -1,0 +1,87 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+namespace rtgcn::nn {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x52544743;  // "RTGC"
+constexpr uint32_t kVersion = 1;
+
+void WriteU64(std::ofstream& out, uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+bool ReadU64(std::ifstream& in, uint64_t* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+Status SaveParameters(const Module& module, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot create ", path);
+  const auto params = module.Parameters();
+  uint32_t header[2] = {kMagic, kVersion};
+  out.write(reinterpret_cast<const char*>(header), sizeof(header));
+  WriteU64(out, params.size());
+  for (const auto& p : params) {
+    WriteU64(out, p->value.ndim());
+    for (int64_t d : p->value.shape()) {
+      WriteU64(out, static_cast<uint64_t>(d));
+    }
+    out.write(reinterpret_cast<const char*>(p->value.data()),
+              p->value.numel() * sizeof(float));
+  }
+  if (!out) return Status::IoError("write failure on ", path);
+  return Status::OK();
+}
+
+Status LoadParameters(Module* module, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open ", path);
+  uint32_t header[2];
+  in.read(reinterpret_cast<char*>(header), sizeof(header));
+  if (!in || header[0] != kMagic) {
+    return Status::InvalidArgument(path, " is not an RT-GCN checkpoint");
+  }
+  if (header[1] != kVersion) {
+    return Status::InvalidArgument("unsupported checkpoint version ",
+                                   header[1]);
+  }
+  const auto params = module->Parameters();
+  uint64_t count = 0;
+  if (!ReadU64(in, &count)) return Status::IoError("truncated ", path);
+  if (count != params.size()) {
+    return Status::InvalidArgument("checkpoint has ", count,
+                                   " parameters, module has ", params.size());
+  }
+  for (size_t i = 0; i < params.size(); ++i) {
+    uint64_t rank = 0;
+    if (!ReadU64(in, &rank)) return Status::IoError("truncated ", path);
+    Shape shape(rank);
+    for (uint64_t d = 0; d < rank; ++d) {
+      uint64_t dim = 0;
+      if (!ReadU64(in, &dim)) return Status::IoError("truncated ", path);
+      shape[d] = static_cast<int64_t>(dim);
+    }
+    if (shape != params[i]->value.shape()) {
+      return Status::InvalidArgument(
+          "parameter ", i, " shape mismatch: checkpoint ",
+          ShapeToString(shape), " vs module ",
+          ShapeToString(params[i]->value.shape()));
+    }
+    Tensor value(shape);
+    in.read(reinterpret_cast<char*>(value.data()),
+            value.numel() * sizeof(float));
+    if (!in) return Status::IoError("truncated tensor data in ", path);
+    params[i]->value = value;
+  }
+  return Status::OK();
+}
+
+}  // namespace rtgcn::nn

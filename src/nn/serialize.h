@@ -1,0 +1,23 @@
+// Model checkpointing: saves/loads a Module's parameters in a simple
+// versioned binary format (shape-checked on load, so architecture mismatch
+// fails loudly instead of silently corrupting a model).
+#ifndef RTGCN_NN_SERIALIZE_H_
+#define RTGCN_NN_SERIALIZE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "nn/module.h"
+
+namespace rtgcn::nn {
+
+/// Writes all parameters of `module` (in registration order) to `path`.
+Status SaveParameters(const Module& module, const std::string& path);
+
+/// Loads parameters saved by SaveParameters into `module`. The module must
+/// have the same architecture (same parameter count and shapes).
+Status LoadParameters(Module* module, const std::string& path);
+
+}  // namespace rtgcn::nn
+
+#endif  // RTGCN_NN_SERIALIZE_H_

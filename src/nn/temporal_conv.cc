@@ -1,0 +1,114 @@
+#include "nn/temporal_conv.h"
+
+#include "autograd/ops.h"
+#include "tensor/init.h"
+
+namespace rtgcn::nn {
+
+CausalConv1d::CausalConv1d(int64_t in_channels, int64_t out_channels,
+                           int64_t kernel_size, Rng* rng, int64_t dilation,
+                           int64_t stride, bool weight_norm)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_size_(kernel_size),
+      dilation_(dilation),
+      stride_(stride),
+      weight_norm_(weight_norm) {
+  RTGCN_CHECK_GE(kernel_size, 1);
+  RTGCN_CHECK_GE(dilation, 1);
+  RTGCN_CHECK_GE(stride, 1);
+  const int64_t fan_in = kernel_size * in_channels;
+  v_ = RegisterParameter(
+      "v", KaimingUniform({kernel_size, in_channels, out_channels}, fan_in,
+                          rng));
+  if (weight_norm_) {
+    // Initialize the gain to the initial per-channel norm so the effective
+    // weight starts equal to v (standard weight-norm initialization).
+    Tensor norms = rtgcn::Sqrt(rtgcn::Sum(
+        rtgcn::Sum(rtgcn::Square(v_->value), 0, true), 1, true));
+    gain_ = RegisterParameter("gain", norms);
+  }
+  bias_ = RegisterParameter("bias", Tensor::Zeros({out_channels}));
+}
+
+ag::VarPtr CausalConv1d::EffectiveWeight() const {
+  if (!weight_norm_) return v_;
+  // w = g * v / ||v||, per output channel over (k, in).
+  VarPtr sq = ag::Square(v_);
+  VarPtr norm = ag::Sqrt(
+      ag::AddScalar(ag::Sum(ag::Sum(sq, 0, true), 1, true), 1e-8f));
+  return ag::Mul(ag::Div(v_, norm), gain_);
+}
+
+ag::VarPtr CausalConv1d::Forward(const VarPtr& x) const {
+  RTGCN_CHECK_EQ(x->value.ndim(), 3);
+  RTGCN_CHECK_EQ(x->value.dim(2), in_channels_);
+  const int64_t t_len = x->value.dim(0);
+  const int64_t n = x->value.dim(1);
+  const int64_t pad = (kernel_size_ - 1) * dilation_;
+
+  VarPtr xp = x;
+  if (pad > 0) {
+    VarPtr zeros = ag::Constant(Tensor::Zeros({pad, n, in_channels_}));
+    xp = ag::ConcatOp({zeros, x}, 0);
+  }
+  VarPtr w = EffectiveWeight();
+
+  // y[t] = sum_i xp[t + i*dilation] @ w[i]; tap i = 0 is the oldest input.
+  VarPtr acc;
+  for (int64_t i = 0; i < kernel_size_; ++i) {
+    VarPtr xi = ag::SliceOp(xp, 0, i * dilation_, i * dilation_ + t_len);
+    VarPtr flat = ag::Reshape(xi, {t_len * n, in_channels_});
+    VarPtr wi = ag::Reshape(ag::SliceOp(w, 0, i, i + 1),
+                            {in_channels_, out_channels_});
+    VarPtr yi = ag::MatMul(flat, wi);
+    acc = acc ? ag::Add(acc, yi) : yi;
+  }
+  acc = ag::Add(acc, bias_);
+  VarPtr y = ag::Reshape(acc, {t_len, n, out_channels_});
+  if (stride_ > 1) {
+    // Keep the last sample of each stride window so the final output sees
+    // the most recent time-step.
+    const int64_t start = (t_len - 1) % stride_;
+    y = ag::Downsample(y, 0, stride_, start);
+  }
+  return y;
+}
+
+TemporalConvBlock::TemporalConvBlock(int64_t in_channels, int64_t out_channels,
+                                     int64_t kernel_size, Rng* rng,
+                                     int64_t dilation, int64_t stride,
+                                     float dropout)
+    : conv1_(in_channels, out_channels, kernel_size, rng, /*dilation=*/1,
+             stride),
+      conv2_(out_channels, out_channels, kernel_size, rng, dilation, stride),
+      stride_(stride),
+      dropout_(dropout) {
+  RegisterModule(&conv1_);
+  RegisterModule(&conv2_);
+  if (in_channels != out_channels || stride > 1) {
+    downsample_ = std::make_unique<CausalConv1d>(
+        in_channels, out_channels, /*kernel_size=*/1, rng, /*dilation=*/1,
+        /*stride=*/1, /*weight_norm=*/false);
+    RegisterModule(downsample_.get());
+  }
+}
+
+ag::VarPtr TemporalConvBlock::Forward(const VarPtr& x, Rng* rng) const {
+  VarPtr h = ag::Relu(conv1_.Forward(x));
+  h = ag::Dropout(h, dropout_, training(), rng, /*spatial_axis=*/2);
+  h = ag::Relu(conv2_.Forward(h));
+  h = ag::Dropout(h, dropout_, training(), rng, /*spatial_axis=*/2);
+
+  VarPtr res = downsample_ ? downsample_->Forward(x) : x;
+  if (stride_ > 1) {
+    // Align to the block's compressed time axis (ceil(ceil(T/s)/s) ==
+    // ceil(T/s²) positions, last-sample aligned).
+    const int64_t step = stride_ * stride_;
+    const int64_t start = (res->value.dim(0) - 1) % step;
+    res = ag::Downsample(res, 0, step, start);
+  }
+  return ag::Relu(ag::Add(h, res));
+}
+
+}  // namespace rtgcn::nn

@@ -1,0 +1,46 @@
+#include "rank/backtest.h"
+
+#include "common/logging.h"
+
+namespace rtgcn::rank {
+
+Backtester::Backtester(std::vector<int64_t> top_ks)
+    : top_ks_(std::move(top_ks)) {
+  for (int64_t k : top_ks_) {
+    irr_sum_[k] = 0;
+    curves_[k] = {};
+  }
+}
+
+void Backtester::AddDay(const Tensor& scores, const Tensor& labels) {
+  mrr_sum_ += ReciprocalRankTop1(scores, labels);
+  for (int64_t k : top_ks_) {
+    irr_sum_[k] += TopKReturn(scores, labels, k);
+    curves_[k].push_back(irr_sum_[k]);
+  }
+  ++days_;
+}
+
+BacktestResult Backtester::Finalize() const {
+  RTGCN_CHECK_GT(days_, 0) << "no test days recorded";
+  BacktestResult result;
+  result.num_days = days_;
+  result.mrr = mrr_sum_ / static_cast<double>(days_);
+  result.irr = irr_sum_;
+  result.irr_curve = curves_;
+  return result;
+}
+
+std::vector<double> IndexReturnCurve(const std::vector<double>& index_levels,
+                                     int64_t begin, int64_t end) {
+  RTGCN_CHECK(begin >= 1 && end <= static_cast<int64_t>(index_levels.size()));
+  std::vector<double> curve;
+  double acc = 0;
+  for (int64_t t = begin; t < end; ++t) {
+    acc += index_levels[t] / index_levels[t - 1] - 1.0;
+    curve.push_back(acc);
+  }
+  return curve;
+}
+
+}  // namespace rtgcn::rank

@@ -1,0 +1,48 @@
+// Daily buy-sell backtester (paper §V-B1): buy the top-N predicted stocks
+// at day t, sell at day t+1, accumulate the return ratios.
+#ifndef RTGCN_RANK_BACKTEST_H_
+#define RTGCN_RANK_BACKTEST_H_
+
+#include <map>
+#include <vector>
+
+#include "rank/metrics.h"
+#include "tensor/tensor.h"
+
+namespace rtgcn::rank {
+
+/// \brief Aggregated evaluation over a test period.
+struct BacktestResult {
+  double mrr = 0;                      ///< mean reciprocal rank (top-1)
+  std::map<int64_t, double> irr;       ///< k -> cumulative IRR-k
+  /// k -> cumulative IRR curve, one point per test day (Figure 6).
+  std::map<int64_t, std::vector<double>> irr_curve;
+  int64_t num_days = 0;
+};
+
+/// \brief Streams (scores, labels) pairs day by day and accumulates metrics.
+class Backtester {
+ public:
+  explicit Backtester(std::vector<int64_t> top_ks = {1, 5, 10});
+
+  /// Records one test day. `scores` and `labels` are [N].
+  void AddDay(const Tensor& scores, const Tensor& labels);
+
+  BacktestResult Finalize() const;
+
+ private:
+  std::vector<int64_t> top_ks_;
+  double mrr_sum_ = 0;
+  int64_t days_ = 0;
+  std::map<int64_t, double> irr_sum_;
+  std::map<int64_t, std::vector<double>> curves_;
+};
+
+/// Cumulative return-ratio curve of a buy-and-hold market index with levels
+/// `index_levels` over test days [begin, end) — the Fig. 6 yardstick.
+std::vector<double> IndexReturnCurve(const std::vector<double>& index_levels,
+                                     int64_t begin, int64_t end);
+
+}  // namespace rtgcn::rank
+
+#endif  // RTGCN_RANK_BACKTEST_H_

@@ -1,0 +1,50 @@
+#include "rank/metrics.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace rtgcn::rank {
+
+std::vector<int64_t> RankDescending(const Tensor& scores) {
+  RTGCN_CHECK_EQ(scores.ndim(), 1);
+  std::vector<int64_t> idx(scores.numel());
+  std::iota(idx.begin(), idx.end(), 0);
+  const float* p = scores.data();
+  std::stable_sort(idx.begin(), idx.end(),
+                   [p](int64_t a, int64_t b) { return p[a] > p[b]; });
+  return idx;
+}
+
+std::vector<int64_t> TopK(const Tensor& scores, int64_t k) {
+  auto order = RankDescending(scores);
+  k = std::min<int64_t>(k, static_cast<int64_t>(order.size()));
+  order.resize(k);
+  return order;
+}
+
+double ReciprocalRankTop1(const Tensor& scores, const Tensor& labels) {
+  RTGCN_CHECK_EQ(scores.numel(), labels.numel());
+  const auto predicted = RankDescending(scores);
+  const int64_t pick = predicted.front();
+  // Rank of `pick` in the true return ordering (1-based).
+  const float* pl = labels.data();
+  int64_t rank = 1;
+  for (int64_t i = 0; i < labels.numel(); ++i) {
+    if (pl[i] > pl[pick]) ++rank;
+  }
+  return 1.0 / static_cast<double>(rank);
+}
+
+double TopKReturn(const Tensor& scores, const Tensor& labels, int64_t k) {
+  RTGCN_CHECK_EQ(scores.numel(), labels.numel());
+  const auto picks = TopK(scores, k);
+  RTGCN_CHECK(!picks.empty());
+  double acc = 0;
+  const float* pl = labels.data();
+  for (int64_t i : picks) acc += pl[i];
+  return acc / static_cast<double>(picks.size());
+}
+
+}  // namespace rtgcn::rank

@@ -1,0 +1,29 @@
+// Ranking metrics for stock selection (paper §V-B3): MRR and IRR-k.
+#ifndef RTGCN_RANK_METRICS_H_
+#define RTGCN_RANK_METRICS_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace rtgcn::rank {
+
+/// Indices of `scores` sorted descending (ties broken by lower index).
+std::vector<int64_t> RankDescending(const Tensor& scores);
+
+/// Indices of the k highest-scoring stocks.
+std::vector<int64_t> TopK(const Tensor& scores, int64_t k);
+
+/// Reciprocal rank of the predicted top-1 stock within the ground-truth
+/// return ordering. Averaged over days this is the paper's MRR ("the MRR
+/// result of the top-1 stock in a ranking list").
+double ReciprocalRankTop1(const Tensor& scores, const Tensor& labels);
+
+/// Mean realized return of the predicted top-k stocks — one day's IRR
+/// contribution under the buy-at-t / sell-at-t+1 strategy (§V-B1), assuming
+/// capital is split equally across the k picks.
+double TopKReturn(const Tensor& scores, const Tensor& labels, int64_t k);
+
+}  // namespace rtgcn::rank
+
+#endif  // RTGCN_RANK_METRICS_H_

@@ -1,0 +1,74 @@
+#include "rank/wilcoxon.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace rtgcn::rank {
+
+double NormalSf(double z) { return 0.5 * std::erfc(z / std::sqrt(2.0)); }
+
+namespace {
+
+// Signed-rank statistic machinery shared by both tests. `diffs` are the
+// (already centered) differences.
+double SignedRankPValue(std::vector<double> diffs) {
+  diffs.erase(std::remove(diffs.begin(), diffs.end(), 0.0), diffs.end());
+  const size_t n = diffs.size();
+  if (n == 0) return 1.0;
+
+  // Rank |d| ascending with midranks for ties.
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return std::fabs(diffs[a]) < std::fabs(diffs[b]);
+  });
+  std::vector<double> ranks(n);
+  double tie_correction = 0;
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n &&
+           std::fabs(diffs[order[j + 1]]) == std::fabs(diffs[order[i]])) {
+      ++j;
+    }
+    const double midrank = (static_cast<double>(i) + j) / 2.0 + 1.0;
+    for (size_t k = i; k <= j; ++k) ranks[order[k]] = midrank;
+    const double t = static_cast<double>(j - i + 1);
+    tie_correction += t * t * t - t;
+    i = j + 1;
+  }
+
+  // W+ = sum of ranks of positive differences.
+  double w_plus = 0;
+  for (size_t k = 0; k < n; ++k) {
+    if (diffs[k] > 0) w_plus += ranks[k];
+  }
+  const double dn = static_cast<double>(n);
+  const double mean = dn * (dn + 1.0) / 4.0;
+  double var = dn * (dn + 1.0) * (2.0 * dn + 1.0) / 24.0 -
+               tie_correction / 48.0;
+  if (var <= 0) return w_plus > mean ? 0.0 : 1.0;
+  // Continuity correction, upper tail (H1: shifted positive).
+  const double z = (w_plus - mean - 0.5) / std::sqrt(var);
+  return NormalSf(z);
+}
+
+}  // namespace
+
+double PairedWilcoxonPValue(const std::vector<double>& a,
+                            const std::vector<double>& b) {
+  RTGCN_CHECK_EQ(a.size(), b.size());
+  std::vector<double> diffs(a.size());
+  for (size_t i = 0; i < a.size(); ++i) diffs[i] = a[i] - b[i];
+  return SignedRankPValue(std::move(diffs));
+}
+
+double OneSampleWilcoxonPValue(const std::vector<double>& x, double mu) {
+  std::vector<double> diffs(x.size());
+  for (size_t i = 0; i < x.size(); ++i) diffs[i] = x[i] - mu;
+  return SignedRankPValue(std::move(diffs));
+}
+
+}  // namespace rtgcn::rank

@@ -1,0 +1,26 @@
+// Wilcoxon signed-rank tests used for the paper's significance analysis
+// (§V-C1: paired test vs the strongest baseline over 15 runs; §V-C1 Table V:
+// one-sample test against a published number).
+#ifndef RTGCN_RANK_WILCOXON_H_
+#define RTGCN_RANK_WILCOXON_H_
+
+#include <vector>
+
+namespace rtgcn::rank {
+
+/// One-sided paired Wilcoxon signed-rank test of H1: median(a - b) > 0.
+/// Uses the normal approximation with tie correction; zero differences are
+/// dropped (Pratt would be overkill at n = 15). Returns the p-value, or 1.0
+/// when every pair ties.
+double PairedWilcoxonPValue(const std::vector<double>& a,
+                            const std::vector<double>& b);
+
+/// One-sided one-sample Wilcoxon signed-rank test of H1: median(x) > mu.
+double OneSampleWilcoxonPValue(const std::vector<double>& x, double mu);
+
+/// Standard normal upper-tail probability P(Z > z).
+double NormalSf(double z);
+
+}  // namespace rtgcn::rank
+
+#endif  // RTGCN_RANK_WILCOXON_H_

@@ -1,0 +1,35 @@
+#include "tensor/init.h"
+
+#include <cmath>
+
+namespace rtgcn {
+
+Tensor RandomUniform(Shape shape, float lo, float hi, Rng* rng) {
+  Tensor t(std::move(shape));
+  float* p = t.data();
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    p[i] = static_cast<float>(rng->Uniform(lo, hi));
+  }
+  return t;
+}
+
+Tensor RandomGaussian(Shape shape, float mean, float stddev, Rng* rng) {
+  Tensor t(std::move(shape));
+  float* p = t.data();
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    p[i] = static_cast<float>(rng->Gaussian(mean, stddev));
+  }
+  return t;
+}
+
+Tensor XavierUniform(Shape shape, int64_t fan_in, int64_t fan_out, Rng* rng) {
+  const float a = std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  return RandomUniform(std::move(shape), -a, a, rng);
+}
+
+Tensor KaimingUniform(Shape shape, int64_t fan_in, Rng* rng) {
+  const float a = std::sqrt(6.0f / static_cast<float>(fan_in));
+  return RandomUniform(std::move(shape), -a, a, rng);
+}
+
+}  // namespace rtgcn

@@ -1,0 +1,24 @@
+// Random tensor constructors and standard weight initializers.
+#ifndef RTGCN_TENSOR_INIT_H_
+#define RTGCN_TENSOR_INIT_H_
+
+#include "common/random.h"
+#include "tensor/tensor.h"
+
+namespace rtgcn {
+
+/// Uniform entries in [lo, hi).
+Tensor RandomUniform(Shape shape, float lo, float hi, Rng* rng);
+
+/// Gaussian entries N(mean, stddev^2).
+Tensor RandomGaussian(Shape shape, float mean, float stddev, Rng* rng);
+
+/// Glorot/Xavier uniform init: U(-a, a), a = sqrt(6 / (fan_in + fan_out)).
+Tensor XavierUniform(Shape shape, int64_t fan_in, int64_t fan_out, Rng* rng);
+
+/// Kaiming/He uniform init for ReLU networks: U(-a, a), a = sqrt(6 / fan_in).
+Tensor KaimingUniform(Shape shape, int64_t fan_in, Rng* rng);
+
+}  // namespace rtgcn
+
+#endif  // RTGCN_TENSOR_INIT_H_

@@ -1,0 +1,575 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+namespace rtgcn {
+
+int64_t NormalizeAxis(int64_t axis, int64_t ndim) {
+  if (axis < 0) axis += ndim;
+  RTGCN_CHECK(axis >= 0 && axis < ndim)
+      << "axis " << axis << " out of range for rank " << ndim;
+  return axis;
+}
+
+// ---------------------------------------------------------------------------
+// Broadcasting
+// ---------------------------------------------------------------------------
+
+Shape BroadcastShape(const Shape& a, const Shape& b) {
+  const size_t n = std::max(a.size(), b.size());
+  Shape out(n);
+  for (size_t i = 0; i < n; ++i) {
+    const int64_t da = i < n - a.size() ? 1 : a[i - (n - a.size())];
+    const int64_t db = i < n - b.size() ? 1 : b[i - (n - b.size())];
+    RTGCN_CHECK(da == db || da == 1 || db == 1)
+        << "cannot broadcast " << ShapeToString(a) << " with "
+        << ShapeToString(b);
+    out[i] = std::max(da, db);
+  }
+  return out;
+}
+
+bool BroadcastableTo(const Shape& from, const Shape& to) {
+  if (from.size() > to.size()) return false;
+  const size_t off = to.size() - from.size();
+  for (size_t i = 0; i < from.size(); ++i) {
+    if (from[i] != to[i + off] && from[i] != 1) return false;
+  }
+  return true;
+}
+
+namespace {
+
+// Strides of `shape` expanded to rank `out_rank`, with 0 strides on
+// broadcast dimensions.
+std::vector<int64_t> BroadcastStrides(const Shape& shape,
+                                      const Shape& out_shape) {
+  const size_t off = out_shape.size() - shape.size();
+  std::vector<int64_t> strides(out_shape.size(), 0);
+  std::vector<int64_t> own = RowMajorStrides(shape);
+  for (size_t i = 0; i < shape.size(); ++i) {
+    strides[i + off] = (shape[i] == 1 && out_shape[i + off] != 1) ? 0 : own[i];
+  }
+  return strides;
+}
+
+template <typename BinaryFn>
+Tensor BinaryOp(const Tensor& a, const Tensor& b, BinaryFn fn) {
+  RTGCN_CHECK(a.defined() && b.defined());
+  // Fast path: identical shapes.
+  if (a.shape() == b.shape()) {
+    Tensor out(a.shape());
+    const float* pa = a.data();
+    const float* pb = b.data();
+    float* po = out.data();
+    const int64_t n = a.numel();
+    for (int64_t i = 0; i < n; ++i) po[i] = fn(pa[i], pb[i]);
+    return out;
+  }
+  // Fast path: b is a scalar.
+  if (b.numel() == 1) {
+    const float s = b.data()[0];
+    Tensor out(a.shape());
+    const float* pa = a.data();
+    float* po = out.data();
+    const int64_t n = a.numel();
+    for (int64_t i = 0; i < n; ++i) po[i] = fn(pa[i], s);
+    return out;
+  }
+  if (a.numel() == 1) {
+    const float s = a.data()[0];
+    Tensor out(b.shape());
+    const float* pb = b.data();
+    float* po = out.data();
+    const int64_t n = b.numel();
+    for (int64_t i = 0; i < n; ++i) po[i] = fn(s, pb[i]);
+    return out;
+  }
+  // General broadcast path.
+  const Shape out_shape = BroadcastShape(a.shape(), b.shape());
+  Tensor out(out_shape);
+  const auto sa = BroadcastStrides(a.shape(), out_shape);
+  const auto sb = BroadcastStrides(b.shape(), out_shape);
+  const int64_t rank = static_cast<int64_t>(out_shape.size());
+  std::vector<int64_t> idx(rank, 0);
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  const int64_t n = out.numel();
+  int64_t oa = 0;
+  int64_t ob = 0;
+  for (int64_t flat = 0; flat < n; ++flat) {
+    po[flat] = fn(pa[oa], pb[ob]);
+    // Odometer increment.
+    for (int64_t d = rank - 1; d >= 0; --d) {
+      ++idx[d];
+      oa += sa[d];
+      ob += sb[d];
+      if (idx[d] < out_shape[d]) break;
+      oa -= sa[d] * out_shape[d];
+      ob -= sb[d] * out_shape[d];
+      idx[d] = 0;
+    }
+  }
+  return out;
+}
+
+template <typename UnaryFn>
+Tensor UnaryOp(const Tensor& a, UnaryFn fn) {
+  RTGCN_CHECK(a.defined());
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  float* po = out.data();
+  const int64_t n = a.numel();
+  for (int64_t i = 0; i < n; ++i) po[i] = fn(pa[i]);
+  return out;
+}
+
+}  // namespace
+
+Tensor BroadcastTo(const Tensor& t, const Shape& shape) {
+  RTGCN_CHECK(BroadcastableTo(t.shape(), shape))
+      << ShapeToString(t.shape()) << " -> " << ShapeToString(shape);
+  return BinaryOp(Tensor::Zeros(shape), t, [](float, float b) { return b; });
+}
+
+Tensor ReduceToShape(const Tensor& t, const Shape& shape) {
+  if (t.shape() == shape) return t;
+  RTGCN_CHECK(BroadcastableTo(shape, t.shape()))
+      << "cannot reduce " << ShapeToString(t.shape()) << " to "
+      << ShapeToString(shape);
+  Tensor cur = t;
+  // Collapse extra leading axes.
+  while (cur.ndim() > static_cast<int64_t>(shape.size())) {
+    cur = Sum(cur, 0, /*keepdims=*/false);
+  }
+  // Sum broadcast (size-1) axes.
+  for (int64_t i = 0; i < cur.ndim(); ++i) {
+    if (shape[i] == 1 && cur.dim(i) != 1) {
+      cur = Sum(cur, i, /*keepdims=*/true);
+    }
+  }
+  return cur.Reshape(shape);
+}
+
+// ---------------------------------------------------------------------------
+// Elementwise
+// ---------------------------------------------------------------------------
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  return BinaryOp(a, b, [](float x, float y) { return x + y; });
+}
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  return BinaryOp(a, b, [](float x, float y) { return x - y; });
+}
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  return BinaryOp(a, b, [](float x, float y) { return x * y; });
+}
+Tensor Div(const Tensor& a, const Tensor& b) {
+  return BinaryOp(a, b, [](float x, float y) { return x / y; });
+}
+Tensor Maximum(const Tensor& a, const Tensor& b) {
+  return BinaryOp(a, b, [](float x, float y) { return std::max(x, y); });
+}
+Tensor Minimum(const Tensor& a, const Tensor& b) {
+  return BinaryOp(a, b, [](float x, float y) { return std::min(x, y); });
+}
+
+Tensor AddScalar(const Tensor& a, float s) {
+  return UnaryOp(a, [s](float x) { return x + s; });
+}
+Tensor MulScalar(const Tensor& a, float s) {
+  return UnaryOp(a, [s](float x) { return x * s; });
+}
+
+Tensor Neg(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return -x; });
+}
+Tensor Relu(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return x > 0 ? x : 0.0f; });
+}
+Tensor LeakyRelu(const Tensor& a, float slope) {
+  return UnaryOp(a, [slope](float x) { return x > 0 ? x : slope * x; });
+}
+Tensor Sigmoid(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); });
+}
+Tensor Tanh(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return std::tanh(x); });
+}
+Tensor Exp(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return std::exp(x); });
+}
+Tensor Log(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return std::log(x); });
+}
+Tensor Sqrt(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return std::sqrt(x); });
+}
+Tensor Square(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return x * x; });
+}
+Tensor Abs(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return std::fabs(x); });
+}
+Tensor Clamp(const Tensor& a, float lo, float hi) {
+  return UnaryOp(a, [lo, hi](float x) { return std::min(std::max(x, lo), hi); });
+}
+Tensor Sign(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return x > 0 ? 1.0f : (x < 0 ? -1.0f : 0.0f); });
+}
+
+Tensor Map(const Tensor& a, const std::function<float(float)>& fn) {
+  return UnaryOp(a, fn);
+}
+
+// ---------------------------------------------------------------------------
+// Matrix products
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// C[m,n] += A[m,k] * B[k,n], ikj loop order for cache-friendly access.
+void MatMulKernel(const float* a, const float* b, float* c, int64_t m,
+                  int64_t k, int64_t n) {
+  for (int64_t i = 0; i < m; ++i) {
+    float* ci = c + i * n;
+    const float* ai = a + i * k;
+    for (int64_t p = 0; p < k; ++p) {
+      const float aip = ai[p];
+      if (aip == 0.0f) continue;  // common for sparse adjacency rows
+      const float* bp = b + p * n;
+      for (int64_t j = 0; j < n; ++j) ci[j] += aip * bp[j];
+    }
+  }
+}
+
+}  // namespace
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  RTGCN_CHECK_EQ(a.ndim(), 2);
+  RTGCN_CHECK_EQ(b.ndim(), 2);
+  RTGCN_CHECK_EQ(a.dim(1), b.dim(0))
+      << "matmul " << ShapeToString(a.shape()) << " x "
+      << ShapeToString(b.shape());
+  const int64_t m = a.dim(0);
+  const int64_t k = a.dim(1);
+  const int64_t n = b.dim(1);
+  Tensor out = Tensor::Zeros({m, n});
+  MatMulKernel(a.data(), b.data(), out.data(), m, k, n);
+  return out;
+}
+
+Tensor BatchMatMul(const Tensor& a, const Tensor& b) {
+  RTGCN_CHECK_EQ(a.ndim(), 3);
+  const int64_t batch = a.dim(0);
+  const int64_t m = a.dim(1);
+  const int64_t k = a.dim(2);
+  int64_t n;
+  bool shared_b = false;
+  if (b.ndim() == 2) {
+    RTGCN_CHECK_EQ(b.dim(0), k);
+    n = b.dim(1);
+    shared_b = true;
+  } else {
+    RTGCN_CHECK_EQ(b.ndim(), 3);
+    RTGCN_CHECK_EQ(b.dim(0), batch);
+    RTGCN_CHECK_EQ(b.dim(1), k);
+    n = b.dim(2);
+  }
+  Tensor out = Tensor::Zeros({batch, m, n});
+  for (int64_t i = 0; i < batch; ++i) {
+    const float* bi = shared_b ? b.data() : b.data() + i * k * n;
+    MatMulKernel(a.data() + i * m * k, bi, out.data() + i * m * n, m, k, n);
+  }
+  return out;
+}
+
+Tensor Transpose(const Tensor& a) {
+  RTGCN_CHECK_EQ(a.ndim(), 2);
+  const int64_t m = a.dim(0);
+  const int64_t n = a.dim(1);
+  Tensor out({n, m});
+  const float* pa = a.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) po[j * m + i] = pa[i * n + j];
+  }
+  return out;
+}
+
+Tensor Permute(const Tensor& a, const std::vector<int64_t>& perm) {
+  RTGCN_CHECK_EQ(static_cast<int64_t>(perm.size()), a.ndim());
+  Shape out_shape(perm.size());
+  for (size_t i = 0; i < perm.size(); ++i) out_shape[i] = a.dim(perm[i]);
+  Tensor out(out_shape);
+  const auto in_strides = RowMajorStrides(a.shape());
+  std::vector<int64_t> perm_strides(perm.size());
+  for (size_t i = 0; i < perm.size(); ++i) perm_strides[i] = in_strides[perm[i]];
+  const int64_t rank = a.ndim();
+  std::vector<int64_t> idx(rank, 0);
+  const float* pa = a.data();
+  float* po = out.data();
+  const int64_t n = a.numel();
+  int64_t src = 0;
+  for (int64_t flat = 0; flat < n; ++flat) {
+    po[flat] = pa[src];
+    for (int64_t d = rank - 1; d >= 0; --d) {
+      ++idx[d];
+      src += perm_strides[d];
+      if (idx[d] < out_shape[d]) break;
+      src -= perm_strides[d] * out_shape[d];
+      idx[d] = 0;
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Reductions
+// ---------------------------------------------------------------------------
+
+Tensor SumAll(const Tensor& a) {
+  double acc = 0;
+  const float* p = a.data();
+  const int64_t n = a.numel();
+  for (int64_t i = 0; i < n; ++i) acc += p[i];
+  return Tensor::Scalar(static_cast<float>(acc));
+}
+
+Tensor MeanAll(const Tensor& a) {
+  RTGCN_CHECK_GT(a.numel(), 0);
+  return Tensor::Scalar(SumAll(a).item() / static_cast<float>(a.numel()));
+}
+
+float MaxAll(const Tensor& a) {
+  RTGCN_CHECK_GT(a.numel(), 0);
+  const float* p = a.data();
+  float best = p[0];
+  for (int64_t i = 1; i < a.numel(); ++i) best = std::max(best, p[i]);
+  return best;
+}
+
+float MinAll(const Tensor& a) {
+  RTGCN_CHECK_GT(a.numel(), 0);
+  const float* p = a.data();
+  float best = p[0];
+  for (int64_t i = 1; i < a.numel(); ++i) best = std::min(best, p[i]);
+  return best;
+}
+
+namespace {
+
+// Collapses shape into (outer, axis_len, inner) around `axis`.
+void AxisSpans(const Shape& shape, int64_t axis, int64_t* outer,
+               int64_t* axis_len, int64_t* inner) {
+  *outer = 1;
+  *inner = 1;
+  for (int64_t i = 0; i < axis; ++i) *outer *= shape[i];
+  *axis_len = shape[axis];
+  for (size_t i = axis + 1; i < shape.size(); ++i) *inner *= shape[i];
+}
+
+Shape ReducedShape(const Shape& shape, int64_t axis, bool keepdims) {
+  Shape out = shape;
+  if (keepdims) {
+    out[axis] = 1;
+  } else {
+    out.erase(out.begin() + axis);
+  }
+  return out;
+}
+
+}  // namespace
+
+Tensor Sum(const Tensor& a, int64_t axis, bool keepdims) {
+  axis = NormalizeAxis(axis, a.ndim());
+  int64_t outer, len, inner;
+  AxisSpans(a.shape(), axis, &outer, &len, &inner);
+  Tensor out = Tensor::Zeros(ReducedShape(a.shape(), axis, keepdims));
+  const float* pa = a.data();
+  float* po = out.data();
+  for (int64_t o = 0; o < outer; ++o) {
+    for (int64_t l = 0; l < len; ++l) {
+      const float* src = pa + (o * len + l) * inner;
+      float* dst = po + o * inner;
+      for (int64_t i = 0; i < inner; ++i) dst[i] += src[i];
+    }
+  }
+  return out;
+}
+
+Tensor Mean(const Tensor& a, int64_t axis, bool keepdims) {
+  axis = NormalizeAxis(axis, a.ndim());
+  const float inv = 1.0f / static_cast<float>(a.dim(axis));
+  return MulScalar(Sum(a, axis, keepdims), inv);
+}
+
+Tensor Max(const Tensor& a, int64_t axis, bool keepdims) {
+  axis = NormalizeAxis(axis, a.ndim());
+  int64_t outer, len, inner;
+  AxisSpans(a.shape(), axis, &outer, &len, &inner);
+  Tensor out = Tensor::Full(ReducedShape(a.shape(), axis, keepdims),
+                            -std::numeric_limits<float>::infinity());
+  const float* pa = a.data();
+  float* po = out.data();
+  for (int64_t o = 0; o < outer; ++o) {
+    for (int64_t l = 0; l < len; ++l) {
+      const float* src = pa + (o * len + l) * inner;
+      float* dst = po + o * inner;
+      for (int64_t i = 0; i < inner; ++i) dst[i] = std::max(dst[i], src[i]);
+    }
+  }
+  return out;
+}
+
+Tensor Argmax(const Tensor& a, int64_t axis) {
+  axis = NormalizeAxis(axis, a.ndim());
+  int64_t outer, len, inner;
+  AxisSpans(a.shape(), axis, &outer, &len, &inner);
+  Tensor out = Tensor::Zeros(ReducedShape(a.shape(), axis, false));
+  const float* pa = a.data();
+  float* po = out.data();
+  for (int64_t o = 0; o < outer; ++o) {
+    for (int64_t i = 0; i < inner; ++i) {
+      float best = pa[o * len * inner + i];
+      int64_t arg = 0;
+      for (int64_t l = 1; l < len; ++l) {
+        const float v = pa[(o * len + l) * inner + i];
+        if (v > best) {
+          best = v;
+          arg = l;
+        }
+      }
+      po[o * inner + i] = static_cast<float>(arg);
+    }
+  }
+  return out;
+}
+
+Tensor Softmax(const Tensor& a, int64_t axis) {
+  axis = NormalizeAxis(axis, a.ndim());
+  Tensor shifted = Sub(a, Max(a, axis, /*keepdims=*/true));
+  Tensor e = Exp(shifted);
+  return Div(e, Sum(e, axis, /*keepdims=*/true));
+}
+
+// ---------------------------------------------------------------------------
+// Shape surgery
+// ---------------------------------------------------------------------------
+
+Tensor Slice(const Tensor& a, int64_t axis, int64_t start, int64_t end) {
+  axis = NormalizeAxis(axis, a.ndim());
+  RTGCN_CHECK(start >= 0 && start <= end && end <= a.dim(axis))
+      << "slice [" << start << "," << end << ") on axis " << axis << " of "
+      << ShapeToString(a.shape());
+  int64_t outer, len, inner;
+  AxisSpans(a.shape(), axis, &outer, &len, &inner);
+  Shape out_shape = a.shape();
+  out_shape[axis] = end - start;
+  Tensor out(out_shape);
+  const float* pa = a.data();
+  float* po = out.data();
+  const int64_t span = (end - start) * inner;
+  for (int64_t o = 0; o < outer; ++o) {
+    std::memcpy(po + o * span, pa + (o * len + start) * inner,
+                span * sizeof(float));
+  }
+  return out;
+}
+
+Tensor Concat(const std::vector<Tensor>& parts, int64_t axis) {
+  RTGCN_CHECK(!parts.empty());
+  axis = NormalizeAxis(axis, parts[0].ndim());
+  Shape out_shape = parts[0].shape();
+  int64_t total = 0;
+  for (const Tensor& p : parts) {
+    RTGCN_CHECK_EQ(p.ndim(), parts[0].ndim());
+    for (int64_t d = 0; d < p.ndim(); ++d) {
+      if (d != axis) RTGCN_CHECK_EQ(p.dim(d), parts[0].dim(d));
+    }
+    total += p.dim(axis);
+  }
+  out_shape[axis] = total;
+  Tensor out(out_shape);
+  int64_t outer, len, inner;
+  AxisSpans(out_shape, axis, &outer, &len, &inner);
+  float* po = out.data();
+  int64_t written = 0;
+  for (const Tensor& p : parts) {
+    const int64_t plen = p.dim(axis);
+    const float* pp = p.data();
+    for (int64_t o = 0; o < outer; ++o) {
+      std::memcpy(po + (o * len + written) * inner, pp + o * plen * inner,
+                  plen * inner * sizeof(float));
+    }
+    written += plen;
+  }
+  return out;
+}
+
+Tensor Unsqueeze(const Tensor& a, int64_t axis) {
+  Shape s = a.shape();
+  if (axis < 0) axis += a.ndim() + 1;
+  RTGCN_CHECK(axis >= 0 && axis <= a.ndim());
+  s.insert(s.begin() + axis, 1);
+  return a.Reshape(s);
+}
+
+Tensor Squeeze(const Tensor& a, int64_t axis) {
+  axis = NormalizeAxis(axis, a.ndim());
+  RTGCN_CHECK_EQ(a.dim(axis), 1);
+  Shape s = a.shape();
+  s.erase(s.begin() + axis);
+  return a.Reshape(s);
+}
+
+Tensor Stack(const std::vector<Tensor>& parts) {
+  RTGCN_CHECK(!parts.empty());
+  Shape elem_shape = parts[0].shape();
+  Shape out_shape = elem_shape;
+  out_shape.insert(out_shape.begin(), static_cast<int64_t>(parts.size()));
+  Tensor out(out_shape);
+  const int64_t elem = parts[0].numel();
+  float* po = out.data();
+  for (size_t i = 0; i < parts.size(); ++i) {
+    RTGCN_CHECK(parts[i].shape() == elem_shape);
+    std::memcpy(po + i * elem, parts[i].data(), elem * sizeof(float));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Comparisons / misc
+// ---------------------------------------------------------------------------
+
+bool AllClose(const Tensor& a, const Tensor& b, float rtol, float atol) {
+  if (a.shape() != b.shape()) return false;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    if (std::fabs(pa[i] - pb[i]) > atol + rtol * std::fabs(pb[i])) return false;
+  }
+  return true;
+}
+
+float Norm(const Tensor& a) {
+  double acc = 0;
+  const float* p = a.data();
+  for (int64_t i = 0; i < a.numel(); ++i) acc += double(p[i]) * p[i];
+  return static_cast<float>(std::sqrt(acc));
+}
+
+float Dot(const Tensor& a, const Tensor& b) {
+  RTGCN_CHECK_EQ(a.numel(), b.numel());
+  double acc = 0;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (int64_t i = 0; i < a.numel(); ++i) acc += double(pa[i]) * pb[i];
+  return static_cast<float>(acc);
+}
+
+}  // namespace rtgcn

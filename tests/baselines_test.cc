@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include "baselines/arima.h"
+#include "baselines/catalog.h"
+#include "baselines/classification.h"
+#include "market/market.h"
+#include "tensor/ops.h"
+
+namespace rtgcn::baselines {
+namespace {
+
+market::MarketData TinyMarket() {
+  market::MarketSpec spec = market::NasdaqSpec();
+  spec.num_stocks = 16;
+  spec.num_industries = 4;
+  spec.num_wiki_types = 2;
+  spec.wiki_links_per_stock = 1.0;
+  spec.train_days = 90;
+  spec.test_days = 20;
+  return market::BuildMarket(spec);
+}
+
+TEST(SolveLinearSystemTest, SolvesKnownSystem) {
+  // 2x + y = 5; x + 3y = 10 -> x = 1, y = 3.
+  auto x = SolveLinearSystem({{2, 1}, {1, 3}}, {5, 10});
+  EXPECT_NEAR(x[0], 1.0, 1e-9);
+  EXPECT_NEAR(x[1], 3.0, 1e-9);
+}
+
+TEST(SolveLinearSystemTest, SingularDirectionYieldsZero) {
+  auto x = SolveLinearSystem({{1, 0}, {0, 0}}, {2, 5});
+  EXPECT_NEAR(x[0], 2.0, 1e-9);
+  EXPECT_NEAR(x[1], 0.0, 1e-9);
+}
+
+TEST(ClassificationTest, TrendClasses) {
+  Tensor labels({4}, {0.05f, -0.05f, 0.001f, -0.001f});
+  auto classes = TrendClasses(labels);
+  EXPECT_EQ(classes[0], kClassUp);
+  EXPECT_EQ(classes[1], kClassDown);
+  EXPECT_EQ(classes[2], kClassNeutral);
+  EXPECT_EQ(classes[3], kClassNeutral);
+}
+
+TEST(ClassificationTest, CrossEntropyLowForConfidentCorrect) {
+  auto good = ag::Constant(Tensor({2, 3}, {10, 0, 0, 0, 0, 10}));
+  auto bad = ag::Constant(Tensor({2, 3}, {0, 0, 10, 10, 0, 0}));
+  std::vector<int> classes = {0, 2};
+  EXPECT_LT(CrossEntropy(good, classes)->value.item(), 0.01f);
+  EXPECT_GT(CrossEntropy(bad, classes)->value.item(), 5.0f);
+}
+
+TEST(ClassificationTest, ScoresAreUpMinusDownProb) {
+  Tensor logits({1, 3}, {0, 0, 0});
+  Tensor s = ClassificationScores(logits);
+  EXPECT_NEAR(s.data()[0], 0.0f, 1e-6);
+  Tensor up({1, 3}, {-5, 0, 5});
+  EXPECT_GT(ClassificationScores(up).data()[0], 0.9f);
+}
+
+TEST(CatalogTest, CreatesEveryTable4Model) {
+  market::MarketData data = TinyMarket();
+  ModelConfig config;
+  config.window = 8;
+  for (const std::string& name : Table4Models()) {
+    auto model = CreateModel(name, data.relations.relations, data, config);
+    ASSERT_NE(model, nullptr) << name;
+    EXPECT_EQ(model->name(), name);
+  }
+  // Ablations too.
+  EXPECT_EQ(CreateModel("R-Conv", data.relations.relations, data, config)
+                ->name(),
+            "R-Conv");
+  EXPECT_EQ(CreateModel("T-Conv", data.relations.relations, data, config)
+                ->name(),
+            "T-Conv");
+  EXPECT_EQ(CreateModel("STHAN-SR", data.relations.relations, data, config)
+                ->name(),
+            "STHAN-SR");
+}
+
+TEST(CatalogTest, CategoriesMatchTable4Blocks) {
+  EXPECT_EQ(ModelCategory("ARIMA"), "CLF");
+  EXPECT_EQ(ModelCategory("A-LSTM"), "CLF");
+  EXPECT_EQ(ModelCategory("SFM"), "REG");
+  EXPECT_EQ(ModelCategory("DQN"), "RL");
+  EXPECT_EQ(ModelCategory("Rank_LSTM"), "RAN");
+  EXPECT_EQ(ModelCategory("RSR_E"), "RAN");
+  EXPECT_EQ(ModelCategory("RT-GCN (T)"), "Ours");
+}
+
+TEST(CatalogTest, HypergraphCoversIndustriesAndWikiTypes) {
+  market::MarketData data = TinyMarket();
+  graph::Hypergraph hg = BuildHypergraph(data);
+  EXPECT_EQ(hg.num_nodes(), 16);
+  // At least the non-singleton industries contribute hyperedges.
+  EXPECT_GE(hg.num_hyperedges(), 3);
+}
+
+// Every model must fit and predict on a tiny market; a parameterized sweep
+// over the full catalog.
+class ModelSmokeTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ModelSmokeTest, FitPredictProducesFiniteScores) {
+  market::MarketData data = TinyMarket();
+  ModelConfig config;
+  config.window = 8;
+  config.hidden = 8;
+  config.rnn_hidden = 8;
+  auto model =
+      CreateModel(GetParam(), data.relations.relations, data, config);
+  market::WindowDataset dataset = data.MakeDataset(8, 4);
+  market::DatasetSplit split =
+      SplitByDay(dataset, data.spec.test_boundary());
+  harness::TrainOptions opts;
+  opts.epochs = 2;
+  model->Fit(dataset, split.train_days, opts);
+  Tensor scores = model->Predict(dataset, split.test_days.front());
+  ASSERT_EQ(scores.numel(), 16);
+  for (int64_t i = 0; i < scores.numel(); ++i) {
+    EXPECT_TRUE(std::isfinite(scores.data()[i])) << GetParam();
+  }
+  EXPECT_GT(model->fit_stats().train_seconds, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, ModelSmokeTest,
+                         ::testing::ValuesIn([] {
+                           auto models = Table4Models();
+                           models.push_back("STHAN-SR");
+                           models.push_back("R-Conv");
+                           models.push_back("T-Conv");
+                           return models;
+                         }()),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(c))) {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+TEST(ExperimentTest, RunExperimentEndToEnd) {
+  market::MarketData data = TinyMarket();
+  ExperimentConfig config;
+  config.model = "RT-GCN (T)";
+  config.model_config.window = 8;
+  config.model_config.hidden = 8;
+  config.train.epochs = 2;
+  ExperimentResult r = RunExperiment(data, config);
+  EXPECT_EQ(r.model, "RT-GCN (T)");
+  EXPECT_GT(r.eval.backtest.num_days, 0);
+  EXPECT_GT(r.eval.backtest.mrr, 0.0);
+  EXPECT_EQ(r.eval.backtest.irr.count(5), 1u);
+}
+
+TEST(ExperimentTest, RelationSubsetsChangeTheGraph) {
+  market::MarketData data = TinyMarket();
+  // Wiki-only view has far fewer edges than industry-only.
+  EXPECT_LT(data.relations.WikiOnly().num_edges(),
+            data.relations.IndustryOnly().num_edges());
+}
+
+TEST(ExperimentTest, RunRepeatedCollectsSamples) {
+  market::MarketData data = TinyMarket();
+  ExperimentConfig config;
+  config.model = "T-Conv";  // fast
+  config.model_config.window = 8;
+  config.model_config.hidden = 8;
+  config.train.epochs = 1;
+  RepeatedMetrics m = RunRepeated(data, config, 2);
+  EXPECT_EQ(m.mrr.size(), 2u);
+  EXPECT_EQ(m.irr5.size(), 2u);
+  EXPECT_TRUE(m.has_mrr);
+  // Different seeds: runs should not be byte-identical.
+  EXPECT_NE(m.irr1[0], m.irr1[1]);
+}
+
+TEST(ExperimentTest, ClassifierHasNoMrr) {
+  market::MarketData data = TinyMarket();
+  ExperimentConfig config;
+  config.model = "ARIMA";
+  config.model_config.window = 8;
+  config.train.epochs = 1;
+  RepeatedMetrics m = RunRepeated(data, config, 1);
+  EXPECT_FALSE(m.has_mrr);
+}
+
+}  // namespace
+}  // namespace rtgcn::baselines

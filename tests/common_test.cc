@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "common/csv.h"
+#include "common/flags.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "common/strings.h"
+
+namespace rtgcn {
+namespace {
+
+TEST(StatusTest, OkAndErrors) {
+  EXPECT_TRUE(Status::OK().ok());
+  Status s = Status::InvalidArgument("bad ", 42);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad 42");
+  EXPECT_EQ(s.ToString(), "Invalid argument: bad 42");
+}
+
+TEST(ResultTest, ValueAndStatus) {
+  Result<int> ok(7);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.ValueOrDie(), 7);
+  Result<int> err(Status::NotFound("missing"));
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StringsTest, SplitTrimJoin) {
+  EXPECT_EQ(Split("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(Trim("  hi \t"), "hi");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Join({"x", "y"}, ", "), "x, y");
+  EXPECT_TRUE(StartsWith("--flag", "--"));
+  EXPECT_FALSE(StartsWith("-", "--"));
+}
+
+TEST(StringsTest, Formatting) {
+  EXPECT_EQ(FormatFixed(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatFixed(-0.5, 3), "-0.500");
+  EXPECT_EQ(PadRight("ab", 4), "ab  ");
+  EXPECT_EQ(PadLeft("ab", 4), "  ab");
+  EXPECT_EQ(PadLeft("abcde", 4), "abcde");  // never truncates
+}
+
+TEST(FlagsTest, ParsesAllForms) {
+  const char* argv[] = {"prog", "--alpha", "0.5", "--name=test", "--verbose"};
+  auto flags = Flags::Parse(5, const_cast<char**>(argv)).ValueOrDie();
+  EXPECT_DOUBLE_EQ(flags.GetDouble("alpha", 0), 0.5);
+  EXPECT_EQ(flags.GetString("name", ""), "test");
+  EXPECT_TRUE(flags.GetBool("verbose", false));
+  EXPECT_EQ(flags.GetInt("missing", 9), 9);
+  EXPECT_FALSE(flags.Has("missing"));
+}
+
+TEST(FlagsTest, RejectsPositional) {
+  const char* argv[] = {"prog", "oops"};
+  EXPECT_FALSE(Flags::Parse(2, const_cast<char**>(argv)).ok());
+}
+
+TEST(CsvTest, RoundTrip) {
+  CsvTable table;
+  table.header = {"a", "b"};
+  table.rows = {{"1", "x"}, {"2", "y"}};
+  const std::string path = "/tmp/rtgcn_csv_test.csv";
+  WriteCsv(path, table).Abort();
+  CsvTable back = ReadCsv(path).ValueOrDie();
+  EXPECT_EQ(back.header, table.header);
+  EXPECT_EQ(back.rows, table.rows);
+  EXPECT_EQ(back.ColumnIndex("b"), 1);
+  EXPECT_EQ(back.ColumnIndex("z"), -1);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, MissingFileIsIoError) {
+  EXPECT_FALSE(ReadCsv("/nonexistent/nope.csv").ok());
+}
+
+TEST(RngTest, UniformBounds) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntUnbiasedSmallRange) {
+  Rng rng(2);
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 30000; ++i) ++counts[rng.UniformInt(3)];
+  for (int c : counts) EXPECT_NEAR(c, 10000, 500);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(3);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.Gaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, CategoricalFollowsWeights) {
+  Rng rng(4);
+  int counts[2] = {0, 0};
+  for (int i = 0; i < 10000; ++i) ++counts[rng.Categorical({1.0, 3.0})];
+  EXPECT_NEAR(counts[1] / 10000.0, 0.75, 0.03);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(5);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  auto sorted = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(RngTest, ForkIndependentButDeterministic) {
+  Rng a(6), b(6);
+  Rng fa = a.Fork(), fb = b.Fork();
+  EXPECT_EQ(fa.NextU64(), fb.NextU64());
+}
+
+}  // namespace
+}  // namespace rtgcn

@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "autograd/ops.h"
+#include "harness/evaluator.h"
+#include "harness/gradient_predictor.h"
+#include "harness/table.h"
+#include "market/dataset.h"
+#include "nn/linear.h"
+#include "tensor/init.h"
+#include "tensor/ops.h"
+
+namespace rtgcn::harness {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumnsAndSeparators) {
+  TablePrinter table({"Model", "Score"});
+  table.AddRow({"tiny", "1.0"});
+  table.AddSeparator();
+  table.AddRow({"a-much-longer-name", "2.25"});
+  std::ostringstream out;
+  table.Print(out);
+  const std::string text = out.str();
+  // Header present, separator lines drawn, both rows rendered.
+  EXPECT_NE(text.find("Model"), std::string::npos);
+  EXPECT_NE(text.find("a-much-longer-name"), std::string::npos);
+  EXPECT_NE(text.find("----"), std::string::npos);
+  // Column alignment: every line has the same '|' position.
+  std::istringstream lines(text);
+  std::string line;
+  size_t bar = std::string::npos;
+  while (std::getline(lines, line)) {
+    if (line.find('|') == std::string::npos) continue;
+    if (bar == std::string::npos) bar = line.find('|');
+    EXPECT_EQ(line.find('|'), bar);
+  }
+}
+
+TEST(TablePrinterTest, ShortRowsTolerated) {
+  TablePrinter table({"A", "B", "C"});
+  table.AddRow({"only-one"});
+  std::ostringstream out;
+  table.Print(out);
+  EXPECT_NE(out.str().find("only-one"), std::string::npos);
+}
+
+// A trivial gradient predictor: linear model on the last day's features.
+// Lets us test the shared Fit/Predict loop in isolation from real models.
+class ToyPredictor : public GradientPredictor {
+ public:
+  explicit ToyPredictor(int64_t num_features)
+      : rng_(1), linear_(num_features, 1, &rng_) {}
+
+  std::string name() const override { return "Toy"; }
+
+ protected:
+  nn::Module* module() override { return &linear_; }
+  ag::VarPtr Forward(const Tensor& features, Rng*) override {
+    const int64_t t_len = features.dim(0);
+    const int64_t n = features.dim(1);
+    const int64_t d = features.dim(2);
+    auto x = ag::Constant(features);
+    auto last = ag::Reshape(ag::SliceOp(x, 0, t_len - 1, t_len), {n, d});
+    return ag::Reshape(linear_.Forward(last), {n});
+  }
+  float alpha() const override { return 0.0f; }
+
+ private:
+  Rng rng_;
+  nn::Linear linear_;
+};
+
+// Deterministic panel where the label is a linear function of the last
+// day's features — learnable by ToyPredictor.
+market::WindowDataset LinearPanel() {
+  Rng rng(5);
+  const int64_t days = 120, n = 12;
+  Tensor prices({days, n});
+  for (int64_t i = 0; i < n; ++i) prices.at({0, i}) = 100.0f;
+  for (int64_t t = 1; t < days; ++t) {
+    for (int64_t i = 0; i < n; ++i) {
+      // Alternating momentum per stock: even stocks trend up, odd decay,
+      // so next-day returns correlate with the visible history.
+      const float drift = (i % 2 == 0) ? 0.01f : -0.01f;
+      const float noise = static_cast<float>(rng.Gaussian(0, 0.0005));
+      prices.at({t, i}) = prices.at({t - 1, i}) * (1.0f + drift + noise);
+    }
+  }
+  return market::WindowDataset(prices, 5, 2);
+}
+
+TEST(GradientPredictorTest, FitImprovesScoresOnLearnableTask) {
+  market::WindowDataset data = LinearPanel();
+  market::DatasetSplit split = SplitByDay(data, 90);
+  ToyPredictor trained(2);
+  ToyPredictor untrained(2);
+  TrainOptions opts;
+  opts.epochs = 60;
+  opts.learning_rate = 1e-2f;
+  trained.Fit(data, split.train_days, opts);
+  EXPECT_GT(trained.fit_stats().train_seconds, 0.0);
+  EXPECT_EQ(trained.fit_stats().epochs, 60);
+
+  // Fit must reduce out-of-sample prediction error vs the untrained twin.
+  auto mse = [&](StockPredictor* model) {
+    double acc = 0;
+    for (int64_t day : split.test_days) {
+      Tensor scores = model->Predict(data, day);
+      Tensor labels = data.Labels(day);
+      acc += MeanAll(Square(Sub(scores, labels))).item();
+    }
+    return acc / static_cast<double>(split.test_days.size());
+  };
+  EXPECT_LT(mse(&trained), 0.5 * mse(&untrained));
+}
+
+TEST(GradientPredictorTest, PredictRunsInEvalModeWithoutGradients) {
+  market::WindowDataset data = LinearPanel();
+  market::DatasetSplit split = SplitByDay(data, 90);
+  ToyPredictor model(2);
+  TrainOptions opts;
+  opts.epochs = 1;
+  model.Fit(data, split.train_days, opts);
+  Tensor s1 = model.Predict(data, split.test_days.front());
+  Tensor s2 = model.Predict(data, split.test_days.front());
+  EXPECT_TRUE(AllClose(s1, s2, 0, 0));  // no dropout noise in eval
+}
+
+TEST(EvaluatorTest, PerfectOracleGetsMrrOne) {
+  market::WindowDataset data = LinearPanel();
+  market::DatasetSplit split = SplitByDay(data, 90);
+
+  // An oracle predictor that returns the labels themselves.
+  class Oracle : public StockPredictor {
+   public:
+    std::string name() const override { return "Oracle"; }
+    void Fit(const market::WindowDataset&, const std::vector<int64_t>&,
+             const TrainOptions&) override {}
+    Tensor Predict(const market::WindowDataset& data, int64_t day) override {
+      return data.Labels(day);
+    }
+  } oracle;
+
+  Rng rng(1);
+  EvalResult r = Evaluate(&oracle, data, split.test_days, &rng);
+  EXPECT_DOUBLE_EQ(r.backtest.mrr, 1.0);
+  // Top-1 IRR of the oracle upper-bounds top-5.
+  EXPECT_GE(r.backtest.irr.at(1), r.backtest.irr.at(5));
+  EXPECT_GE(r.backtest.irr.at(5), r.backtest.irr.at(10));
+}
+
+TEST(EvaluatorTest, AntiOracleGetsWorstIrr) {
+  market::WindowDataset data = LinearPanel();
+  market::DatasetSplit split = SplitByDay(data, 90);
+  class AntiOracle : public StockPredictor {
+   public:
+    std::string name() const override { return "AntiOracle"; }
+    void Fit(const market::WindowDataset&, const std::vector<int64_t>&,
+             const TrainOptions&) override {}
+    Tensor Predict(const market::WindowDataset& data, int64_t day) override {
+      return Neg(data.Labels(day));
+    }
+  } anti;
+  Rng rng(1);
+  EvalResult r = Evaluate(&anti, data, split.test_days, &rng);
+  // Picking realized losers: IRR-1 strictly worse than the market mean.
+  EXPECT_LT(r.backtest.irr.at(1), r.backtest.irr.at(10));
+}
+
+TEST(FitStatsTest, SecondsPerEpoch) {
+  FitStats stats;
+  stats.train_seconds = 6.0;
+  stats.epochs = 3;
+  EXPECT_DOUBLE_EQ(stats.seconds_per_epoch(), 2.0);
+  FitStats empty;
+  EXPECT_DOUBLE_EQ(empty.seconds_per_epoch(), 0.0);
+}
+
+}  // namespace
+}  // namespace rtgcn::harness

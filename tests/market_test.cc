@@ -1,0 +1,328 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "market/market.h"
+#include "tensor/ops.h"
+
+namespace rtgcn::market {
+namespace {
+
+TEST(UniverseTest, GeneratesRequestedSizes) {
+  Rng rng(1);
+  StockUniverse u = StockUniverse::Generate(50, 8, &rng);
+  EXPECT_EQ(u.size(), 50);
+  EXPECT_EQ(u.num_industries(), 8);
+  // Every industry non-empty (first num_industries stocks seed them).
+  for (int64_t k = 0; k < 8; ++k) {
+    EXPECT_FALSE(u.IndustryMembers(k).empty()) << "industry " << k;
+  }
+}
+
+TEST(UniverseTest, AttributesWithinSaneRanges) {
+  Rng rng(2);
+  StockUniverse u = StockUniverse::Generate(100, 10, &rng);
+  for (const Stock& s : u.stocks()) {
+    EXPECT_GT(s.beta, 0.0f);
+    EXPECT_GT(s.idio_vol, 0.0f);
+    EXPECT_LT(s.idio_vol, 0.1f);
+    EXPECT_GT(s.market_cap, 0.0f);
+    EXPECT_EQ(s.ticker.size(), 4u);
+  }
+}
+
+TEST(UniverseTest, DeterministicGivenSeed) {
+  Rng a(3), b(3);
+  StockUniverse u1 = StockUniverse::Generate(20, 4, &a);
+  StockUniverse u2 = StockUniverse::Generate(20, 4, &b);
+  for (int64_t i = 0; i < 20; ++i) {
+    EXPECT_EQ(u1.stock(i).industry, u2.stock(i).industry);
+    EXPECT_EQ(u1.stock(i).beta, u2.stock(i).beta);
+  }
+}
+
+TEST(RelationGeneratorTest, IndustryCliquesAndWikiLinks) {
+  Rng rng(4);
+  StockUniverse u = StockUniverse::Generate(40, 6, &rng);
+  RelationConfig cfg;
+  cfg.num_wiki_types = 3;
+  cfg.wiki_links_per_stock = 1.0;
+  RelationData data = GenerateRelations(u, cfg, &rng);
+  EXPECT_EQ(data.relations.num_relation_types(), 9);
+  // Same-industry pairs are connected with the industry's type.
+  const auto members = u.IndustryMembers(0);
+  ASSERT_GE(members.size(), 2u);
+  EXPECT_TRUE(data.relations.HasEdge(members[0], members[1]));
+  // Wiki links recorded and valid.
+  EXPECT_FALSE(data.wiki_links.empty());
+  for (const auto& link : data.wiki_links) {
+    EXPECT_NE(link.source, link.target);
+    EXPECT_GE(link.type, 6);
+    EXPECT_LT(link.type, 9);
+    EXPECT_TRUE(data.relations.HasEdge(link.source, link.target));
+  }
+}
+
+TEST(RelationGeneratorTest, SubsetViews) {
+  Rng rng(5);
+  StockUniverse u = StockUniverse::Generate(30, 5, &rng);
+  RelationConfig cfg;
+  cfg.num_wiki_types = 2;
+  cfg.wiki_links_per_stock = 1.0;
+  RelationData data = GenerateRelations(u, cfg, &rng);
+  auto industry = data.IndustryOnly();
+  auto wiki = data.WikiOnly();
+  // Industry view keeps no wiki types and vice versa.
+  for (const auto& e : industry.EdgeList()) {
+    for (int32_t t : e.types) EXPECT_LT(t, 5);
+  }
+  for (const auto& e : wiki.EdgeList()) {
+    for (int32_t t : e.types) EXPECT_GE(t, 5);
+  }
+  EXPECT_GT(industry.num_edges(), wiki.num_edges());  // Table III ratios
+}
+
+// ---------------------------------------------------------------------------
+// Simulator
+// ---------------------------------------------------------------------------
+
+class SimulatorTest : public ::testing::Test {
+ protected:
+  SimulatorTest() {
+    Rng rng(6);
+    universe_ = StockUniverse::Generate(30, 5, &rng);
+    RelationConfig cfg;
+    cfg.num_wiki_types = 2;
+    cfg.wiki_links_per_stock = 1.0;
+    relations_ = GenerateRelations(universe_, cfg, &rng);
+  }
+
+  StockUniverse universe_;
+  RelationData relations_;
+};
+
+TEST_F(SimulatorTest, PricesPositiveAndShapesRight) {
+  SimulatorConfig cfg;
+  cfg.num_days = 200;
+  SimulatedMarket sim = Simulate(universe_, relations_, cfg);
+  EXPECT_EQ(sim.prices.shape(), (Shape{200, 30}));
+  EXPECT_GT(MinAll(sim.prices), 0.0f);
+  EXPECT_EQ(sim.index.size(), 200u);
+  EXPECT_EQ(sim.index[0], 1.0);
+}
+
+TEST_F(SimulatorTest, ReturnsConsistentWithPrices) {
+  SimulatorConfig cfg;
+  cfg.num_days = 50;
+  SimulatedMarket sim = Simulate(universe_, relations_, cfg);
+  for (int64_t t = 1; t < 50; t += 7) {
+    for (int64_t i = 0; i < 30; i += 5) {
+      const float p0 = sim.prices.at({t - 1, i});
+      const float p1 = sim.prices.at({t, i});
+      EXPECT_NEAR((p1 - p0) / p0, sim.returns.at({t, i}), 1e-4);
+    }
+  }
+}
+
+TEST_F(SimulatorTest, ForcedCrashDepressesIndex) {
+  SimulatorConfig cfg;
+  cfg.num_days = 300;
+  cfg.crash_day = 200;
+  cfg.crash_duration = 15;
+  SimulatedMarket sim = Simulate(universe_, relations_, cfg);
+  for (int64_t t = 200; t < 215; ++t) {
+    EXPECT_EQ(sim.regimes[t], Regime::kCrash);
+  }
+  EXPECT_LT(sim.index[214] / sim.index[199], 0.9);  // >10 % drawdown
+  EXPECT_EQ(sim.regimes[215], Regime::kRecovery);
+}
+
+TEST_F(SimulatorTest, SameIndustryCorrelatesMoreThanCrossIndustry) {
+  SimulatorConfig cfg;
+  cfg.num_days = 600;
+  cfg.crash_day = -1;
+  // Isolate the sector factor: spillover adds cross-industry correlation
+  // on wiki pairs (tested separately below).
+  cfg.spillover = 0.0;
+  SimulatedMarket sim = Simulate(universe_, relations_, cfg);
+  auto corr = [&](int64_t a, int64_t b) {
+    double sa = 0, sb = 0, saa = 0, sbb = 0, sab = 0;
+    const int64_t n = 599;
+    for (int64_t t = 1; t < 600; ++t) {
+      const double ra = sim.returns.at({t, a});
+      const double rb = sim.returns.at({t, b});
+      sa += ra; sb += rb; saa += ra * ra; sbb += rb * rb; sab += ra * rb;
+    }
+    const double cov = sab / n - (sa / n) * (sb / n);
+    const double va = saa / n - (sa / n) * (sa / n);
+    const double vb = sbb / n - (sb / n) * (sb / n);
+    return cov / std::sqrt(va * vb);
+  };
+  // Average same-industry vs cross-industry correlation.
+  double same = 0, cross = 0;
+  int same_n = 0, cross_n = 0;
+  for (int64_t a = 0; a < 30; ++a) {
+    for (int64_t b = a + 1; b < 30; ++b) {
+      if (universe_.stock(a).industry == universe_.stock(b).industry) {
+        same += corr(a, b);
+        ++same_n;
+      } else {
+        cross += corr(a, b);
+        ++cross_n;
+      }
+    }
+  }
+  ASSERT_GT(same_n, 0);
+  ASSERT_GT(cross_n, 0);
+  EXPECT_GT(same / same_n, cross / cross_n + 0.05);
+}
+
+TEST_F(SimulatorTest, SpilloverMakesSourceReturnPredictTarget) {
+  // Correlation between r_src(t-1) and r_dst(t) should be clearly positive
+  // on linked pairs; near zero for random unlinked pairs.
+  SimulatorConfig cfg;
+  cfg.num_days = 600;
+  cfg.crash_day = -1;
+  SimulatedMarket sim = Simulate(universe_, relations_, cfg);
+  ASSERT_FALSE(relations_.wiki_links.empty());
+  auto lag_corr = [&](int64_t src, int64_t dst) {
+    double num = 0, d1 = 0, d2 = 0;
+    for (int64_t t = 2; t < 600; ++t) {
+      const double a = sim.returns.at({t - 1, src});
+      const double b = sim.returns.at({t, dst});
+      num += a * b; d1 += a * a; d2 += b * b;
+    }
+    return num / std::sqrt(d1 * d2);
+  };
+  double linked = 0;
+  for (const auto& link : relations_.wiki_links) {
+    linked += lag_corr(link.source, link.target);
+  }
+  linked /= relations_.wiki_links.size();
+  const double unlinked = lag_corr(0, 17);
+  EXPECT_GT(linked, 0.1);
+  EXPECT_GT(linked, unlinked + 0.08);
+}
+
+TEST_F(SimulatorTest, DeterministicGivenSeed) {
+  SimulatorConfig cfg;
+  cfg.num_days = 100;
+  SimulatedMarket a = Simulate(universe_, relations_, cfg);
+  SimulatedMarket b = Simulate(universe_, relations_, cfg);
+  EXPECT_TRUE(AllClose(a.prices, b.prices, 0, 0));
+}
+
+// ---------------------------------------------------------------------------
+// Dataset / features
+// ---------------------------------------------------------------------------
+
+TEST(WindowDatasetTest, FeatureNormalizationByAnchorClose) {
+  // Constant price series: all features exactly 1.
+  Tensor prices = Tensor::Full({40, 3}, 50.0f);
+  WindowDataset ds(prices, 5, 4);
+  Tensor x = ds.Features(ds.first_day());
+  EXPECT_TRUE(AllClose(x, Tensor::Ones(x.shape())));
+}
+
+TEST(WindowDatasetTest, MovingAverageValues) {
+  // Price ramp 1, 2, 3, ...: MA5 at t is mean of last 5.
+  Tensor prices({30, 1});
+  for (int64_t t = 0; t < 30; ++t) prices.data()[t] = static_cast<float>(t + 1);
+  WindowDataset ds(prices, 5, 2);
+  EXPECT_FLOAT_EQ(ds.MovingAverage(9, 0, 5), (6 + 7 + 8 + 9 + 10) / 5.0f);
+  EXPECT_FLOAT_EQ(ds.MovingAverage(9, 0, 1), 10.0f);
+  // Truncated at series start.
+  EXPECT_FLOAT_EQ(ds.MovingAverage(1, 0, 5), 1.5f);
+}
+
+TEST(WindowDatasetTest, LabelIsNextDayReturnRatio) {
+  Tensor prices({25, 2});
+  Rng rng(7);
+  for (int64_t i = 0; i < prices.numel(); ++i) {
+    prices.data()[i] = 100.0f * (1.0f + 0.1f * static_cast<float>(rng.Uniform()));
+  }
+  WindowDataset ds(prices, 5, 1);
+  const int64_t t = ds.first_day();
+  Tensor y = ds.Labels(t);
+  for (int64_t i = 0; i < 2; ++i) {
+    const float expected =
+        (prices.at({t + 1, i}) - prices.at({t, i})) / prices.at({t, i});
+    EXPECT_NEAR(y.data()[i], expected, 1e-6);
+  }
+}
+
+TEST(WindowDatasetTest, FirstDayAccountsForLongestMovingAverage) {
+  Tensor prices = Tensor::Full({60, 1}, 10.0f);
+  EXPECT_EQ(WindowDataset(prices, 15, 4).first_day(), 14 + 19);
+  EXPECT_EQ(WindowDataset(prices, 15, 1).first_day(), 14);
+  EXPECT_EQ(WindowDataset(prices, 5, 2).first_day(), 4 + 4);
+}
+
+TEST(WindowDatasetTest, FeatureShapeAndWindowContent) {
+  Tensor prices({60, 2});
+  for (int64_t i = 0; i < prices.numel(); ++i) {
+    prices.data()[i] = 10.0f + static_cast<float>(i % 7);
+  }
+  WindowDataset ds(prices, 10, 3);
+  const int64_t t = ds.first_day() + 3;
+  Tensor x = ds.Features(t);
+  EXPECT_EQ(x.shape(), (Shape{10, 2, 3}));
+  // Feature 0 at the last window position is close(t)/close(t) = 1.
+  EXPECT_NEAR(x.at({9, 0, 0}), 1.0f, 1e-6);
+  EXPECT_NEAR(x.at({9, 1, 0}), 1.0f, 1e-6);
+}
+
+TEST(WindowDatasetTest, SplitChronological) {
+  Tensor prices = Tensor::Full({100, 1}, 5.0f);
+  WindowDataset ds(prices, 5, 1);
+  DatasetSplit split = SplitByDay(ds, 60);
+  ASSERT_FALSE(split.train_days.empty());
+  ASSERT_FALSE(split.test_days.empty());
+  EXPECT_LT(split.train_days.back(), 60);
+  EXPECT_EQ(split.test_days.front(), 60);
+  EXPECT_EQ(split.test_days.back(), ds.last_day());
+}
+
+TEST(MarketPresetsTest, SpecsMatchTableIIIShape) {
+  auto nasdaq = NasdaqSpec();
+  auto nyse = NyseSpec();
+  auto csi = CsiSpec();
+  EXPECT_GT(nyse.num_stocks, nasdaq.num_stocks);
+  EXPECT_LT(csi.num_stocks, nasdaq.num_stocks);
+  EXPECT_EQ(csi.num_wiki_types, 0);  // Table III: no wiki relations for CSI
+  EXPECT_GT(nasdaq.num_wiki_types, 0);
+}
+
+TEST(MarketPresetsTest, BuildMarketEndToEnd) {
+  market::MarketSpec spec = CsiSpec();
+  spec.num_stocks = 20;
+  spec.num_industries = 4;
+  spec.train_days = 80;
+  spec.test_days = 20;
+  MarketData data = BuildMarket(spec);
+  EXPECT_EQ(data.universe.size(), 20);
+  EXPECT_EQ(data.sim.prices.dim(0), 100);
+  // Wiki-free market: relation tensor has only industry types.
+  EXPECT_EQ(data.relations.num_wiki_types, 0);
+  EXPECT_TRUE(data.relations.wiki_links.empty());
+  // Dataset round trip.
+  WindowDataset ds = data.MakeDataset(10, 4);
+  DatasetSplit split = SplitByDay(ds, spec.test_boundary());
+  EXPECT_FALSE(split.train_days.empty());
+  EXPECT_FALSE(split.test_days.empty());
+}
+
+TEST(MarketPresetsTest, RelationRatiosInPaperBallpark) {
+  MarketData data = BuildMarket(NasdaqSpec());
+  const double industry = data.relations.IndustryOnly().RelationRatio();
+  const double wiki = data.relations.WikiOnly().RelationRatio();
+  // Paper Table III: industry 5.4-6.9 %, wiki 0.3-0.4 %.
+  EXPECT_GT(industry, 0.02);
+  EXPECT_LT(industry, 0.15);
+  EXPECT_GT(wiki, 0.0005);
+  EXPECT_LT(wiki, 0.05);
+  EXPECT_GT(industry, wiki);
+}
+
+}  // namespace
+}  // namespace rtgcn::market

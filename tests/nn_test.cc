@@ -1,0 +1,236 @@
+#include <gtest/gtest.h>
+
+#include "autograd/gradcheck.h"
+#include "autograd/ops.h"
+#include "autograd/optimizer.h"
+#include "nn/attention.h"
+#include "nn/linear.h"
+#include "nn/rnn.h"
+#include "nn/temporal_conv.h"
+#include "tensor/init.h"
+#include "tensor/ops.h"
+
+namespace rtgcn::nn {
+namespace {
+
+TEST(ModuleTest, ParameterCollectionRecurses) {
+  Rng rng(1);
+  struct Outer : Module {
+    Outer(Rng* rng) : a(3, 4, rng), b(4, 2, rng) {
+      RegisterModule(&a);
+      RegisterModule(&b);
+    }
+    Linear a, b;
+  } outer(&rng);
+  // a: weight 12 + bias 4; b: weight 8 + bias 2.
+  EXPECT_EQ(outer.Parameters().size(), 4u);
+  EXPECT_EQ(outer.NumParameters(), 26);
+}
+
+TEST(ModuleTest, TrainingModePropagates) {
+  Rng rng(1);
+  struct Outer : Module {
+    Outer(Rng* rng) : a(2, 2, rng) { RegisterModule(&a); }
+    Linear a;
+  } outer(&rng);
+  EXPECT_TRUE(outer.training());
+  outer.SetTraining(false);
+  EXPECT_FALSE(outer.a.training());
+}
+
+TEST(LinearTest, MatchesManualAffine) {
+  Rng rng(2);
+  Linear lin(3, 2, &rng);
+  auto x = ag::Constant(RandomGaussian({4, 3}, 0, 1, &rng));
+  auto y = lin.Forward(x);
+  Tensor expected =
+      Add(MatMul(x->value, lin.weight()->value), lin.bias()->value);
+  EXPECT_TRUE(AllClose(y->value, expected));
+}
+
+TEST(LinearTest, HandlesHigherRankInput) {
+  Rng rng(3);
+  Linear lin(3, 5, &rng);
+  auto x = ag::Constant(RandomGaussian({2, 4, 3}, 0, 1, &rng));
+  auto y = lin.Forward(x);
+  EXPECT_EQ(y->shape(), (Shape{2, 4, 5}));
+}
+
+TEST(LinearTest, GradientsFlowToWeights) {
+  Rng rng(4);
+  Linear lin(3, 2, &rng);
+  auto x = ag::Constant(RandomGaussian({4, 3}, 0, 1, &rng));
+  ag::Backward(ag::SumAll(ag::Square(lin.Forward(x))));
+  EXPECT_TRUE(lin.weight()->grad.defined());
+  EXPECT_TRUE(lin.bias()->grad.defined());
+}
+
+// ---------------------------------------------------------------------------
+// Causal convolution
+// ---------------------------------------------------------------------------
+
+TEST(CausalConvTest, OutputShape) {
+  Rng rng(5);
+  CausalConv1d conv(4, 8, 3, &rng);
+  auto x = ag::Constant(RandomGaussian({10, 6, 4}, 0, 1, &rng));
+  auto y = conv.Forward(x);
+  EXPECT_EQ(y->shape(), (Shape{10, 6, 8}));
+}
+
+TEST(CausalConvTest, StrideCompressesKeepingLastSample) {
+  Rng rng(6);
+  CausalConv1d conv(2, 2, 3, &rng, /*dilation=*/1, /*stride=*/4);
+  auto x = ag::Constant(RandomGaussian({15, 3, 2}, 0, 1, &rng));
+  auto y = conv.Forward(x);
+  EXPECT_EQ(y->value.dim(0), 4);  // ceil(15/4)
+}
+
+TEST(CausalConvTest, CausalityNoFutureLeakage) {
+  // Changing inputs after time t must not change output at time t.
+  Rng rng(7);
+  CausalConv1d conv(2, 3, 3, &rng, /*dilation=*/2);
+  Tensor base = RandomGaussian({8, 2, 2}, 0, 1, &rng);
+  ag::NoGradGuard no_grad;
+  Tensor y1 = conv.Forward(ag::Constant(base))->value;
+  Tensor modified = base.Clone();
+  // Perturb the last two time-steps.
+  for (int64_t i = 6 * 2 * 2; i < 8 * 2 * 2; ++i) modified.data()[i] += 10.0f;
+  Tensor y2 = conv.Forward(ag::Constant(modified))->value;
+  // Outputs at times 0..5 must agree exactly.
+  EXPECT_TRUE(AllClose(Slice(y1, 0, 0, 6), Slice(y2, 0, 0, 6)));
+  // And the perturbed region must differ.
+  EXPECT_FALSE(AllClose(Slice(y1, 0, 6, 8), Slice(y2, 0, 6, 8)));
+}
+
+TEST(CausalConvTest, KernelOneIsPointwiseLinear) {
+  Rng rng(8);
+  CausalConv1d conv(3, 2, 1, &rng, 1, 1, /*weight_norm=*/false);
+  Tensor x = RandomGaussian({4, 2, 3}, 0, 1, &rng);
+  ag::NoGradGuard no_grad;
+  Tensor y = conv.Forward(ag::Constant(x))->value;
+  EXPECT_EQ(y.shape(), (Shape{4, 2, 2}));
+  // Time-step independence: same input row -> same output row.
+  Tensor x2 = x.Clone();
+  std::fill(x2.data(), x2.data() + 2 * 3, 0.0f);  // zero time 0 only
+  Tensor y2 = conv.Forward(ag::Constant(x2))->value;
+  EXPECT_TRUE(AllClose(Slice(y, 0, 1, 4), Slice(y2, 0, 1, 4)));
+}
+
+TEST(CausalConvTest, WeightNormGradCheck) {
+  Rng rng(9);
+  CausalConv1d conv(2, 2, 2, &rng);
+  auto x = ag::Constant(RandomGaussian({5, 2, 2}, 0, 1, &rng));
+  auto params = conv.Parameters();
+  std::vector<ag::VarPtr> inputs(params.begin(), params.end());
+  EXPECT_TRUE(ag::GradCheck(
+      [&](const std::vector<ag::VarPtr>&) {
+        return ag::SumAll(ag::Square(conv.Forward(x)));
+      },
+      inputs));
+}
+
+TEST(TemporalConvBlockTest, ShapeAndResidualAlignment) {
+  Rng rng(10);
+  TemporalConvBlock block(4, 8, 3, &rng, 1, /*stride=*/2, 0.0f);
+  block.SetTraining(false);
+  auto x = ag::Constant(RandomGaussian({15, 3, 4}, 0, 1, &rng));
+  auto y = block.Forward(x, &rng);
+  EXPECT_EQ(y->value.dim(0), block.out_length(15));
+  EXPECT_EQ(y->value.dim(0), 4);  // ceil(15/4)
+  EXPECT_EQ(y->value.dim(2), 8);
+}
+
+TEST(TemporalConvBlockTest, OutputsAreNonNegativeAfterFinalRelu) {
+  Rng rng(11);
+  TemporalConvBlock block(2, 2, 3, &rng, 1, 1, 0.0f);
+  block.SetTraining(false);
+  auto x = ag::Constant(RandomGaussian({6, 2, 2}, 0, 1, &rng));
+  auto y = block.Forward(x, &rng);
+  EXPECT_GE(MinAll(y->value), 0.0f);
+}
+
+// ---------------------------------------------------------------------------
+// Recurrent cells
+// ---------------------------------------------------------------------------
+
+TEST(LstmTest, ShapesAndStatePropagation) {
+  Rng rng(12);
+  Lstm lstm(3, 8, &rng);
+  auto x = ag::Constant(RandomGaussian({5, 4, 3}, 0, 1, &rng));
+  auto last = lstm.ForwardLast(x);
+  EXPECT_EQ(last->shape(), (Shape{4, 8}));
+  auto all = lstm.ForwardAll(x);
+  EXPECT_EQ(all->shape(), (Shape{5, 4, 8}));
+  // Last slice of ForwardAll equals ForwardLast.
+  Tensor last_of_all = Slice(all->value, 0, 4, 5).Reshape({4, 8});
+  EXPECT_TRUE(AllClose(last_of_all, last->value));
+}
+
+TEST(LstmTest, HiddenBounded) {
+  Rng rng(13);
+  Lstm lstm(2, 4, &rng);
+  auto x = ag::Constant(RandomGaussian({20, 3, 2}, 0, 5, &rng));
+  Tensor h = lstm.ForwardLast(x)->value;
+  EXPECT_LE(MaxAll(h), 1.0f);   // o * tanh(c) ∈ (-1, 1)
+  EXPECT_GE(MinAll(h), -1.0f);
+}
+
+TEST(LstmTest, LearnsSimpleTemporalTask) {
+  // Predict the mean of the last two inputs: a task requiring memory.
+  Rng rng(14);
+  Lstm lstm(1, 8, &rng);
+  Linear head(8, 1, &rng);
+  std::vector<ag::VarPtr> params = lstm.Parameters();
+  for (auto& p : head.Parameters()) params.push_back(p);
+  ag::Adam opt(params, 0.02f);
+  float final_loss = 1.0f;
+  for (int step = 0; step < 300; ++step) {
+    Tensor x = RandomGaussian({4, 8, 1}, 0, 1, &rng);
+    Tensor target({8, 1});
+    for (int64_t b = 0; b < 8; ++b) {
+      target.data()[b] = 0.5f * (x.at({2, b, 0}) + x.at({3, b, 0}));
+    }
+    opt.ZeroGrad();
+    auto pred = head.Forward(lstm.ForwardLast(ag::Constant(x)));
+    auto loss = ag::MeanAll(ag::Square(ag::Sub(pred, ag::Constant(target))));
+    ag::Backward(loss);
+    opt.Step();
+    final_loss = loss->value.item();
+  }
+  EXPECT_LT(final_loss, 0.2f);  // variance of target is 0.5
+}
+
+TEST(GruTest, ShapesAndBoundedState) {
+  Rng rng(15);
+  Gru gru(3, 6, &rng);
+  auto x = ag::Constant(RandomGaussian({7, 5, 3}, 0, 1, &rng));
+  auto h = gru.ForwardLast(x);
+  EXPECT_EQ(h->shape(), (Shape{5, 6}));
+  EXPECT_LE(MaxAll(h->value), 1.0f);
+  EXPECT_GE(MinAll(h->value), -1.0f);
+}
+
+// ---------------------------------------------------------------------------
+// Attention
+// ---------------------------------------------------------------------------
+
+TEST(AttentionTest, ScoresAreScaledGram) {
+  Rng rng(16);
+  Tensor x = RandomGaussian({4, 9}, 0, 1, &rng);
+  auto scores = ScaledDotProductScores(ag::Constant(x));
+  Tensor expected = MulScalar(MatMul(x, Transpose(x)), 1.0f / 3.0f);
+  EXPECT_TRUE(AllClose(scores->value, expected));
+}
+
+TEST(AttentionTest, AttentionRowsAreConvexCombinations) {
+  Rng rng(17);
+  auto q = ag::Constant(RandomGaussian({2, 4}, 0, 1, &rng));
+  auto k = ag::Constant(RandomGaussian({5, 4}, 0, 1, &rng));
+  auto v = ag::Constant(Tensor::Ones({5, 3}));
+  auto out = ScaledDotProductAttention(q, k, v);
+  // Convex combination of all-ones rows is all ones.
+  EXPECT_TRUE(AllClose(out->value, Tensor::Ones({2, 3}), 1e-4f, 1e-4f));
+}
+
+}  // namespace
+}  // namespace rtgcn::nn

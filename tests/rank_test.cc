@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rank/backtest.h"
+#include "rank/metrics.h"
+#include "rank/wilcoxon.h"
+
+namespace rtgcn::rank {
+namespace {
+
+TEST(MetricsTest, RankDescendingOrder) {
+  Tensor scores({4}, {0.1f, 0.4f, -0.2f, 0.4f});
+  auto order = RankDescending(scores);
+  EXPECT_EQ(order, (std::vector<int64_t>{1, 3, 0, 2}));  // stable ties
+}
+
+TEST(MetricsTest, TopK) {
+  Tensor scores({5}, {5, 1, 4, 2, 3});
+  EXPECT_EQ(TopK(scores, 2), (std::vector<int64_t>{0, 2}));
+  EXPECT_EQ(TopK(scores, 10).size(), 5u);  // clamped
+}
+
+TEST(MetricsTest, ReciprocalRankPerfectAndWorst) {
+  Tensor labels({4}, {0.04f, 0.03f, 0.02f, 0.01f});
+  Tensor perfect({4}, {4, 3, 2, 1});
+  EXPECT_DOUBLE_EQ(ReciprocalRankTop1(perfect, labels), 1.0);
+  Tensor worst({4}, {1, 2, 3, 4});  // picks stock 3, true rank 4
+  EXPECT_DOUBLE_EQ(ReciprocalRankTop1(worst, labels), 0.25);
+}
+
+TEST(MetricsTest, TopKReturnAveragesRealizedReturns) {
+  Tensor scores({4}, {4, 3, 2, 1});
+  Tensor labels({4}, {0.10f, 0.20f, -0.50f, -0.50f});
+  EXPECT_NEAR(TopKReturn(scores, labels, 1), 0.10, 1e-6);
+  EXPECT_NEAR(TopKReturn(scores, labels, 2), 0.15, 1e-6);
+}
+
+TEST(BacktesterTest, AccumulatesIrrAndCurves) {
+  Backtester bt({1, 2});
+  Tensor labels({3}, {0.1f, 0.0f, -0.1f});
+  Tensor scores({3}, {3, 2, 1});
+  bt.AddDay(scores, labels);
+  bt.AddDay(scores, labels);
+  BacktestResult r = bt.Finalize();
+  EXPECT_EQ(r.num_days, 2);
+  EXPECT_NEAR(r.irr.at(1), 0.2, 1e-6);
+  EXPECT_NEAR(r.irr.at(2), 0.1, 1e-6);
+  EXPECT_EQ(r.irr_curve.at(1).size(), 2u);
+  EXPECT_NEAR(r.irr_curve.at(1)[0], 0.1, 1e-6);
+  EXPECT_DOUBLE_EQ(r.mrr, 1.0);
+}
+
+TEST(BacktesterTest, MrrAveragesOverDays) {
+  Backtester bt({1});
+  Tensor labels({2}, {0.1f, 0.2f});
+  bt.AddDay(Tensor({2}, {2, 1}), labels);  // picks worse stock: rr = 1/2
+  bt.AddDay(Tensor({2}, {1, 2}), labels);  // picks best stock: rr = 1
+  EXPECT_DOUBLE_EQ(bt.Finalize().mrr, 0.75);
+}
+
+TEST(IndexCurveTest, CumulativeIndexReturns) {
+  std::vector<double> levels = {1.0, 1.1, 1.1 * 0.9, 1.1 * 0.9 * 1.2};
+  auto curve = IndexReturnCurve(levels, 1, 4);
+  ASSERT_EQ(curve.size(), 3u);
+  EXPECT_NEAR(curve[0], 0.1, 1e-9);
+  EXPECT_NEAR(curve[1], 0.0, 1e-9);
+  EXPECT_NEAR(curve[2], 0.2, 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Wilcoxon signed-rank
+// ---------------------------------------------------------------------------
+
+TEST(WilcoxonTest, NormalSfSanity) {
+  EXPECT_NEAR(NormalSf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalSf(1.6449), 0.05, 1e-3);
+  EXPECT_NEAR(NormalSf(-10.0), 1.0, 1e-9);
+}
+
+TEST(WilcoxonTest, ClearlyGreaterGivesSmallP) {
+  std::vector<double> a, b;
+  for (int i = 0; i < 15; ++i) {
+    a.push_back(1.0 + 0.01 * i);
+    b.push_back(0.5 + 0.01 * i);
+  }
+  EXPECT_LT(PairedWilcoxonPValue(a, b), 0.01);
+  // Reversed direction: p near 1.
+  EXPECT_GT(PairedWilcoxonPValue(b, a), 0.95);
+}
+
+TEST(WilcoxonTest, IdenticalSamplesGiveP1) {
+  std::vector<double> a = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(PairedWilcoxonPValue(a, a), 1.0);
+}
+
+TEST(WilcoxonTest, MixedDifferencesMiddlingP) {
+  std::vector<double> a = {1.0, 2.0, 3.0, 4.0};
+  std::vector<double> b = {1.1, 1.9, 3.1, 3.9};
+  const double p = PairedWilcoxonPValue(a, b);
+  EXPECT_GT(p, 0.1);
+  EXPECT_LT(p, 0.95);
+}
+
+TEST(WilcoxonTest, OneSampleAgainstMean) {
+  std::vector<double> x;
+  for (int i = 0; i < 15; ++i) x.push_back(0.5 + 0.01 * i);
+  EXPECT_LT(OneSampleWilcoxonPValue(x, 0.3), 0.01);
+  EXPECT_GT(OneSampleWilcoxonPValue(x, 0.8), 0.95);
+}
+
+TEST(WilcoxonTest, HandlesTiesWithoutNan) {
+  std::vector<double> a = {1, 1, 1, 2, 2, 3};
+  std::vector<double> b = {0, 0, 0, 1, 1, 3};
+  const double p = PairedWilcoxonPValue(a, b);
+  EXPECT_FALSE(std::isnan(p));
+  EXPECT_LT(p, 0.1);
+}
+
+}  // namespace
+}  // namespace rtgcn::rank

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "autograd/ops.h"
+#include "core/rtgcn.h"
+#include "market/csv_loader.h"
+#include "market/dataset.h"
+#include "nn/linear.h"
+#include "nn/serialize.h"
+#include "tensor/init.h"
+#include "tensor/ops.h"
+
+namespace rtgcn {
+namespace {
+
+std::string TempPath(const std::string& name) { return "/tmp/" + name; }
+
+TEST(SerializeTest, RoundTripLinear) {
+  Rng rng(1);
+  nn::Linear a(4, 3, &rng);
+  nn::Linear b(4, 3, &rng);  // different init
+  const std::string path = TempPath("rtgcn_linear.ckpt");
+  nn::SaveParameters(a, path).Abort();
+  nn::LoadParameters(&b, path).Abort();
+  EXPECT_TRUE(AllClose(a.weight()->value, b.weight()->value, 0, 0));
+  EXPECT_TRUE(AllClose(a.bias()->value, b.bias()->value, 0, 0));
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, RoundTripRtGcnPreservesPredictions) {
+  graph::RelationTensor rel(5, 2);
+  rel.AddRelation(0, 1, 0).Abort();
+  rel.AddRelation(2, 3, 1).Abort();
+  core::RtGcnConfig cfg;
+  cfg.window = 6;
+  cfg.num_features = 3;
+  cfg.relational_filters = 4;
+  cfg.dropout = 0.0f;
+  Rng rng1(7), rng2(99);
+  core::RtGcnModel original(rel, cfg, &rng1);
+  core::RtGcnModel restored(rel, cfg, &rng2);
+  original.SetTraining(false);
+  restored.SetTraining(false);
+
+  const std::string path = TempPath("rtgcn_model.ckpt");
+  nn::SaveParameters(original, path).Abort();
+  nn::LoadParameters(&restored, path).Abort();
+
+  Rng data_rng(3);
+  Tensor x = RandomUniform({6, 5, 3}, 0.9f, 1.1f, &data_rng);
+  ag::NoGradGuard no_grad;
+  Rng fwd(1);
+  Tensor y1 = original.Forward(ag::Constant(x), &fwd)->value;
+  Tensor y2 = restored.Forward(ag::Constant(x), &fwd)->value;
+  EXPECT_TRUE(AllClose(y1, y2, 0, 0));
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, ShapeMismatchRejected) {
+  Rng rng(2);
+  nn::Linear small(2, 2, &rng);
+  nn::Linear big(3, 3, &rng);
+  const std::string path = TempPath("rtgcn_mismatch.ckpt");
+  nn::SaveParameters(small, path).Abort();
+  Status s = nn::LoadParameters(&big, path);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, GarbageFileRejected) {
+  const std::string path = TempPath("rtgcn_garbage.ckpt");
+  std::ofstream(path) << "this is not a checkpoint";
+  Rng rng(3);
+  nn::Linear lin(2, 2, &rng);
+  EXPECT_FALSE(nn::LoadParameters(&lin, path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, MissingFileIsIoError) {
+  Rng rng(4);
+  nn::Linear lin(2, 2, &rng);
+  EXPECT_EQ(nn::LoadParameters(&lin, "/nonexistent/x.ckpt").code(),
+            StatusCode::kIoError);
+}
+
+// ---------------------------------------------------------------------------
+// CSV market loading
+// ---------------------------------------------------------------------------
+
+TEST(CsvLoaderTest, LoadsPanelAndRelations) {
+  const std::string prices = TempPath("rtgcn_prices.csv");
+  std::ofstream(prices) << "day,AAPL,MSFT,GOOG\n"
+                           "0,100.5,200.0,50.25\n"
+                           "1,101.0,199.0,51.00\n"
+                           "2,99.75,201.5,50.50\n";
+  auto panel = market::LoadPricePanel(prices).ValueOrDie();
+  EXPECT_EQ(panel.tickers,
+            (std::vector<std::string>{"AAPL", "MSFT", "GOOG"}));
+  EXPECT_EQ(panel.prices.shape(), (Shape{3, 3}));
+  EXPECT_FLOAT_EQ(panel.prices.at({1, 0}), 101.0f);
+  EXPECT_EQ(panel.TickerIndex("GOOG"), 2);
+  EXPECT_EQ(panel.TickerIndex("TSLA"), -1);
+
+  const std::string rels = TempPath("rtgcn_rels.csv");
+  std::ofstream(rels) << "stock_i,stock_j,type\n"
+                         "AAPL,MSFT,0\n"
+                         "AAPL,GOOG,1\n";
+  auto relations = market::LoadRelations(rels, panel, 2).ValueOrDie();
+  EXPECT_TRUE(relations.HasEdge(0, 1));
+  EXPECT_TRUE(relations.HasEdge(0, 2));
+  EXPECT_FALSE(relations.HasEdge(1, 2));
+  std::remove(prices.c_str());
+  std::remove(rels.c_str());
+}
+
+TEST(CsvLoaderTest, RejectsBadPrices) {
+  const std::string path = TempPath("rtgcn_bad.csv");
+  std::ofstream(path) << "day,A\n0,abc\n";
+  EXPECT_FALSE(market::LoadPricePanel(path).ok());
+  std::ofstream(path) << "day,A\n0,-5\n";
+  EXPECT_FALSE(market::LoadPricePanel(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(CsvLoaderTest, RejectsUnknownTicker) {
+  const std::string prices = TempPath("rtgcn_p2.csv");
+  std::ofstream(prices) << "day,A,B\n0,1,2\n";
+  auto panel = market::LoadPricePanel(prices).ValueOrDie();
+  const std::string rels = TempPath("rtgcn_r2.csv");
+  std::ofstream(rels) << "stock_i,stock_j,type\nA,ZZZ,0\n";
+  EXPECT_EQ(market::LoadRelations(rels, panel, 1).status().code(),
+            StatusCode::kNotFound);
+  std::remove(prices.c_str());
+  std::remove(rels.c_str());
+}
+
+TEST(CsvLoaderTest, LoadedPanelDrivesWindowDataset) {
+  // End-to-end: CSV -> panel -> WindowDataset features/labels.
+  const std::string path = TempPath("rtgcn_panel.csv");
+  std::ofstream out(path);
+  out << "day,X,Y\n";
+  for (int t = 0; t < 30; ++t) {
+    out << t << "," << 100 + t << "," << 200 - t << "\n";
+  }
+  out.close();
+  auto panel = market::LoadPricePanel(path).ValueOrDie();
+  market::WindowDataset ds(panel.prices, 5, 2);
+  Tensor y = ds.Labels(ds.first_day());
+  EXPECT_GT(y.data()[0], 0.0f);  // X rises
+  EXPECT_LT(y.data()[1], 0.0f);  // Y falls
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace rtgcn
