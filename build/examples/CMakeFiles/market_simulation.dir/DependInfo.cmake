@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/market_simulation.cpp" "examples/CMakeFiles/market_simulation.dir/market_simulation.cpp.o" "gcc" "examples/CMakeFiles/market_simulation.dir/market_simulation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/rtgcn_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/harness/CMakeFiles/rtgcn_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rtgcn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/market/CMakeFiles/rtgcn_market.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/rtgcn_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/rtgcn_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/rtgcn_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/rank/CMakeFiles/rtgcn_rank.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/rtgcn_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rtgcn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/market_simulation.dir/market_simulation.cpp.o"
+  "CMakeFiles/market_simulation.dir/market_simulation.cpp.o.d"
+  "market_simulation"
+  "market_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/market_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/real_data_workflow.dir/real_data_workflow.cpp.o"
+  "CMakeFiles/real_data_workflow.dir/real_data_workflow.cpp.o.d"
+  "real_data_workflow"
+  "real_data_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/real_data_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

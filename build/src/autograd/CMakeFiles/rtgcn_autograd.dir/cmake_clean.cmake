@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtgcn_autograd.dir/gradcheck.cc.o"
+  "CMakeFiles/rtgcn_autograd.dir/gradcheck.cc.o.d"
+  "CMakeFiles/rtgcn_autograd.dir/ops.cc.o"
+  "CMakeFiles/rtgcn_autograd.dir/ops.cc.o.d"
+  "CMakeFiles/rtgcn_autograd.dir/optimizer.cc.o"
+  "CMakeFiles/rtgcn_autograd.dir/optimizer.cc.o.d"
+  "CMakeFiles/rtgcn_autograd.dir/variable.cc.o"
+  "CMakeFiles/rtgcn_autograd.dir/variable.cc.o.d"
+  "librtgcn_autograd.a"
+  "librtgcn_autograd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtgcn_autograd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

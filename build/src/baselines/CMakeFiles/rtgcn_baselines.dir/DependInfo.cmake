@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/alstm.cc" "src/baselines/CMakeFiles/rtgcn_baselines.dir/alstm.cc.o" "gcc" "src/baselines/CMakeFiles/rtgcn_baselines.dir/alstm.cc.o.d"
+  "/root/repo/src/baselines/arima.cc" "src/baselines/CMakeFiles/rtgcn_baselines.dir/arima.cc.o" "gcc" "src/baselines/CMakeFiles/rtgcn_baselines.dir/arima.cc.o.d"
+  "/root/repo/src/baselines/catalog.cc" "src/baselines/CMakeFiles/rtgcn_baselines.dir/catalog.cc.o" "gcc" "src/baselines/CMakeFiles/rtgcn_baselines.dir/catalog.cc.o.d"
+  "/root/repo/src/baselines/classification.cc" "src/baselines/CMakeFiles/rtgcn_baselines.dir/classification.cc.o" "gcc" "src/baselines/CMakeFiles/rtgcn_baselines.dir/classification.cc.o.d"
+  "/root/repo/src/baselines/lstm_models.cc" "src/baselines/CMakeFiles/rtgcn_baselines.dir/lstm_models.cc.o" "gcc" "src/baselines/CMakeFiles/rtgcn_baselines.dir/lstm_models.cc.o.d"
+  "/root/repo/src/baselines/rl.cc" "src/baselines/CMakeFiles/rtgcn_baselines.dir/rl.cc.o" "gcc" "src/baselines/CMakeFiles/rtgcn_baselines.dir/rl.cc.o.d"
+  "/root/repo/src/baselines/rsr.cc" "src/baselines/CMakeFiles/rtgcn_baselines.dir/rsr.cc.o" "gcc" "src/baselines/CMakeFiles/rtgcn_baselines.dir/rsr.cc.o.d"
+  "/root/repo/src/baselines/rtgat.cc" "src/baselines/CMakeFiles/rtgcn_baselines.dir/rtgat.cc.o" "gcc" "src/baselines/CMakeFiles/rtgcn_baselines.dir/rtgat.cc.o.d"
+  "/root/repo/src/baselines/rtgcn_predictor.cc" "src/baselines/CMakeFiles/rtgcn_baselines.dir/rtgcn_predictor.cc.o" "gcc" "src/baselines/CMakeFiles/rtgcn_baselines.dir/rtgcn_predictor.cc.o.d"
+  "/root/repo/src/baselines/sfm.cc" "src/baselines/CMakeFiles/rtgcn_baselines.dir/sfm.cc.o" "gcc" "src/baselines/CMakeFiles/rtgcn_baselines.dir/sfm.cc.o.d"
+  "/root/repo/src/baselines/sthan.cc" "src/baselines/CMakeFiles/rtgcn_baselines.dir/sthan.cc.o" "gcc" "src/baselines/CMakeFiles/rtgcn_baselines.dir/sthan.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/rtgcn_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rtgcn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/market/CMakeFiles/rtgcn_market.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/rtgcn_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/rtgcn_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/rtgcn_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/rank/CMakeFiles/rtgcn_rank.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/rtgcn_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rtgcn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtgcn_baselines.dir/alstm.cc.o"
+  "CMakeFiles/rtgcn_baselines.dir/alstm.cc.o.d"
+  "CMakeFiles/rtgcn_baselines.dir/arima.cc.o"
+  "CMakeFiles/rtgcn_baselines.dir/arima.cc.o.d"
+  "CMakeFiles/rtgcn_baselines.dir/catalog.cc.o"
+  "CMakeFiles/rtgcn_baselines.dir/catalog.cc.o.d"
+  "CMakeFiles/rtgcn_baselines.dir/classification.cc.o"
+  "CMakeFiles/rtgcn_baselines.dir/classification.cc.o.d"
+  "CMakeFiles/rtgcn_baselines.dir/lstm_models.cc.o"
+  "CMakeFiles/rtgcn_baselines.dir/lstm_models.cc.o.d"
+  "CMakeFiles/rtgcn_baselines.dir/rl.cc.o"
+  "CMakeFiles/rtgcn_baselines.dir/rl.cc.o.d"
+  "CMakeFiles/rtgcn_baselines.dir/rsr.cc.o"
+  "CMakeFiles/rtgcn_baselines.dir/rsr.cc.o.d"
+  "CMakeFiles/rtgcn_baselines.dir/rtgat.cc.o"
+  "CMakeFiles/rtgcn_baselines.dir/rtgat.cc.o.d"
+  "CMakeFiles/rtgcn_baselines.dir/rtgcn_predictor.cc.o"
+  "CMakeFiles/rtgcn_baselines.dir/rtgcn_predictor.cc.o.d"
+  "CMakeFiles/rtgcn_baselines.dir/sfm.cc.o"
+  "CMakeFiles/rtgcn_baselines.dir/sfm.cc.o.d"
+  "CMakeFiles/rtgcn_baselines.dir/sthan.cc.o"
+  "CMakeFiles/rtgcn_baselines.dir/sthan.cc.o.d"
+  "librtgcn_baselines.a"
+  "librtgcn_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtgcn_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtgcn_common.dir/csv.cc.o"
+  "CMakeFiles/rtgcn_common.dir/csv.cc.o.d"
+  "CMakeFiles/rtgcn_common.dir/flags.cc.o"
+  "CMakeFiles/rtgcn_common.dir/flags.cc.o.d"
+  "CMakeFiles/rtgcn_common.dir/logging.cc.o"
+  "CMakeFiles/rtgcn_common.dir/logging.cc.o.d"
+  "CMakeFiles/rtgcn_common.dir/strings.cc.o"
+  "CMakeFiles/rtgcn_common.dir/strings.cc.o.d"
+  "librtgcn_common.a"
+  "librtgcn_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtgcn_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtgcn_core.dir/loss.cc.o"
+  "CMakeFiles/rtgcn_core.dir/loss.cc.o.d"
+  "CMakeFiles/rtgcn_core.dir/rtgcn.cc.o"
+  "CMakeFiles/rtgcn_core.dir/rtgcn.cc.o.d"
+  "librtgcn_core.a"
+  "librtgcn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtgcn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

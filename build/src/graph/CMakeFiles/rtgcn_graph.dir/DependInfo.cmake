@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/adjacency.cc" "src/graph/CMakeFiles/rtgcn_graph.dir/adjacency.cc.o" "gcc" "src/graph/CMakeFiles/rtgcn_graph.dir/adjacency.cc.o.d"
+  "/root/repo/src/graph/gat.cc" "src/graph/CMakeFiles/rtgcn_graph.dir/gat.cc.o" "gcc" "src/graph/CMakeFiles/rtgcn_graph.dir/gat.cc.o.d"
+  "/root/repo/src/graph/gcn.cc" "src/graph/CMakeFiles/rtgcn_graph.dir/gcn.cc.o" "gcc" "src/graph/CMakeFiles/rtgcn_graph.dir/gcn.cc.o.d"
+  "/root/repo/src/graph/hypergraph.cc" "src/graph/CMakeFiles/rtgcn_graph.dir/hypergraph.cc.o" "gcc" "src/graph/CMakeFiles/rtgcn_graph.dir/hypergraph.cc.o.d"
+  "/root/repo/src/graph/relation_tensor.cc" "src/graph/CMakeFiles/rtgcn_graph.dir/relation_tensor.cc.o" "gcc" "src/graph/CMakeFiles/rtgcn_graph.dir/relation_tensor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/rtgcn_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/rtgcn_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/rtgcn_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rtgcn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

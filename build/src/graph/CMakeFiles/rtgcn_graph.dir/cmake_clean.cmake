@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtgcn_graph.dir/adjacency.cc.o"
+  "CMakeFiles/rtgcn_graph.dir/adjacency.cc.o.d"
+  "CMakeFiles/rtgcn_graph.dir/gat.cc.o"
+  "CMakeFiles/rtgcn_graph.dir/gat.cc.o.d"
+  "CMakeFiles/rtgcn_graph.dir/gcn.cc.o"
+  "CMakeFiles/rtgcn_graph.dir/gcn.cc.o.d"
+  "CMakeFiles/rtgcn_graph.dir/hypergraph.cc.o"
+  "CMakeFiles/rtgcn_graph.dir/hypergraph.cc.o.d"
+  "CMakeFiles/rtgcn_graph.dir/relation_tensor.cc.o"
+  "CMakeFiles/rtgcn_graph.dir/relation_tensor.cc.o.d"
+  "librtgcn_graph.a"
+  "librtgcn_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtgcn_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtgcn_harness.dir/evaluator.cc.o"
+  "CMakeFiles/rtgcn_harness.dir/evaluator.cc.o.d"
+  "CMakeFiles/rtgcn_harness.dir/gradient_predictor.cc.o"
+  "CMakeFiles/rtgcn_harness.dir/gradient_predictor.cc.o.d"
+  "CMakeFiles/rtgcn_harness.dir/table.cc.o"
+  "CMakeFiles/rtgcn_harness.dir/table.cc.o.d"
+  "librtgcn_harness.a"
+  "librtgcn_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtgcn_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

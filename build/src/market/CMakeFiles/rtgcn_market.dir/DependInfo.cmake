@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/market/csv_loader.cc" "src/market/CMakeFiles/rtgcn_market.dir/csv_loader.cc.o" "gcc" "src/market/CMakeFiles/rtgcn_market.dir/csv_loader.cc.o.d"
+  "/root/repo/src/market/dataset.cc" "src/market/CMakeFiles/rtgcn_market.dir/dataset.cc.o" "gcc" "src/market/CMakeFiles/rtgcn_market.dir/dataset.cc.o.d"
+  "/root/repo/src/market/market.cc" "src/market/CMakeFiles/rtgcn_market.dir/market.cc.o" "gcc" "src/market/CMakeFiles/rtgcn_market.dir/market.cc.o.d"
+  "/root/repo/src/market/relation_generator.cc" "src/market/CMakeFiles/rtgcn_market.dir/relation_generator.cc.o" "gcc" "src/market/CMakeFiles/rtgcn_market.dir/relation_generator.cc.o.d"
+  "/root/repo/src/market/simulator.cc" "src/market/CMakeFiles/rtgcn_market.dir/simulator.cc.o" "gcc" "src/market/CMakeFiles/rtgcn_market.dir/simulator.cc.o.d"
+  "/root/repo/src/market/universe.cc" "src/market/CMakeFiles/rtgcn_market.dir/universe.cc.o" "gcc" "src/market/CMakeFiles/rtgcn_market.dir/universe.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/rtgcn_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/rtgcn_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/rtgcn_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/rtgcn_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rtgcn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

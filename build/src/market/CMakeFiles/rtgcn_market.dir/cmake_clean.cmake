@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtgcn_market.dir/csv_loader.cc.o"
+  "CMakeFiles/rtgcn_market.dir/csv_loader.cc.o.d"
+  "CMakeFiles/rtgcn_market.dir/dataset.cc.o"
+  "CMakeFiles/rtgcn_market.dir/dataset.cc.o.d"
+  "CMakeFiles/rtgcn_market.dir/market.cc.o"
+  "CMakeFiles/rtgcn_market.dir/market.cc.o.d"
+  "CMakeFiles/rtgcn_market.dir/relation_generator.cc.o"
+  "CMakeFiles/rtgcn_market.dir/relation_generator.cc.o.d"
+  "CMakeFiles/rtgcn_market.dir/simulator.cc.o"
+  "CMakeFiles/rtgcn_market.dir/simulator.cc.o.d"
+  "CMakeFiles/rtgcn_market.dir/universe.cc.o"
+  "CMakeFiles/rtgcn_market.dir/universe.cc.o.d"
+  "librtgcn_market.a"
+  "librtgcn_market.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtgcn_market.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

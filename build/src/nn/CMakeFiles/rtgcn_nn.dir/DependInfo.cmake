@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/attention.cc" "src/nn/CMakeFiles/rtgcn_nn.dir/attention.cc.o" "gcc" "src/nn/CMakeFiles/rtgcn_nn.dir/attention.cc.o.d"
+  "/root/repo/src/nn/linear.cc" "src/nn/CMakeFiles/rtgcn_nn.dir/linear.cc.o" "gcc" "src/nn/CMakeFiles/rtgcn_nn.dir/linear.cc.o.d"
+  "/root/repo/src/nn/rnn.cc" "src/nn/CMakeFiles/rtgcn_nn.dir/rnn.cc.o" "gcc" "src/nn/CMakeFiles/rtgcn_nn.dir/rnn.cc.o.d"
+  "/root/repo/src/nn/serialize.cc" "src/nn/CMakeFiles/rtgcn_nn.dir/serialize.cc.o" "gcc" "src/nn/CMakeFiles/rtgcn_nn.dir/serialize.cc.o.d"
+  "/root/repo/src/nn/temporal_conv.cc" "src/nn/CMakeFiles/rtgcn_nn.dir/temporal_conv.cc.o" "gcc" "src/nn/CMakeFiles/rtgcn_nn.dir/temporal_conv.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/autograd/CMakeFiles/rtgcn_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/rtgcn_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rtgcn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

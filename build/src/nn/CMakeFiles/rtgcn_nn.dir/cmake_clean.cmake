@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtgcn_nn.dir/attention.cc.o"
+  "CMakeFiles/rtgcn_nn.dir/attention.cc.o.d"
+  "CMakeFiles/rtgcn_nn.dir/linear.cc.o"
+  "CMakeFiles/rtgcn_nn.dir/linear.cc.o.d"
+  "CMakeFiles/rtgcn_nn.dir/rnn.cc.o"
+  "CMakeFiles/rtgcn_nn.dir/rnn.cc.o.d"
+  "CMakeFiles/rtgcn_nn.dir/serialize.cc.o"
+  "CMakeFiles/rtgcn_nn.dir/serialize.cc.o.d"
+  "CMakeFiles/rtgcn_nn.dir/temporal_conv.cc.o"
+  "CMakeFiles/rtgcn_nn.dir/temporal_conv.cc.o.d"
+  "librtgcn_nn.a"
+  "librtgcn_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtgcn_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rank/backtest.cc" "src/rank/CMakeFiles/rtgcn_rank.dir/backtest.cc.o" "gcc" "src/rank/CMakeFiles/rtgcn_rank.dir/backtest.cc.o.d"
+  "/root/repo/src/rank/metrics.cc" "src/rank/CMakeFiles/rtgcn_rank.dir/metrics.cc.o" "gcc" "src/rank/CMakeFiles/rtgcn_rank.dir/metrics.cc.o.d"
+  "/root/repo/src/rank/wilcoxon.cc" "src/rank/CMakeFiles/rtgcn_rank.dir/wilcoxon.cc.o" "gcc" "src/rank/CMakeFiles/rtgcn_rank.dir/wilcoxon.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/rtgcn_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rtgcn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

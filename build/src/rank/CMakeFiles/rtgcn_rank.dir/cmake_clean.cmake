@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtgcn_rank.dir/backtest.cc.o"
+  "CMakeFiles/rtgcn_rank.dir/backtest.cc.o.d"
+  "CMakeFiles/rtgcn_rank.dir/metrics.cc.o"
+  "CMakeFiles/rtgcn_rank.dir/metrics.cc.o.d"
+  "CMakeFiles/rtgcn_rank.dir/wilcoxon.cc.o"
+  "CMakeFiles/rtgcn_rank.dir/wilcoxon.cc.o.d"
+  "librtgcn_rank.a"
+  "librtgcn_rank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtgcn_rank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtgcn_tensor.dir/init.cc.o"
+  "CMakeFiles/rtgcn_tensor.dir/init.cc.o.d"
+  "CMakeFiles/rtgcn_tensor.dir/ops.cc.o"
+  "CMakeFiles/rtgcn_tensor.dir/ops.cc.o.d"
+  "CMakeFiles/rtgcn_tensor.dir/tensor.cc.o"
+  "CMakeFiles/rtgcn_tensor.dir/tensor.cc.o.d"
+  "librtgcn_tensor.a"
+  "librtgcn_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtgcn_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
