@@ -22,7 +22,7 @@ struct Variant {
 };
 
 int Run(int argc, char** argv) {
-  auto flags = Flags::Parse(argc, argv).ValueOrDie();
+  auto flags = ParseBenchFlags(argc, argv);
   const int64_t epochs = flags.GetInt("epochs", 6);
   const int64_t reps = flags.GetInt("reps", 1);
 

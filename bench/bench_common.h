@@ -12,10 +12,19 @@
 #include "baselines/catalog.h"
 #include "common/flags.h"
 #include "common/strings.h"
+#include "common/thread_pool.h"
 #include "harness/table.h"
 #include "market/market.h"
 
 namespace rtgcn::bench {
+
+/// Parses argv and applies the global execution flags every bench binary
+/// shares (--num_threads N overrides the RTGCN_NUM_THREADS env var).
+inline Flags ParseBenchFlags(int argc, char** argv) {
+  Flags flags = Flags::Parse(argc, argv).ValueOrDie();
+  InitNumThreadsFromFlags(flags);
+  return flags;
+}
 
 /// Markets for a bench run: parses --markets "NASDAQ,NYSE,CSI" (default all)
 /// and applies --scale (default 1.0).

@@ -4,7 +4,7 @@
 // seconds per full test sweep, plus the speedup of RT-GCN (T) over each
 // LSTM-based ranker.
 //
-// Flags: --markets NASDAQ,NYSE,CSI  --epochs 2  --scale 1.0
+// Flags: --markets NASDAQ,NYSE,CSI  --epochs 2  --scale 1.0  --num_threads 4
 #include <cstdio>
 
 #include "bench_common.h"
@@ -13,7 +13,7 @@ namespace rtgcn::bench {
 namespace {
 
 int Run(int argc, char** argv) {
-  auto flags = Flags::Parse(argc, argv).ValueOrDie();
+  auto flags = ParseBenchFlags(argc, argv);
   const int64_t epochs = flags.GetInt("epochs", 2);
 
   for (const market::MarketSpec& spec : MarketsFromFlags(flags)) {

@@ -40,7 +40,7 @@ void RunSweep(const market::MarketData& data, const std::string& axis,
 }
 
 int Run(int argc, char** argv) {
-  auto flags = Flags::Parse(argc, argv).ValueOrDie();
+  auto flags = ParseBenchFlags(argc, argv);
   const int64_t epochs = flags.GetInt("epochs", 8);
   const int64_t reps = flags.GetInt("reps", 1);
   const std::string sweep = flags.GetString("sweep", "all");

@@ -22,7 +22,7 @@ char Shade(float v, float lo, float hi) {
 }
 
 int Run(int argc, char** argv) {
-  auto flags = Flags::Parse(argc, argv).ValueOrDie();
+  auto flags = ParseBenchFlags(argc, argv);
   const int64_t epochs = flags.GetInt("epochs", 8);
   const int64_t num_days = flags.GetInt("days", 22);
 

@@ -6,6 +6,7 @@
 #include "autograd/ops.h"
 #include "autograd/optimizer.h"
 #include "baselines/lstm_models.h"
+#include "common/thread_pool.h"
 #include "core/loss.h"
 #include "core/rtgcn.h"
 #include "graph/adjacency.h"
@@ -19,6 +20,7 @@ namespace {
 
 void BM_MatMul(benchmark::State& state) {
   const int64_t n = state.range(0);
+  SetNumThreads(static_cast<int>(state.range(1)));
   Rng rng(1);
   Tensor a = RandomGaussian({n, n}, 0, 1, &rng);
   Tensor b = RandomGaussian({n, n}, 0, 1, &rng);
@@ -26,8 +28,17 @@ void BM_MatMul(benchmark::State& state) {
     benchmark::DoNotOptimize(MatMul(a, b));
   }
   state.SetItemsProcessed(state.iterations() * n * n * n);
+  SetNumThreads(0);
 }
-BENCHMARK(BM_MatMul)->Arg(64)->Arg(128)->Arg(256);
+BENCHMARK(BM_MatMul)
+    ->ArgNames({"n", "threads"})
+    ->Args({64, 1})
+    ->Args({128, 1})
+    ->Args({256, 1})
+    ->Args({256, 2})
+    ->Args({256, 4})
+    ->Args({512, 1})
+    ->Args({512, 4});
 
 void BM_BroadcastAdd(benchmark::State& state) {
   const int64_t n = state.range(0);
@@ -94,6 +105,7 @@ BENCHMARK(BM_RtGcnForward)->Arg(0)->Arg(1)->Arg(2)
     ->ArgNames({"strategy"});
 
 void BM_RtGcnTrainStep(benchmark::State& state) {
+  SetNumThreads(static_cast<int>(state.range(0)));
   auto& f = Fixture();
   Rng rng(2);
   core::RtGcnConfig cfg;
@@ -108,8 +120,9 @@ void BM_RtGcnTrainStep(benchmark::State& state) {
     ag::Backward(loss);
     opt.Step();
   }
+  SetNumThreads(0);
 }
-BENCHMARK(BM_RtGcnTrainStep);
+BENCHMARK(BM_RtGcnTrainStep)->ArgNames({"threads"})->Arg(1)->Arg(2)->Arg(4);
 
 void BM_LstmRankerTrainStep(benchmark::State& state) {
   auto& f = Fixture();

@@ -11,7 +11,7 @@ namespace rtgcn::bench {
 namespace {
 
 int Run(int argc, char** argv) {
-  auto flags = Flags::Parse(argc, argv).ValueOrDie();
+  auto flags = ParseBenchFlags(argc, argv);
   const int64_t reps = flags.GetInt("reps", 1);
   const int64_t epochs = flags.GetInt("epochs", 8);
   const double scale = flags.GetDouble("scale", 1.0);

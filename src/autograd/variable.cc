@@ -5,7 +5,9 @@
 namespace rtgcn::ag {
 
 namespace {
-bool g_grad_enabled = true;
+// thread_local so pool workers can never race the main thread's
+// NoGradGuard; tape construction itself remains main-thread-only.
+thread_local bool g_grad_enabled = true;
 }  // namespace
 
 bool GradMode::enabled() { return g_grad_enabled; }

@@ -56,6 +56,16 @@ int64_t RtGcnLayer::out_length(int64_t in_length) const {
   return temporal_ ? temporal_->out_length(in_length) : in_length;
 }
 
+const Tensor& RtGcnLayer::last_propagation() const {
+  if (last_propagation_stack_.defined()) {
+    // Deferred from the time-sensitive Forward: average the [T, N, N]
+    // stack only when someone actually inspects the edge weights.
+    last_propagation_ = rtgcn::Mean(last_propagation_stack_, 0);
+    last_propagation_stack_ = Tensor();
+  }
+  return last_propagation_;
+}
+
 ag::VarPtr RtGcnLayer::RelationalConv(const ag::VarPtr& x) const {
   const int64_t t_len = x->value.dim(0);
   const int64_t n = x->value.dim(1);
@@ -100,7 +110,7 @@ ag::VarPtr RtGcnLayer::RelationalConv(const ag::VarPtr& x) const {
       VarPtr corr = ag::BatchMatMul(x, xt);               // [T, N, N]
       corr = ag::MulScalar(corr, 1.0f / std::sqrt(static_cast<float>(d)));
       VarPtr p = ag::Mul(corr, base);                     // broadcast [N,N]
-      last_propagation_ = rtgcn::Mean(p->value, 0);
+      last_propagation_stack_ = p->value;  // shallow copy; averaged lazily
       propagated = ag::BatchMatMul(p, x);                 // [T, N, D]
       break;
     }

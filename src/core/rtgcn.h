@@ -64,8 +64,10 @@ class RtGcnLayer : public nn::Module {
   int64_t out_length(int64_t in_length) const;
 
   /// Propagation matrix of the last Forward (detached; time-averaged for the
-  /// time-sensitive strategy). Used by the Figure 8 case study.
-  const Tensor& last_propagation() const { return last_propagation_; }
+  /// time-sensitive strategy). Used by the Figure 8 case study. The
+  /// time average is computed lazily here so training steps never pay for
+  /// this diagnostic.
+  const Tensor& last_propagation() const;
 
  private:
   /// Applies the strategy's relational convolution: [T, N, in] -> [T, N, out].
@@ -82,6 +84,9 @@ class RtGcnLayer : public nn::Module {
   ag::VarPtr relation_b_;      // bias b [1]           (W/T strategies)
   std::unique_ptr<nn::TemporalConvBlock> temporal_;
   mutable Tensor last_propagation_;
+  // Pending per-time-step propagation stack [T, N, N] (time-sensitive
+  // strategy); reduced to last_propagation_ on demand.
+  mutable Tensor last_propagation_stack_;
 };
 
 /// \brief Full ranking model: stacked RT-GCN layers + pooling + FC scorer.

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/thread_pool.h"
+
 namespace rtgcn::graph {
 
 Status RelationTensor::AddRelation(int64_t i, int64_t j, int64_t type) {
@@ -42,33 +44,50 @@ double RelationTensor::RelationRatio() const {
   return pairs == 0 ? 0.0 : static_cast<double>(edges_.size()) / pairs;
 }
 
-Tensor RelationTensor::DenseMask() const {
-  Tensor mask = Tensor::Zeros({num_stocks_, num_stocks_});
+namespace {
+
+// Hash-map buckets cannot be range-split, so densification snapshots the
+// keys and parallelizes over the snapshot. Every key owns a distinct
+// (i,j)/(j,i) cell pair, so chunked writes never collide, and the written
+// value is a constant — the result is identical at any thread count.
+template <typename KeepFn>
+Tensor DenseFromEdges(
+    const std::unordered_map<int64_t, std::vector<int32_t>>& edges, int64_t n,
+    KeepFn keep) {
+  std::vector<const std::pair<const int64_t, std::vector<int32_t>>*> items;
+  items.reserve(edges.size());
+  for (const auto& kv : edges) items.push_back(&kv);
+  Tensor mask = Tensor::Zeros({n, n});
   float* p = mask.data();
-  for (const auto& [key, types] : edges_) {
-    const int64_t i = key / num_stocks_;
-    const int64_t j = key % num_stocks_;
-    p[i * num_stocks_ + j] = 1.0f;
-    p[j * num_stocks_ + i] = 1.0f;
-  }
+  ParallelFor(
+      0, static_cast<int64_t>(items.size()), 512,
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t e = lo; e < hi; ++e) {
+          if (!keep(items[e]->second)) continue;
+          const int64_t i = items[e]->first / n;
+          const int64_t j = items[e]->first % n;
+          p[i * n + j] = 1.0f;
+          p[j * n + i] = 1.0f;
+        }
+      });
   return mask;
+}
+
+}  // namespace
+
+Tensor RelationTensor::DenseMask() const {
+  return DenseFromEdges(edges_, num_stocks_,
+                        [](const std::vector<int32_t>&) { return true; });
 }
 
 Tensor RelationTensor::DenseTypeSlice(int64_t type) const {
   RTGCN_CHECK(type >= 0 && type < num_types_);
-  Tensor mask = Tensor::Zeros({num_stocks_, num_stocks_});
-  float* p = mask.data();
-  for (const auto& [key, types] : edges_) {
-    if (std::find(types.begin(), types.end(), static_cast<int32_t>(type)) ==
-        types.end()) {
-      continue;
-    }
-    const int64_t i = key / num_stocks_;
-    const int64_t j = key % num_stocks_;
-    p[i * num_stocks_ + j] = 1.0f;
-    p[j * num_stocks_ + i] = 1.0f;
-  }
-  return mask;
+  return DenseFromEdges(edges_, num_stocks_,
+                        [type](const std::vector<int32_t>& types) {
+                          return std::find(types.begin(), types.end(),
+                                           static_cast<int32_t>(type)) !=
+                                 types.end();
+                        });
 }
 
 std::vector<RelationTensor::Edge> RelationTensor::EdgeList() const {

@@ -29,11 +29,18 @@ EvalResult Evaluate(StockPredictor* model, const market::WindowDataset& data,
   result.has_mrr = model->ranks();
   rank::Backtester backtester;
   Stopwatch watch;
-  for (int64_t day : test_days) {
-    Tensor scores = model->Predict(data, day);
-    if (!model->ranks()) scores = RandomizeWithinClasses(scores, rng);
-    backtester.AddDay(scores, data.Labels(day));
+  // Predict stays a serial day loop (models are stateful and the rng
+  // stream must match the single-threaded order); each Predict fans out
+  // internally through the tensor layer. The per-day ranking metrics are
+  // then scored on the thread pool in one batch.
+  std::vector<Tensor> scores(test_days.size());
+  std::vector<Tensor> labels(test_days.size());
+  for (size_t i = 0; i < test_days.size(); ++i) {
+    scores[i] = model->Predict(data, test_days[i]);
+    if (!model->ranks()) scores[i] = RandomizeWithinClasses(scores[i], rng);
+    labels[i] = data.Labels(test_days[i]);
   }
+  backtester.AddDays(scores, labels);
   result.test_seconds = watch.ElapsedSeconds();
   result.backtest = backtester.Finalize();
   return result;

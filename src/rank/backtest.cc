@@ -1,6 +1,7 @@
 #include "rank/backtest.h"
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 
 namespace rtgcn::rank {
 
@@ -19,6 +20,32 @@ void Backtester::AddDay(const Tensor& scores, const Tensor& labels) {
     curves_[k].push_back(irr_sum_[k]);
   }
   ++days_;
+}
+
+void Backtester::AddDays(const std::vector<Tensor>& scores,
+                         const std::vector<Tensor>& labels) {
+  RTGCN_CHECK_EQ(scores.size(), labels.size());
+  const int64_t n = static_cast<int64_t>(scores.size());
+  const int64_t num_ks = static_cast<int64_t>(top_ks_.size());
+  // Per-day metrics (a sort plus a scan each) are independent across days.
+  std::vector<double> rr(n);
+  std::vector<double> rets(n * num_ks);
+  ParallelFor(0, n, 4, [&](int64_t lo, int64_t hi) {
+    for (int64_t d = lo; d < hi; ++d) {
+      rr[d] = ReciprocalRankTop1(scores[d], labels[d]);
+      for (int64_t k = 0; k < num_ks; ++k) {
+        rets[d * num_ks + k] = TopKReturn(scores[d], labels[d], top_ks_[k]);
+      }
+    }
+  });
+  for (int64_t d = 0; d < n; ++d) {
+    mrr_sum_ += rr[d];
+    for (int64_t k = 0; k < num_ks; ++k) {
+      irr_sum_[top_ks_[k]] += rets[d * num_ks + k];
+      curves_[top_ks_[k]].push_back(irr_sum_[top_ks_[k]]);
+    }
+    ++days_;
+  }
 }
 
 BacktestResult Backtester::Finalize() const {

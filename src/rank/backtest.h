@@ -28,6 +28,13 @@ class Backtester {
   /// Records one test day. `scores` and `labels` are [N].
   void AddDay(const Tensor& scores, const Tensor& labels);
 
+  /// Records a whole test period at once. Per-day ranking metrics are
+  /// computed on the thread pool (days are independent) and folded into
+  /// the running sums in day order, so the result is identical to calling
+  /// AddDay day by day.
+  void AddDays(const std::vector<Tensor>& scores,
+               const std::vector<Tensor>& labels);
+
   BacktestResult Finalize() const;
 
  private:

@@ -5,6 +5,8 @@
 #include <cstring>
 #include <limits>
 
+#include "common/thread_pool.h"
+
 namespace rtgcn {
 
 int64_t NormalizeAxis(int64_t axis, int64_t ndim) {
@@ -43,6 +45,18 @@ bool BroadcastableTo(const Shape& from, const Shape& to) {
 
 namespace {
 
+// Minimum elements per chunk for parallel elementwise/copy kernels: small
+// enough to split mid-sized tensors, large enough to amortize dispatch.
+constexpr int64_t kElemGrain = 8192;
+
+// Approximate multiply-accumulate budget per matmul/reduction chunk.
+constexpr int64_t kFlopGrain = 32768;
+
+// Rows (or outer slices) per chunk so each chunk does ~`cost` work units.
+int64_t GrainForCost(int64_t per_item_cost) {
+  return std::max<int64_t>(1, kFlopGrain / std::max<int64_t>(1, per_item_cost));
+}
+
 // Strides of `shape` expanded to rank `out_rank`, with 0 strides on
 // broadcast dimensions.
 std::vector<int64_t> BroadcastStrides(const Shape& shape,
@@ -65,8 +79,9 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, BinaryFn fn) {
     const float* pa = a.data();
     const float* pb = b.data();
     float* po = out.data();
-    const int64_t n = a.numel();
-    for (int64_t i = 0; i < n; ++i) po[i] = fn(pa[i], pb[i]);
+    ParallelFor(0, a.numel(), kElemGrain, [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) po[i] = fn(pa[i], pb[i]);
+    });
     return out;
   }
   // Fast path: b is a scalar.
@@ -75,8 +90,9 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, BinaryFn fn) {
     Tensor out(a.shape());
     const float* pa = a.data();
     float* po = out.data();
-    const int64_t n = a.numel();
-    for (int64_t i = 0; i < n; ++i) po[i] = fn(pa[i], s);
+    ParallelFor(0, a.numel(), kElemGrain, [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) po[i] = fn(pa[i], s);
+    });
     return out;
   }
   if (a.numel() == 1) {
@@ -84,36 +100,46 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, BinaryFn fn) {
     Tensor out(b.shape());
     const float* pb = b.data();
     float* po = out.data();
-    const int64_t n = b.numel();
-    for (int64_t i = 0; i < n; ++i) po[i] = fn(s, pb[i]);
+    ParallelFor(0, b.numel(), kElemGrain, [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) po[i] = fn(s, pb[i]);
+    });
     return out;
   }
-  // General broadcast path.
+  // General broadcast path. Each chunk seeds the odometer from its first
+  // flat index, so output entries are computed identically at any split.
   const Shape out_shape = BroadcastShape(a.shape(), b.shape());
   Tensor out(out_shape);
   const auto sa = BroadcastStrides(a.shape(), out_shape);
   const auto sb = BroadcastStrides(b.shape(), out_shape);
   const int64_t rank = static_cast<int64_t>(out_shape.size());
-  std::vector<int64_t> idx(rank, 0);
   const float* pa = a.data();
   const float* pb = b.data();
   float* po = out.data();
-  const int64_t n = out.numel();
-  int64_t oa = 0;
-  int64_t ob = 0;
-  for (int64_t flat = 0; flat < n; ++flat) {
-    po[flat] = fn(pa[oa], pb[ob]);
-    // Odometer increment.
+  ParallelFor(0, out.numel(), kElemGrain, [&](int64_t lo, int64_t hi) {
+    std::vector<int64_t> idx(rank, 0);
+    int64_t oa = 0;
+    int64_t ob = 0;
+    int64_t rem = lo;
     for (int64_t d = rank - 1; d >= 0; --d) {
-      ++idx[d];
-      oa += sa[d];
-      ob += sb[d];
-      if (idx[d] < out_shape[d]) break;
-      oa -= sa[d] * out_shape[d];
-      ob -= sb[d] * out_shape[d];
-      idx[d] = 0;
+      idx[d] = rem % out_shape[d];
+      rem /= out_shape[d];
+      oa += idx[d] * sa[d];
+      ob += idx[d] * sb[d];
     }
-  }
+    for (int64_t flat = lo; flat < hi; ++flat) {
+      po[flat] = fn(pa[oa], pb[ob]);
+      // Odometer increment.
+      for (int64_t d = rank - 1; d >= 0; --d) {
+        ++idx[d];
+        oa += sa[d];
+        ob += sb[d];
+        if (idx[d] < out_shape[d]) break;
+        oa -= sa[d] * out_shape[d];
+        ob -= sb[d] * out_shape[d];
+        idx[d] = 0;
+      }
+    }
+  });
   return out;
 }
 
@@ -123,8 +149,9 @@ Tensor UnaryOp(const Tensor& a, UnaryFn fn) {
   Tensor out(a.shape());
   const float* pa = a.data();
   float* po = out.data();
-  const int64_t n = a.numel();
-  for (int64_t i = 0; i < n; ++i) po[i] = fn(pa[i]);
+  ParallelFor(0, a.numel(), kElemGrain, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) po[i] = fn(pa[i]);
+  });
   return out;
 }
 
@@ -233,18 +260,23 @@ Tensor Map(const Tensor& a, const std::function<float(float)>& fn) {
 namespace {
 
 // C[m,n] += A[m,k] * B[k,n], ikj loop order for cache-friendly access.
+// Parallel over row panels: each output row is produced by exactly one
+// chunk with the serial accumulation order, so results are bit-identical
+// at any thread count.
 void MatMulKernel(const float* a, const float* b, float* c, int64_t m,
                   int64_t k, int64_t n) {
-  for (int64_t i = 0; i < m; ++i) {
-    float* ci = c + i * n;
-    const float* ai = a + i * k;
-    for (int64_t p = 0; p < k; ++p) {
-      const float aip = ai[p];
-      if (aip == 0.0f) continue;  // common for sparse adjacency rows
-      const float* bp = b + p * n;
-      for (int64_t j = 0; j < n; ++j) ci[j] += aip * bp[j];
+  ParallelFor(0, m, GrainForCost(k * n), [&](int64_t row_lo, int64_t row_hi) {
+    for (int64_t i = row_lo; i < row_hi; ++i) {
+      float* ci = c + i * n;
+      const float* ai = a + i * k;
+      for (int64_t p = 0; p < k; ++p) {
+        const float aip = ai[p];
+        if (aip == 0.0f) continue;  // common for sparse adjacency rows
+        const float* bp = b + p * n;
+        for (int64_t j = 0; j < n; ++j) ci[j] += aip * bp[j];
+      }
     }
-  }
+  });
 }
 
 }  // namespace
@@ -281,10 +313,14 @@ Tensor BatchMatMul(const Tensor& a, const Tensor& b) {
     n = b.dim(2);
   }
   Tensor out = Tensor::Zeros({batch, m, n});
-  for (int64_t i = 0; i < batch; ++i) {
-    const float* bi = shared_b ? b.data() : b.data() + i * k * n;
-    MatMulKernel(a.data() + i * m * k, bi, out.data() + i * m * n, m, k, n);
-  }
+  // Outer parallelism over the batch dim; MatMulKernel's row-panel split
+  // runs inline inside pool workers.
+  ParallelFor(0, batch, GrainForCost(m * k * n), [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      const float* bi = shared_b ? b.data() : b.data() + i * k * n;
+      MatMulKernel(a.data() + i * m * k, bi, out.data() + i * m * n, m, k, n);
+    }
+  });
   return out;
 }
 
@@ -295,9 +331,11 @@ Tensor Transpose(const Tensor& a) {
   Tensor out({n, m});
   const float* pa = a.data();
   float* po = out.data();
-  for (int64_t i = 0; i < m; ++i) {
-    for (int64_t j = 0; j < n; ++j) po[j * m + i] = pa[i * n + j];
-  }
+  ParallelFor(0, m, GrainForCost(n), [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      for (int64_t j = 0; j < n; ++j) po[j * m + i] = pa[i * n + j];
+    }
+  });
   return out;
 }
 
@@ -310,21 +348,28 @@ Tensor Permute(const Tensor& a, const std::vector<int64_t>& perm) {
   std::vector<int64_t> perm_strides(perm.size());
   for (size_t i = 0; i < perm.size(); ++i) perm_strides[i] = in_strides[perm[i]];
   const int64_t rank = a.ndim();
-  std::vector<int64_t> idx(rank, 0);
   const float* pa = a.data();
   float* po = out.data();
-  const int64_t n = a.numel();
-  int64_t src = 0;
-  for (int64_t flat = 0; flat < n; ++flat) {
-    po[flat] = pa[src];
+  ParallelFor(0, a.numel(), kElemGrain, [&](int64_t lo, int64_t hi) {
+    std::vector<int64_t> idx(rank, 0);
+    int64_t src = 0;
+    int64_t rem = lo;
     for (int64_t d = rank - 1; d >= 0; --d) {
-      ++idx[d];
-      src += perm_strides[d];
-      if (idx[d] < out_shape[d]) break;
-      src -= perm_strides[d] * out_shape[d];
-      idx[d] = 0;
+      idx[d] = rem % out_shape[d];
+      rem /= out_shape[d];
+      src += idx[d] * perm_strides[d];
     }
-  }
+    for (int64_t flat = lo; flat < hi; ++flat) {
+      po[flat] = pa[src];
+      for (int64_t d = rank - 1; d >= 0; --d) {
+        ++idx[d];
+        src += perm_strides[d];
+        if (idx[d] < out_shape[d]) break;
+        src -= perm_strides[d] * out_shape[d];
+        idx[d] = 0;
+      }
+    }
+  });
   return out;
 }
 
@@ -332,6 +377,9 @@ Tensor Permute(const Tensor& a, const std::vector<int64_t>& perm) {
 // Reductions
 // ---------------------------------------------------------------------------
 
+// SumAll/Norm/Dot stay serial: their single running accumulator has no
+// per-output fold to preserve, so any chunked version would change the
+// floating-point association relative to the established serial results.
 Tensor SumAll(const Tensor& a) {
   double acc = 0;
   const float* p = a.data();
@@ -348,17 +396,29 @@ Tensor MeanAll(const Tensor& a) {
 float MaxAll(const Tensor& a) {
   RTGCN_CHECK_GT(a.numel(), 0);
   const float* p = a.data();
-  float best = p[0];
-  for (int64_t i = 1; i < a.numel(); ++i) best = std::max(best, p[i]);
-  return best;
+  // max is exact under any association, so the chunked reduction matches
+  // the serial scan bit-for-bit.
+  return ParallelReduce(
+      0, a.numel(), kElemGrain, -std::numeric_limits<float>::infinity(),
+      [&](int64_t lo, int64_t hi) {
+        float best = p[lo];
+        for (int64_t i = lo + 1; i < hi; ++i) best = std::max(best, p[i]);
+        return best;
+      },
+      [](float x, float y) { return std::max(x, y); });
 }
 
 float MinAll(const Tensor& a) {
   RTGCN_CHECK_GT(a.numel(), 0);
   const float* p = a.data();
-  float best = p[0];
-  for (int64_t i = 1; i < a.numel(); ++i) best = std::min(best, p[i]);
-  return best;
+  return ParallelReduce(
+      0, a.numel(), kElemGrain, std::numeric_limits<float>::infinity(),
+      [&](int64_t lo, int64_t hi) {
+        float best = p[lo];
+        for (int64_t i = lo + 1; i < hi; ++i) best = std::min(best, p[i]);
+        return best;
+      },
+      [](float x, float y) { return std::min(x, y); });
 }
 
 namespace {
@@ -392,13 +452,17 @@ Tensor Sum(const Tensor& a, int64_t axis, bool keepdims) {
   Tensor out = Tensor::Zeros(ReducedShape(a.shape(), axis, keepdims));
   const float* pa = a.data();
   float* po = out.data();
-  for (int64_t o = 0; o < outer; ++o) {
-    for (int64_t l = 0; l < len; ++l) {
-      const float* src = pa + (o * len + l) * inner;
-      float* dst = po + o * inner;
-      for (int64_t i = 0; i < inner; ++i) dst[i] += src[i];
+  // Parallel over the outer dim: each output slice accumulates over `len`
+  // in the serial order, so the split does not change the fold tree.
+  ParallelFor(0, outer, GrainForCost(len * inner), [&](int64_t lo, int64_t hi) {
+    for (int64_t o = lo; o < hi; ++o) {
+      for (int64_t l = 0; l < len; ++l) {
+        const float* src = pa + (o * len + l) * inner;
+        float* dst = po + o * inner;
+        for (int64_t i = 0; i < inner; ++i) dst[i] += src[i];
+      }
     }
-  }
+  });
   return out;
 }
 
@@ -416,13 +480,15 @@ Tensor Max(const Tensor& a, int64_t axis, bool keepdims) {
                             -std::numeric_limits<float>::infinity());
   const float* pa = a.data();
   float* po = out.data();
-  for (int64_t o = 0; o < outer; ++o) {
-    for (int64_t l = 0; l < len; ++l) {
-      const float* src = pa + (o * len + l) * inner;
-      float* dst = po + o * inner;
-      for (int64_t i = 0; i < inner; ++i) dst[i] = std::max(dst[i], src[i]);
+  ParallelFor(0, outer, GrainForCost(len * inner), [&](int64_t lo, int64_t hi) {
+    for (int64_t o = lo; o < hi; ++o) {
+      for (int64_t l = 0; l < len; ++l) {
+        const float* src = pa + (o * len + l) * inner;
+        float* dst = po + o * inner;
+        for (int64_t i = 0; i < inner; ++i) dst[i] = std::max(dst[i], src[i]);
+      }
     }
-  }
+  });
   return out;
 }
 
@@ -433,20 +499,22 @@ Tensor Argmax(const Tensor& a, int64_t axis) {
   Tensor out = Tensor::Zeros(ReducedShape(a.shape(), axis, false));
   const float* pa = a.data();
   float* po = out.data();
-  for (int64_t o = 0; o < outer; ++o) {
-    for (int64_t i = 0; i < inner; ++i) {
-      float best = pa[o * len * inner + i];
-      int64_t arg = 0;
-      for (int64_t l = 1; l < len; ++l) {
-        const float v = pa[(o * len + l) * inner + i];
-        if (v > best) {
-          best = v;
-          arg = l;
+  ParallelFor(0, outer, GrainForCost(len * inner), [&](int64_t lo, int64_t hi) {
+    for (int64_t o = lo; o < hi; ++o) {
+      for (int64_t i = 0; i < inner; ++i) {
+        float best = pa[o * len * inner + i];
+        int64_t arg = 0;
+        for (int64_t l = 1; l < len; ++l) {
+          const float v = pa[(o * len + l) * inner + i];
+          if (v > best) {
+            best = v;
+            arg = l;
+          }
         }
+        po[o * inner + i] = static_cast<float>(arg);
       }
-      po[o * inner + i] = static_cast<float>(arg);
     }
-  }
+  });
   return out;
 }
 
@@ -474,10 +542,12 @@ Tensor Slice(const Tensor& a, int64_t axis, int64_t start, int64_t end) {
   const float* pa = a.data();
   float* po = out.data();
   const int64_t span = (end - start) * inner;
-  for (int64_t o = 0; o < outer; ++o) {
-    std::memcpy(po + o * span, pa + (o * len + start) * inner,
-                span * sizeof(float));
-  }
+  ParallelFor(0, outer, GrainForCost(span), [&](int64_t lo, int64_t hi) {
+    for (int64_t o = lo; o < hi; ++o) {
+      std::memcpy(po + o * span, pa + (o * len + start) * inner,
+                  span * sizeof(float));
+    }
+  });
   return out;
 }
 

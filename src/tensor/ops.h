@@ -3,6 +3,12 @@
 // Binary elementwise ops broadcast in NumPy fashion. Reductions take an axis
 // (negative axes count from the back) and optionally keep the reduced
 // dimension. The differentiable layer in autograd/ builds on these kernels.
+//
+// Elementwise ops, matmul (row panels), batched matmul (batch dim), axis
+// reductions (outer dim), and layout transforms run on the shared thread
+// pool (common/thread_pool.h). Chunk boundaries depend only on problem
+// size, and every output element keeps its serial accumulation order, so
+// results are bit-identical at any --num_threads setting.
 #ifndef RTGCN_TENSOR_OPS_H_
 #define RTGCN_TENSOR_OPS_H_
 

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "baselines/catalog.h"
+#include "common/thread_pool.h"
 #include "harness/evaluator.h"
 #include "market/market.h"
 #include "rank/wilcoxon.h"
@@ -69,6 +70,35 @@ TEST(IntegrationTest, DeterministicGivenSeeds) {
   baselines::ExperimentResult b = baselines::RunExperiment(data, config);
   EXPECT_DOUBLE_EQ(a.eval.backtest.mrr, b.eval.backtest.mrr);
   EXPECT_DOUBLE_EQ(a.eval.backtest.irr.at(5), b.eval.backtest.irr.at(5));
+}
+
+TEST(IntegrationTest, ThreadCountInvariantTraining) {
+  // Determinism regression for the parallel backend: a fixed-seed
+  // end-to-end train + eval of the time-sensitive RT-GCN must produce
+  // identical metrics across thread counts and across repeated runs.
+  market::MarketData data = SmallMarket(44);
+  baselines::ExperimentConfig config;
+  config.model = "RT-GCN (T)";
+  config.model_config.window = 10;
+  config.model_config.hidden = 8;
+  config.train.epochs = 2;
+  SetNumThreads(1);
+  baselines::ExperimentResult serial = baselines::RunExperiment(data, config);
+  baselines::ExperimentResult again = baselines::RunExperiment(data, config);
+  EXPECT_DOUBLE_EQ(serial.eval.backtest.mrr, again.eval.backtest.mrr);
+  EXPECT_DOUBLE_EQ(serial.eval.backtest.irr.at(5),
+                   again.eval.backtest.irr.at(5));
+  for (int t : {2, 4}) {
+    SetNumThreads(t);
+    baselines::ExperimentResult r = baselines::RunExperiment(data, config);
+    EXPECT_DOUBLE_EQ(serial.eval.backtest.mrr, r.eval.backtest.mrr)
+        << "threads=" << t;
+    EXPECT_DOUBLE_EQ(serial.eval.backtest.irr.at(1), r.eval.backtest.irr.at(1))
+        << "threads=" << t;
+    EXPECT_DOUBLE_EQ(serial.eval.backtest.irr.at(5), r.eval.backtest.irr.at(5))
+        << "threads=" << t;
+  }
+  SetNumThreads(0);
 }
 
 TEST(IntegrationTest, WilcoxonOnRealRunSamples) {
