@@ -40,6 +40,19 @@ inline std::vector<market::MarketSpec> MarketsFromFlags(const Flags& flags) {
   return specs;
 }
 
+/// Applies the shared crash-safe checkpointing flags to a TrainOptions:
+/// --checkpoint_dir DIR (enables periodic save + resume-from-latest),
+/// --checkpoint_every N, --checkpoint_keep N, --resume 0/1.
+inline void ApplyCheckpointFlags(const Flags& flags,
+                                 harness::TrainOptions* train) {
+  train->checkpoint_dir = flags.GetString("checkpoint_dir", "");
+  train->checkpoint_every =
+      flags.GetInt("checkpoint_every", train->checkpoint_every);
+  train->checkpoint_keep =
+      flags.GetInt("checkpoint_keep", train->checkpoint_keep);
+  train->resume = flags.GetBool("resume", train->resume);
+}
+
 inline std::string Fmt3(double v) { return FormatFixed(v, 3); }
 inline std::string Fmt2(double v) { return FormatFixed(v, 2); }
 

@@ -35,6 +35,13 @@ int Run(int argc, char** argv) {
       baselines::ExperimentConfig config;
       config.model = model;
       config.train.epochs = epochs;
+      // With --checkpoint_dir set, a killed sweep resumes the interrupted
+      // model's training from its latest epoch checkpoint (per-model subdir
+      // so repetitions/models don't collide).
+      ApplyCheckpointFlags(flags, &config.train);
+      if (!config.train.checkpoint_dir.empty()) {
+        config.train.checkpoint_dir += "/" + spec.name + "_" + model;
+      }
       // alpha tuned on this simulator (Fig. 7 sweep): 0.1 for every market.
       config.model_config.alpha = 0.1f;
       baselines::RepeatedMetrics m = baselines::RunRepeated(data, config, reps);

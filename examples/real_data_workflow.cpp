@@ -90,6 +90,10 @@ int main(int argc, char** argv) {
   baselines::RtGcnPredictor model(relations, cfg, /*alpha=*/0.1f, /*seed=*/7);
   harness::TrainOptions opts;
   opts.epochs = flags.GetInt("epochs", 10);
+  // Crash-safe training: with --checkpoint_dir the run saves every epoch
+  // and a re-run resumes from the latest checkpoint instead of restarting.
+  opts.checkpoint_dir = flags.GetString("checkpoint_dir", "");
+  opts.resume = flags.GetBool("resume", true);
   model.Fit(dataset, split.train_days, opts);
   std::printf("trained %lld epochs in %.1fs\n", (long long)opts.epochs,
               model.fit_stats().train_seconds);

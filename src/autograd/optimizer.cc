@@ -4,6 +4,41 @@
 
 namespace rtgcn::ag {
 
+Status Optimizer::LoadState(const OptimizerState& state) {
+  if (state.type != "none" || !state.slots.empty()) {
+    return Status::InvalidArgument("optimizer has no state; snapshot type '",
+                                   state.type, "' with ", state.slots.size(),
+                                   " slots");
+  }
+  return Status::OK();
+}
+
+Status Optimizer::CheckState(const OptimizerState& state,
+                             const std::string& type,
+                             size_t slots_per_param) const {
+  if (state.type != type) {
+    return Status::InvalidArgument("optimizer state type mismatch: snapshot '",
+                                   state.type, "' vs optimizer '", type, "'");
+  }
+  if (state.slots.size() != slots_per_param * params_.size()) {
+    return Status::InvalidArgument(
+        "optimizer state has ", state.slots.size(), " slots, expected ",
+        slots_per_param * params_.size());
+  }
+  for (size_t g = 0; g < slots_per_param; ++g) {
+    for (size_t i = 0; i < params_.size(); ++i) {
+      const Tensor& slot = state.slots[g * params_.size() + i];
+      if (slot.shape() != params_[i]->shape()) {
+        return Status::InvalidArgument(
+            "optimizer slot ", g * params_.size() + i, " shape ",
+            ShapeToString(slot.shape()), " vs parameter ",
+            ShapeToString(params_[i]->shape()));
+      }
+    }
+  }
+  return Status::OK();
+}
+
 void Optimizer::ClipGradNorm(float max_norm) {
   double total = 0;
   for (const auto& p : params_) {
@@ -37,6 +72,27 @@ void Sgd::Step() {
       p->value = rtgcn::Sub(p->value, rtgcn::MulScalar(p->grad, lr_));
     }
   }
+}
+
+OptimizerState Sgd::State() const {
+  OptimizerState state{"sgd", 0, {}};
+  state.slots.reserve(params_.size());
+  for (size_t i = 0; i < params_.size(); ++i) {
+    // Lazily-created velocities are snapshotted as explicit zeros so the
+    // slot list always has one entry per parameter.
+    state.slots.push_back(velocity_[i].defined()
+                              ? velocity_[i].Clone()
+                              : Tensor::Zeros(params_[i]->shape()));
+  }
+  return state;
+}
+
+Status Sgd::LoadState(const OptimizerState& state) {
+  RTGCN_RETURN_NOT_OK(CheckState(state, "sgd", 1));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    velocity_[i] = state.slots[i].Clone();
+  }
+  return Status::OK();
 }
 
 Adam::Adam(std::vector<VarPtr> params, float lr, float beta1, float beta2,
@@ -80,6 +136,32 @@ void Adam::Step() {
       pw[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
     }
   }
+}
+
+OptimizerState Adam::State() const {
+  OptimizerState state{"adam", t_, {}};
+  state.slots.reserve(2 * params_.size());
+  for (const auto& mom : {&m_, &v_}) {
+    for (size_t i = 0; i < params_.size(); ++i) {
+      state.slots.push_back((*mom)[i].defined()
+                                ? (*mom)[i].Clone()
+                                : Tensor::Zeros(params_[i]->shape()));
+    }
+  }
+  return state;
+}
+
+Status Adam::LoadState(const OptimizerState& state) {
+  RTGCN_RETURN_NOT_OK(CheckState(state, "adam", 2));
+  if (state.step < 0) {
+    return Status::InvalidArgument("negative Adam step ", state.step);
+  }
+  t_ = state.step;
+  for (size_t i = 0; i < params_.size(); ++i) {
+    m_[i] = state.slots[i].Clone();
+    v_[i] = state.slots[params_.size() + i].Clone();
+  }
+  return Status::OK();
 }
 
 }  // namespace rtgcn::ag

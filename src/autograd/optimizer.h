@@ -2,11 +2,25 @@
 #ifndef RTGCN_AUTOGRAD_OPTIMIZER_H_
 #define RTGCN_AUTOGRAD_OPTIMIZER_H_
 
+#include <string>
 #include <vector>
 
 #include "autograd/variable.h"
+#include "common/status.h"
 
 namespace rtgcn::ag {
+
+/// \brief Snapshot of an optimizer's internal state, for checkpoint/resume.
+///
+/// `slots` holds per-parameter moment tensors in an optimizer-defined order
+/// (SGD: one velocity per parameter; Adam: all first moments, then all
+/// second moments). Tensors are deep copies, so a snapshot stays valid
+/// while training continues.
+struct OptimizerState {
+  std::string type;           ///< "sgd" | "adam" (validated on load)
+  int64_t step = 0;           ///< update count (Adam bias correction)
+  std::vector<Tensor> slots;  ///< moment tensors, optimizer-defined order
+};
 
 /// \brief Base optimizer interface.
 class Optimizer {
@@ -16,6 +30,15 @@ class Optimizer {
 
   /// Applies one update using the gradients currently stored on the params.
   virtual void Step() = 0;
+
+  /// Deep-copied snapshot of the optimizer's state. The base class has no
+  /// state (type "none", no slots).
+  virtual OptimizerState State() const { return {"none", 0, {}}; }
+
+  /// Restores a snapshot taken by State() on an optimizer of the same type
+  /// over the same parameter list. Validates type and slot shapes; on error
+  /// the optimizer is left unchanged.
+  virtual Status LoadState(const OptimizerState& state);
 
   /// Clears gradients on all parameters.
   void ZeroGrad() {
@@ -28,6 +51,11 @@ class Optimizer {
   const std::vector<VarPtr>& params() const { return params_; }
 
  protected:
+  /// Shared validation: `state.type == type` and one slot of the matching
+  /// shape per parameter for each of `slots_per_param` groups.
+  Status CheckState(const OptimizerState& state, const std::string& type,
+                    size_t slots_per_param) const;
+
   std::vector<VarPtr> params_;
 };
 
@@ -36,6 +64,8 @@ class Sgd : public Optimizer {
  public:
   Sgd(std::vector<VarPtr> params, float lr, float momentum = 0.0f);
   void Step() override;
+  OptimizerState State() const override;
+  Status LoadState(const OptimizerState& state) override;
 
  private:
   float lr_;
@@ -49,6 +79,8 @@ class Adam : public Optimizer {
   Adam(std::vector<VarPtr> params, float lr = 1e-3f, float beta1 = 0.9f,
        float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.0f);
   void Step() override;
+  OptimizerState State() const override;
+  Status LoadState(const OptimizerState& state) override;
 
  private:
   float lr_, beta1_, beta2_, eps_, weight_decay_;

@@ -174,9 +174,17 @@ double RepeatedMetrics::MeanIrr(int64_t k) const {
 RepeatedMetrics RunRepeated(const market::MarketData& data,
                             ExperimentConfig config, int64_t repetitions) {
   RepeatedMetrics metrics;
+  // Each repetition trains with different seeds, so each needs its own
+  // checkpoint lineage — sharing one directory would make rep r resume
+  // from rep r-1's finished run and skip training entirely.
+  const std::string checkpoint_base = config.train.checkpoint_dir;
   for (int64_t rep = 0; rep < repetitions; ++rep) {
     config.model_config.seed = 1000 + 31 * rep;
     config.train.seed = 2000 + 17 * rep;
+    if (!checkpoint_base.empty()) {
+      config.train.checkpoint_dir =
+          checkpoint_base + "/rep" + std::to_string(rep);
+    }
     ExperimentResult result = RunExperiment(data, config);
     metrics.has_mrr = result.eval.has_mrr;
     metrics.mrr.push_back(result.eval.backtest.mrr);

@@ -1,0 +1,24 @@
+// CRC-32 (IEEE 802.3 / zlib polynomial 0xEDB88320) used to protect
+// checkpoint records against torn writes and bit rot. Detects all
+// single-bit errors and all burst errors up to 32 bits.
+#ifndef RTGCN_COMMON_CRC32_H_
+#define RTGCN_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace rtgcn {
+
+/// CRC-32 of `len` bytes at `data`, continuing from `crc` (pass 0 to start
+/// a new checksum; feed the previous return value to checksum a buffer in
+/// pieces).
+uint32_t Crc32(const void* data, size_t len, uint32_t crc = 0);
+
+inline uint32_t Crc32(std::string_view s, uint32_t crc = 0) {
+  return Crc32(s.data(), s.size(), crc);
+}
+
+}  // namespace rtgcn
+
+#endif  // RTGCN_COMMON_CRC32_H_

@@ -6,6 +6,103 @@
 
 namespace rtgcn {
 
+namespace {
+
+// RFC-4180 field quoting: a field is quoted iff it contains a comma, a
+// double quote, or a line break; embedded quotes are doubled.
+bool NeedsQuoting(const std::string& field) {
+  return field.find_first_of(",\"\r\n") != std::string::npos;
+}
+
+void AppendField(std::string* out, const std::string& field) {
+  if (!NeedsQuoting(field)) {
+    out->append(field);
+    return;
+  }
+  out->push_back('"');
+  for (char c : field) {
+    if (c == '"') out->push_back('"');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+// Parses RFC-4180 content into rows of fields. Handles quoted fields with
+// embedded commas, doubled quotes, and line breaks inside quotes. Outside
+// quotes, '\n' ends a row and '\r' is ignored (CRLF and LF files parse
+// identically, matching the previous reader's behavior). Rows with no
+// content (blank lines) are skipped.
+Status ParseCsv(const std::string& content, const std::string& path,
+                std::vector<std::vector<std::string>>* rows) {
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;  // true once the current row has any content
+  size_t i = 0;
+  const size_t size = content.size();
+  auto end_field = [&] {
+    row.push_back(std::move(field));
+    field.clear();
+  };
+  auto end_row = [&] {
+    if (field_started || !row.empty()) {
+      end_field();
+      rows->push_back(std::move(row));
+      row.clear();
+    }
+    field_started = false;
+  };
+  while (i < size) {
+    const char c = content[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < size && content[i + 1] == '"') {
+          field.push_back('"');
+          i += 2;
+          continue;
+        }
+        in_quotes = false;
+        ++i;
+        continue;
+      }
+      field.push_back(c);
+      ++i;
+      continue;
+    }
+    switch (c) {
+      case '"':
+        if (!field.empty()) {
+          return Status::IoError("stray quote inside unquoted field in ",
+                                 path);
+        }
+        in_quotes = true;
+        field_started = true;
+        break;
+      case ',':
+        end_field();
+        field_started = true;  // a separator implies a (possibly empty) next field
+        break;
+      case '\n':
+        end_row();
+        break;
+      case '\r':
+        break;  // CRLF normalization
+      default:
+        field.push_back(c);
+        field_started = true;
+        break;
+    }
+    ++i;
+  }
+  if (in_quotes) {
+    return Status::IoError("unterminated quoted field in ", path);
+  }
+  end_row();  // final row without trailing newline
+  return Status::OK();
+}
+
+}  // namespace
+
 int CsvTable::ColumnIndex(const std::string& name) const {
   for (size_t i = 0; i < header.size(); ++i) {
     if (header[i] == name) return static_cast<int>(i);
@@ -14,39 +111,47 @@ int CsvTable::ColumnIndex(const std::string& name) const {
 }
 
 Result<CsvTable> ReadCsv(const std::string& path) {
-  std::ifstream in(path);
+  std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IoError("cannot open ", path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  if (in.bad()) return Status::IoError("read failure on ", path);
+
+  std::vector<std::vector<std::string>> rows;
+  RTGCN_RETURN_NOT_OK(ParseCsv(content, path, &rows));
+  if (rows.empty()) return Status::IoError("empty CSV ", path);
+
   CsvTable table;
-  std::string line;
-  bool first = true;
-  while (std::getline(in, line)) {
-    if (!line.empty() && line.back() == '\r') line.pop_back();
-    if (line.empty()) continue;
-    auto fields = Split(line, ',');
-    if (first) {
-      table.header = std::move(fields);
-      first = false;
-    } else {
-      if (fields.size() != table.header.size()) {
-        return Status::IoError("row width mismatch in ", path, ": expected ",
-                               table.header.size(), " got ", fields.size());
-      }
-      table.rows.push_back(std::move(fields));
+  table.header = std::move(rows.front());
+  for (size_t r = 1; r < rows.size(); ++r) {
+    if (rows[r].size() != table.header.size()) {
+      return Status::IoError("row width mismatch in ", path, ": expected ",
+                             table.header.size(), " got ", rows[r].size());
     }
+    table.rows.push_back(std::move(rows[r]));
   }
-  if (first) return Status::IoError("empty CSV ", path);
   return table;
 }
 
 Status WriteCsv(const std::string& path, const CsvTable& table) {
-  std::ofstream out(path);
+  std::ofstream out(path, std::ios::binary);
   if (!out) return Status::IoError("cannot create ", path);
-  out << Join(table.header, ",") << "\n";
+  std::string line;
+  auto write_row = [&](const std::vector<std::string>& row) {
+    line.clear();
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) line.push_back(',');
+      AppendField(&line, row[i]);
+    }
+    line.push_back('\n');
+    out << line;
+  };
+  write_row(table.header);
   for (const auto& row : table.rows) {
     if (row.size() != table.header.size()) {
       return Status::InvalidArgument("row width mismatch when writing ", path);
     }
-    out << Join(row, ",") << "\n";
+    write_row(row);
   }
   if (!out) return Status::IoError("write failure on ", path);
   return Status::OK();

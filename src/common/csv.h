@@ -19,11 +19,14 @@ struct CsvTable {
   int ColumnIndex(const std::string& name) const;
 };
 
-/// Reads a CSV file. Fields are split on commas; no quoting support
-/// (our files never contain embedded commas).
+/// Reads a CSV file with RFC-4180 quoting: quoted fields may contain
+/// commas, doubled double-quotes, and line breaks. CRLF and LF files parse
+/// identically; blank lines are skipped.
 Result<CsvTable> ReadCsv(const std::string& path);
 
-/// Writes a CSV file, creating/truncating `path`.
+/// Writes a CSV file, creating/truncating `path`. Fields containing a
+/// comma, quote, or line break are quoted per RFC 4180, so any table
+/// round-trips exactly through ReadCsv.
 Status WriteCsv(const std::string& path, const CsvTable& table);
 
 }  // namespace rtgcn

@@ -17,6 +17,15 @@ namespace rtgcn {
 /// \brief Fast, seedable PRNG (xoshiro256++) with convenience distributions.
 class Rng {
  public:
+  /// \brief Complete generator state, for checkpoint/restore. Restoring a
+  /// captured state resumes the exact output stream (including the cached
+  /// second Gaussian of the Marsaglia polar pair).
+  struct State {
+    uint64_t s[4] = {0, 0, 0, 0};
+    bool has_gauss = false;
+    double cached_gauss = 0.0;
+  };
+
   explicit Rng(uint64_t seed = 42) { Seed(seed); }
 
   void Seed(uint64_t seed) {
@@ -111,6 +120,20 @@ class Rng {
 
   /// Derives an independent child stream (for per-component seeding).
   Rng Fork() { return Rng(NextU64()); }
+
+  State GetState() const {
+    State st;
+    for (int i = 0; i < 4; ++i) st.s[i] = state_[i];
+    st.has_gauss = has_gauss_;
+    st.cached_gauss = cached_gauss_;
+    return st;
+  }
+
+  void SetState(const State& st) {
+    for (int i = 0; i < 4; ++i) state_[i] = st.s[i];
+    has_gauss_ = st.has_gauss;
+    cached_gauss_ = st.cached_gauss;
+  }
 
  private:
   static uint64_t Rotl(uint64_t x, int k) {

@@ -1,0 +1,101 @@
+#include "harness/checkpoint.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/file_util.h"
+#include "common/logging.h"
+
+namespace rtgcn::harness {
+
+namespace {
+
+constexpr char kPrefix[] = "ckpt-";
+constexpr char kSuffix[] = ".rtgcn";
+
+/// Parses "ckpt-00000012.rtgcn" -> 12; -1 for anything else (including the
+/// ".tmp.<pid>" leftovers an interrupted atomic write leaves behind).
+int64_t ParseCheckpointName(const std::string& name) {
+  const size_t prefix_len = sizeof(kPrefix) - 1;
+  const size_t suffix_len = sizeof(kSuffix) - 1;
+  if (name.size() <= prefix_len + suffix_len) return -1;
+  if (name.compare(0, prefix_len, kPrefix) != 0) return -1;
+  if (name.compare(name.size() - suffix_len, suffix_len, kSuffix) != 0) {
+    return -1;
+  }
+  int64_t epoch = 0;
+  for (size_t i = prefix_len; i < name.size() - suffix_len; ++i) {
+    if (name[i] < '0' || name[i] > '9') return -1;
+    epoch = epoch * 10 + (name[i] - '0');
+    if (epoch > (int64_t{1} << 40)) return -1;
+  }
+  return epoch;
+}
+
+}  // namespace
+
+CheckpointManager::CheckpointManager(Options options)
+    : options_(std::move(options)) {}
+
+Status CheckpointManager::Init() {
+  if (options_.dir.empty()) {
+    return Status::InvalidArgument("checkpoint directory not set");
+  }
+  return EnsureDirectory(options_.dir);
+}
+
+std::string CheckpointManager::CheckpointPath(int64_t epoch) const {
+  char name[64];
+  std::snprintf(name, sizeof(name), "%s%08lld%s", kPrefix,
+                static_cast<long long>(epoch), kSuffix);
+  return options_.dir + "/" + name;
+}
+
+Result<std::vector<int64_t>> CheckpointManager::ListCheckpoints() const {
+  auto entries = ListDirectory(options_.dir);
+  if (!entries.ok()) return entries.status();
+  std::vector<int64_t> epochs;
+  for (const std::string& name : entries.ValueOrDie()) {
+    const int64_t epoch = ParseCheckpointName(name);
+    if (epoch >= 0) epochs.push_back(epoch);
+  }
+  std::sort(epochs.begin(), epochs.end());
+  return epochs;
+}
+
+Status CheckpointManager::Save(const nn::Module& module,
+                               const nn::TrainingState& state) {
+  RTGCN_RETURN_NOT_OK(
+      nn::SaveCheckpoint(module, CheckpointPath(state.epoch), &state));
+  return Prune();
+}
+
+Status CheckpointManager::Prune() {
+  if (options_.keep <= 0) return Status::OK();
+  auto epochs = ListCheckpoints();
+  if (!epochs.ok()) return epochs.status();
+  const auto& list = epochs.ValueOrDie();
+  const int64_t excess =
+      static_cast<int64_t>(list.size()) - options_.keep;
+  for (int64_t i = 0; i < excess; ++i) {
+    RTGCN_RETURN_NOT_OK(RemoveFileIfExists(CheckpointPath(list[i])));
+  }
+  return Status::OK();
+}
+
+Status CheckpointManager::LoadLatest(nn::Module* module,
+                                     nn::TrainingState* state) {
+  auto epochs = ListCheckpoints();
+  if (!epochs.ok()) return epochs.status();
+  const auto& list = epochs.ValueOrDie();
+  for (auto it = list.rbegin(); it != list.rend(); ++it) {
+    const std::string path = CheckpointPath(*it);
+    const Status status = nn::LoadCheckpoint(module, path, state);
+    if (status.ok()) return status;
+    RTGCN_LOG(Warning) << "skipping unloadable checkpoint " << path << ": "
+                       << status.ToString();
+  }
+  return Status::NotFound("no loadable checkpoint in ", options_.dir);
+}
+
+}  // namespace rtgcn::harness

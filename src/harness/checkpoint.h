@@ -1,0 +1,66 @@
+// Periodic crash-safe checkpointing for training loops.
+//
+// A CheckpointManager owns a directory of numbered checkpoints
+// (ckpt-<epoch, 8 digits>.rtgcn), each written atomically via
+// nn::SaveCheckpoint. It keeps the newest `keep` files, and resume walks
+// the directory newest-first, skipping any checkpoint that fails
+// validation (e.g. the crash happened mid-write on a filesystem without
+// atomic rename) so training always restarts from the newest *consistent*
+// state.
+#ifndef RTGCN_HARNESS_CHECKPOINT_H_
+#define RTGCN_HARNESS_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "nn/serialize.h"
+
+namespace rtgcn::harness {
+
+/// \brief Saves / restores numbered training checkpoints in a directory.
+class CheckpointManager {
+ public:
+  struct Options {
+    std::string dir;    ///< checkpoint directory (created if missing)
+    int64_t every = 1;  ///< save every N completed epochs
+    int64_t keep = 3;   ///< newest checkpoints retained (0 = unlimited)
+  };
+
+  explicit CheckpointManager(Options options);
+
+  /// Creates the checkpoint directory. Must succeed before Save/LoadLatest.
+  Status Init();
+
+  /// True when a checkpoint is due after `completed_epochs` epochs.
+  bool ShouldSave(int64_t completed_epochs) const {
+    return options_.every > 0 && completed_epochs > 0 &&
+           completed_epochs % options_.every == 0;
+  }
+
+  /// Writes ckpt-<state.epoch>.rtgcn atomically, then prunes beyond `keep`.
+  Status Save(const nn::Module& module, const nn::TrainingState& state);
+
+  /// Restores the newest loadable checkpoint into `module`/`state`.
+  /// Unreadable or corrupt checkpoints are skipped (newest-first).
+  /// Returns NotFound when the directory holds no loadable checkpoint.
+  Status LoadLatest(nn::Module* module, nn::TrainingState* state);
+
+  /// Epochs of the checkpoints currently on disk, ascending.
+  Result<std::vector<int64_t>> ListCheckpoints() const;
+
+  /// Full path of the checkpoint for `epoch`.
+  std::string CheckpointPath(int64_t epoch) const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  Status Prune();
+
+  Options options_;
+};
+
+}  // namespace rtgcn::harness
+
+#endif  // RTGCN_HARNESS_CHECKPOINT_H_

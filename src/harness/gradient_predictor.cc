@@ -3,6 +3,7 @@
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "core/loss.h"
+#include "harness/checkpoint.h"
 
 namespace rtgcn::harness {
 
@@ -34,9 +35,38 @@ void GradientPredictor::Fit(const market::WindowDataset& data,
   ag::Adam optimizer(mod->Parameters(), options.learning_rate, 0.9f, 0.999f,
                      1e-8f, options.weight_decay);
 
-  Stopwatch watch;
   std::vector<int64_t> days = train_days;
-  for (int64_t epoch = 0; epoch < options.epochs; ++epoch) {
+  int64_t start_epoch = 0;
+  std::unique_ptr<CheckpointManager> checkpoints;
+  if (!options.checkpoint_dir.empty()) {
+    checkpoints = std::make_unique<CheckpointManager>(CheckpointManager::Options{
+        options.checkpoint_dir, options.checkpoint_every,
+        options.checkpoint_keep});
+    checkpoints->Init().Abort();
+    if (options.resume) {
+      nn::TrainingState state;
+      const Status status = checkpoints->LoadLatest(mod, &state);
+      if (status.ok()) {
+        start_epoch = state.epoch;
+        if (state.has_optimizer) optimizer.LoadState(state.optimizer).Abort();
+        if (state.has_rng) rng_->SetState(state.rng);
+        if (state.has_trainer && state.day_order.size() == days.size()) {
+          // Restore the shuffle-in-progress so the next epoch's shuffle
+          // permutes exactly what the uninterrupted run would have seen.
+          days = state.day_order;
+        }
+        RTGCN_LOG(Info) << name() << " resumed from "
+                        << options.checkpoint_dir << " at epoch "
+                        << start_epoch;
+      } else if (status.code() != StatusCode::kNotFound) {
+        RTGCN_LOG(Warning) << name() << " resume failed: "
+                           << status.ToString();
+      }
+    }
+  }
+
+  Stopwatch watch;
+  for (int64_t epoch = start_epoch; epoch < options.epochs; ++epoch) {
     rng_->Shuffle(&days);
     double epoch_loss = 0;
     for (int64_t day : days) {
@@ -46,6 +76,23 @@ void GradientPredictor::Fit(const market::WindowDataset& data,
     if (options.verbose) {
       RTGCN_LOG(Info) << name() << " epoch " << epoch << " loss "
                       << epoch_loss / static_cast<double>(days.size());
+    }
+    if (checkpoints && (checkpoints->ShouldSave(epoch + 1) ||
+                        epoch + 1 == options.epochs)) {
+      nn::TrainingState state;
+      state.optimizer = optimizer.State();
+      state.has_optimizer = true;
+      state.rng = rng_->GetState();
+      state.has_rng = true;
+      state.epoch = epoch + 1;
+      state.day_cursor = 0;
+      state.day_order = days;
+      state.has_trainer = true;
+      const Status status = checkpoints->Save(*mod, state);
+      if (!status.ok()) {
+        RTGCN_LOG(Warning) << name() << " checkpoint save failed: "
+                           << status.ToString();
+      }
     }
   }
   fit_stats_.train_seconds = watch.ElapsedSeconds();

@@ -22,6 +22,10 @@ class GradientPredictor : public StockPredictor {
 
   Tensor Predict(const market::WindowDataset& data, int64_t day) override;
 
+  /// The trainable module, for external checkpointing of a predictor built
+  /// through the catalog factory (nn::SaveCheckpoint / LoadCheckpoint).
+  nn::Module* mutable_module() { return module(); }
+
  protected:
   /// The trainable module (for parameter collection and train/eval mode).
   virtual nn::Module* module() = 0;

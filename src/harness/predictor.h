@@ -20,6 +20,17 @@ struct TrainOptions {
   float grad_clip = 5.0f;
   uint64_t seed = 1;
   bool verbose = false;
+
+  // Crash-safe checkpointing (gradient-trained models). When
+  // `checkpoint_dir` is set, Fit saves a full training-state checkpoint
+  // (weights + optimizer moments + RNG + epoch cursor) every
+  // `checkpoint_every` epochs and, when `resume` is true, restarts from
+  // the newest loadable checkpoint in the directory — bit-identical to an
+  // uninterrupted run at the same seed and thread count.
+  std::string checkpoint_dir;
+  int64_t checkpoint_every = 1;
+  int64_t checkpoint_keep = 3;
+  bool resume = true;
 };
 
 /// \brief Timing collected during Fit/Predict (Figure 5).

@@ -34,6 +34,16 @@ class Module {
     return out;
   }
 
+  /// Parameters with hierarchical names ("proj.weight", "m0.cell.bias"),
+  /// in the same order as Parameters(). Submodules registered without an
+  /// explicit name get a registration-order name ("m0", "m1", ...), so the
+  /// manifest is deterministic for any module tree.
+  std::vector<std::pair<std::string, VarPtr>> NamedParameters() const {
+    std::vector<std::pair<std::string, VarPtr>> out;
+    CollectNamedParameters("", &out);
+    return out;
+  }
+
   /// Total number of trainable scalars.
   int64_t NumParameters() const {
     int64_t n = 0;
@@ -57,8 +67,15 @@ class Module {
     return v;
   }
 
-  /// Registers a child module (must outlive this module; typically a member).
-  void RegisterModule(Module* module) { submodules_.push_back(module); }
+  /// Registers a child module (must outlive this module; typically a
+  /// member). The unnamed form assigns a registration-order name.
+  void RegisterModule(Module* module) {
+    RegisterModule("m" + std::to_string(submodules_.size()), module);
+  }
+  void RegisterModule(std::string name, Module* module) {
+    submodules_.push_back(module);
+    submodule_names_.push_back(std::move(name));
+  }
 
  private:
   void CollectParameters(std::vector<VarPtr>* out) const {
@@ -66,8 +83,21 @@ class Module {
     for (const Module* m : submodules_) m->CollectParameters(out);
   }
 
+  void CollectNamedParameters(
+      const std::string& prefix,
+      std::vector<std::pair<std::string, VarPtr>>* out) const {
+    for (const auto& [name, p] : params_) {
+      out->emplace_back(prefix + name, p);
+    }
+    for (size_t i = 0; i < submodules_.size(); ++i) {
+      submodules_[i]->CollectNamedParameters(
+          prefix + submodule_names_[i] + ".", out);
+    }
+  }
+
   std::vector<std::pair<std::string, VarPtr>> params_;
   std::vector<Module*> submodules_;
+  std::vector<std::string> submodule_names_;
   bool training_ = true;
 };
 

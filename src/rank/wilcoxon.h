@@ -9,9 +9,12 @@
 namespace rtgcn::rank {
 
 /// One-sided paired Wilcoxon signed-rank test of H1: median(a - b) > 0.
-/// Uses the normal approximation with tie correction; zero differences are
-/// dropped (Pratt would be overkill at n = 15). Returns the p-value, or 1.0
-/// when every pair ties.
+/// For n <= 25 non-zero differences (the regime of the paper's 15-run
+/// protocol) the p-value comes from the exact signed-rank null
+/// distribution, computed tie-exactly over doubled midranks; larger n uses
+/// the normal approximation with midrank tie correction and continuity
+/// correction. Zero differences are dropped (Pratt would be overkill at
+/// n = 15). Returns the p-value, or 1.0 when every pair ties.
 double PairedWilcoxonPValue(const std::vector<double>& a,
                             const std::vector<double>& b);
 

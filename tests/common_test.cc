@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 
 #include "common/csv.h"
 #include "common/flags.h"
@@ -78,6 +79,55 @@ TEST(CsvTest, RoundTrip) {
 
 TEST(CsvTest, MissingFileIsIoError) {
   EXPECT_FALSE(ReadCsv("/nonexistent/nope.csv").ok());
+}
+
+TEST(CsvTest, QuotedFieldsRoundTrip) {
+  CsvTable table;
+  table.header = {"name", "note"};
+  table.rows = {{"a,b", "he said \"hi\""},
+                {"line\nbreak", "plain"},
+                {"", "trailing,comma,"}};
+  const std::string path = "/tmp/rtgcn_csv_quoted.csv";
+  WriteCsv(path, table).Abort();
+  CsvTable back = ReadCsv(path).ValueOrDie();
+  EXPECT_EQ(back.header, table.header);
+  EXPECT_EQ(back.rows, table.rows);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, ParsesRfc4180Input) {
+  const std::string path = "/tmp/rtgcn_csv_rfc4180.csv";
+  {
+    std::ofstream out(path, std::ios::binary);
+    // CRLF line endings, quoted commas/doubled quotes/embedded newline.
+    out << "sym,\"full name\"\r\n"
+        << "AAPL,\"Apple, Inc.\"\r\n"
+        << "Q,\"say \"\"hi\"\"\"\r\n"
+        << "NL,\"two\nlines\"\r\n";
+  }
+  CsvTable table = ReadCsv(path).ValueOrDie();
+  EXPECT_EQ(table.header, (std::vector<std::string>{"sym", "full name"}));
+  ASSERT_EQ(table.rows.size(), 3u);
+  EXPECT_EQ(table.rows[0],
+            (std::vector<std::string>{"AAPL", "Apple, Inc."}));
+  EXPECT_EQ(table.rows[1], (std::vector<std::string>{"Q", "say \"hi\""}));
+  EXPECT_EQ(table.rows[2], (std::vector<std::string>{"NL", "two\nlines"}));
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, RejectsMalformedQuoting) {
+  const std::string path = "/tmp/rtgcn_csv_bad.csv";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "a,b\n1,\"unterminated\n";
+  }
+  EXPECT_FALSE(ReadCsv(path).ok());
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "a,b\n1,str\"ay\n";
+  }
+  EXPECT_FALSE(ReadCsv(path).ok());
+  std::remove(path.c_str());
 }
 
 TEST(RngTest, UniformBounds) {

@@ -1,0 +1,306 @@
+// Fault-injection suite for the checkpoint subsystem.
+//
+// Proves the transactional-load guarantee: for a checkpoint mutilated by
+// truncation at every byte boundary, by single-bit flips over the whole
+// file, or by a simulated crash between temp-file write and rename, loading
+// either fully succeeds or returns an error leaving the target module (and
+// any TrainingState output) byte-identical to its prior state.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "autograd/optimizer.h"
+#include "common/file_util.h"
+#include "harness/checkpoint.h"
+#include "nn/linear.h"
+#include "nn/serialize.h"
+#include "tensor/init.h"
+
+namespace rtgcn {
+namespace {
+
+std::vector<Tensor> SnapshotParams(const nn::Module& module) {
+  std::vector<Tensor> out;
+  for (const auto& p : module.Parameters()) out.push_back(p->value.Clone());
+  return out;
+}
+
+::testing::AssertionResult ParamsByteIdentical(
+    const nn::Module& module, const std::vector<Tensor>& snapshot) {
+  const auto params = module.Parameters();
+  if (params.size() != snapshot.size()) {
+    return ::testing::AssertionFailure() << "parameter count changed";
+  }
+  for (size_t i = 0; i < params.size(); ++i) {
+    if (params[i]->value.shape() != snapshot[i].shape()) {
+      return ::testing::AssertionFailure() << "shape of parameter " << i;
+    }
+    if (std::memcmp(params[i]->value.data(), snapshot[i].data(),
+                    static_cast<size_t>(snapshot[i].numel()) *
+                        sizeof(float)) != 0) {
+      return ::testing::AssertionFailure()
+             << "parameter " << i << " bytes differ";
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+void RemoveDirRecursive(const std::string& dir) {
+  auto entries = ListDirectory(dir);
+  if (entries.ok()) {
+    for (const std::string& name : entries.ValueOrDie()) {
+      std::remove((dir + "/" + name).c_str());
+    }
+  }
+  ::rmdir(dir.c_str());
+}
+
+// Nested module so fault injection exercises hierarchical manifest names.
+class TwoLinear : public nn::Module {
+ public:
+  TwoLinear(int64_t mid, Rng* rng) : l1_(3, mid, rng), l2_(mid, 2, rng) {
+    RegisterModule("l1", &l1_);
+    RegisterModule("l2", &l2_);
+  }
+  nn::Linear l1_, l2_;
+};
+
+// Writes a full-fat v2 checkpoint (weights + optimizer + RNG + trainer
+// records) and returns its bytes.
+std::string WriteFullCheckpoint(const nn::Module& module,
+                                const std::string& path) {
+  std::vector<ag::VarPtr> params = module.Parameters();
+  ag::Adam adam(params, 1e-3f);
+  Rng grads(5);
+  for (int i = 0; i < 3; ++i) {
+    for (auto& p : params) p->grad = RandomUniform(p->shape(), -1, 1, &grads);
+    adam.Step();
+  }
+  nn::TrainingState state;
+  state.optimizer = adam.State();
+  state.has_optimizer = true;
+  Rng rng(77);
+  rng.Gaussian();
+  state.rng = rng.GetState();
+  state.has_rng = true;
+  state.epoch = 4;
+  state.day_order = {8, 9, 10, 11, 12, 13};
+  state.has_trainer = true;
+  EXPECT_TRUE(nn::SaveCheckpoint(module, path, &state).ok());
+  auto bytes = ReadWholeFile(path);
+  EXPECT_TRUE(bytes.ok());
+  return bytes.ValueOrDie();
+}
+
+// Plain (non-atomic, non-fsynced) write for injected corrupt files — the
+// loops below write thousands of them and their durability is irrelevant.
+void WritePlain(const std::string& path, const char* data, size_t size) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(data, static_cast<std::streamsize>(size));
+  ASSERT_TRUE(out.good());
+}
+
+nn::TrainingState SentinelState() {
+  nn::TrainingState state;
+  state.epoch = -12345;  // sentinel: must survive a failed load untouched
+  return state;
+}
+
+TEST(FaultInjectionTest, TruncationAtEveryByteBoundaryIsAtomic) {
+  Rng rng(1);
+  TwoLinear source(4, &rng);
+  const std::string dir = "/tmp/rtgcn_fault_trunc";
+  RemoveDirRecursive(dir);
+  ASSERT_TRUE(EnsureDirectory(dir).ok());
+  const std::string good_path = dir + "/full.rtgcn";
+  const std::string bytes = WriteFullCheckpoint(source, good_path);
+  ASSERT_GT(bytes.size(), 64u);
+
+  Rng rng2(2);
+  TwoLinear target(4, &rng2);
+  const auto before = SnapshotParams(target);
+  const std::string path = dir + "/truncated.rtgcn";
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    WritePlain(path, bytes.data(), len);
+    nn::TrainingState state = SentinelState();
+    const Status status = nn::LoadCheckpoint(&target, path, &state);
+    ASSERT_FALSE(status.ok()) << "prefix of " << len << " bytes loaded";
+    ASSERT_TRUE(ParamsByteIdentical(target, before)) << "len=" << len;
+    ASSERT_EQ(state.epoch, -12345) << "state mutated at len=" << len;
+    ASSERT_FALSE(state.has_optimizer || state.has_rng || state.has_trainer)
+        << "len=" << len;
+  }
+  // The untruncated file still loads and fills every record.
+  nn::TrainingState state = SentinelState();
+  ASSERT_TRUE(nn::LoadCheckpoint(&target, good_path, &state).ok());
+  EXPECT_TRUE(state.has_optimizer && state.has_rng && state.has_trainer);
+  EXPECT_EQ(state.epoch, 4);
+  EXPECT_EQ(state.day_order, (std::vector<int64_t>{8, 9, 10, 11, 12, 13}));
+  EXPECT_TRUE(ParamsByteIdentical(target, SnapshotParams(source)));
+  RemoveDirRecursive(dir);
+}
+
+TEST(FaultInjectionTest, EverySingleBitFlipIsDetected) {
+  Rng rng(3);
+  TwoLinear source(3, &rng);
+  const std::string dir = "/tmp/rtgcn_fault_bitflip";
+  RemoveDirRecursive(dir);
+  ASSERT_TRUE(EnsureDirectory(dir).ok());
+  const std::string bytes =
+      WriteFullCheckpoint(source, dir + "/full.rtgcn");
+
+  Rng rng2(4);
+  TwoLinear target(3, &rng2);
+  const auto before = SnapshotParams(target);
+  const std::string path = dir + "/flipped.rtgcn";
+  std::string mutated = bytes;
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      mutated[i] = static_cast<char>(bytes[i] ^ (1 << bit));
+      WritePlain(path, mutated.data(), mutated.size());
+      nn::TrainingState state = SentinelState();
+      const Status status = nn::LoadCheckpoint(&target, path, &state);
+      // Every single-bit flip is detectable: header and sizes are bounds-
+      // checked, payloads and the CRC field itself are covered by CRC32
+      // (which detects all 1-bit errors), and unknown record tags are hard
+      // errors rather than skipped records.
+      ASSERT_FALSE(status.ok())
+          << "flip of bit " << bit << " at byte " << i << " loaded";
+      ASSERT_TRUE(ParamsByteIdentical(target, before))
+          << "byte " << i << " bit " << bit;
+      ASSERT_EQ(state.epoch, -12345);
+    }
+    mutated[i] = bytes[i];
+  }
+  RemoveDirRecursive(dir);
+}
+
+TEST(FaultInjectionTest, CrashBetweenTempWriteAndRenameIsHarmless) {
+  const std::string dir = "/tmp/rtgcn_fault_crash";
+  RemoveDirRecursive(dir);
+  harness::CheckpointManager manager({dir, /*every=*/1, /*keep=*/0});
+  ASSERT_TRUE(manager.Init().ok());
+
+  Rng rng(9);
+  TwoLinear model(4, &rng);
+  nn::TrainingState state;
+  state.epoch = 1;
+  state.has_trainer = true;
+  ASSERT_TRUE(manager.Save(model, state).ok());
+  const auto good = SnapshotParams(model);
+
+  // Simulate a crash during the *next* save: WriteFileAtomic had written
+  // part of the temp file but the rename never happened. The leftover
+  // `.tmp.<pid>` file must be invisible to checkpoint discovery.
+  const std::string next = manager.CheckpointPath(2);
+  std::ofstream(next + ".tmp.4242", std::ios::binary)
+      << "partial checkpoint bytes cut off by a cra";
+
+  auto epochs = manager.ListCheckpoints();
+  ASSERT_TRUE(epochs.ok());
+  EXPECT_EQ(epochs.ValueOrDie(), (std::vector<int64_t>{1}));
+
+  Rng rng2(10);
+  TwoLinear restored(4, &rng2);
+  nn::TrainingState loaded;
+  ASSERT_TRUE(manager.LoadLatest(&restored, &loaded).ok());
+  EXPECT_EQ(loaded.epoch, 1);
+  EXPECT_TRUE(ParamsByteIdentical(restored, good));
+  RemoveDirRecursive(dir);
+}
+
+TEST(FaultInjectionTest, WriteFileAtomicReplacesAndPreservesOnError) {
+  const std::string dir = "/tmp/rtgcn_fault_atomic";
+  RemoveDirRecursive(dir);
+  ASSERT_TRUE(EnsureDirectory(dir).ok());
+  const std::string path = dir + "/file";
+  ASSERT_TRUE(WriteFileAtomic(path, "first").ok());
+  ASSERT_TRUE(WriteFileAtomic(path, "second").ok());
+  auto content = ReadWholeFile(path);
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(content.ValueOrDie(), "second");
+  // A failed write (unreachable parent directory) must not leave temp junk
+  // behind in an existing directory or touch the destination.
+  EXPECT_FALSE(WriteFileAtomic(dir + "/no/such/dir/file", "x").ok());
+  auto entries = ListDirectory(dir);
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries.ValueOrDie(), (std::vector<std::string>{"file"}));
+  RemoveDirRecursive(dir);
+}
+
+// ---------------------------------------------------------------------------
+// v1 (legacy) transactional-load regression
+// ---------------------------------------------------------------------------
+
+TEST(V1TransactionalTest, RoundTripStillWorks) {
+  Rng rng(21);
+  TwoLinear source(4, &rng);
+  const std::string path = "/tmp/rtgcn_v1_roundtrip.bin";
+  ASSERT_TRUE(nn::SaveParametersV1(source, path).ok());
+  Rng rng2(22);
+  TwoLinear target(4, &rng2);
+  ASSERT_TRUE(nn::LoadParameters(&target, path).ok());
+  EXPECT_TRUE(ParamsByteIdentical(target, SnapshotParams(source)));
+  std::remove(path.c_str());
+}
+
+TEST(V1TransactionalTest, TruncatedFileLeavesModuleUntouched) {
+  Rng rng(23);
+  TwoLinear source(4, &rng);
+  const std::string path = "/tmp/rtgcn_v1_trunc.bin";
+  ASSERT_TRUE(nn::SaveParametersV1(source, path).ok());
+  auto bytes = ReadWholeFile(path);
+  ASSERT_TRUE(bytes.ok());
+  const std::string& full = bytes.ValueOrDie();
+
+  Rng rng2(24);
+  TwoLinear target(4, &rng2);
+  const auto before = SnapshotParams(target);
+  for (size_t len = 0; len < full.size(); ++len) {
+    WritePlain(path, full.data(), len);
+    ASSERT_FALSE(nn::LoadParameters(&target, path).ok()) << "len=" << len;
+    // The pre-fix loader committed tensors one by one while reading, so a
+    // mid-stream truncation left the module half-overwritten. Staging must
+    // keep every parameter byte-identical.
+    ASSERT_TRUE(ParamsByteIdentical(target, before)) << "len=" << len;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(V1TransactionalTest, MidStreamShapeMismatchLeavesModuleUntouched) {
+  // Same parameter count, first tensors identical in shape, later ones not:
+  // the failure happens mid-stream, after tensors that *would* have matched.
+  Rng rng(25);
+  TwoLinear source(4, &rng);  // l1: 3x4 (+4), l2: 4x2 (+2)
+  const std::string path = "/tmp/rtgcn_v1_shape.bin";
+  ASSERT_TRUE(nn::SaveParametersV1(source, path).ok());
+
+  Rng rng2(26);
+  class FirstMatches : public nn::Module {
+   public:
+    explicit FirstMatches(Rng* r) : l1_(3, 4, r), l2_(4, 3, r) {
+      RegisterModule("l1", &l1_);
+      RegisterModule("l2", &l2_);
+    }
+    nn::Linear l1_, l2_;
+  };
+  FirstMatches mid(&rng2);
+  const auto before = SnapshotParams(mid);
+  ASSERT_FALSE(nn::LoadParameters(&mid, path).ok());
+  EXPECT_TRUE(ParamsByteIdentical(mid, before));
+
+  // Parameter-count mismatch is rejected before any commit too.
+  nn::Linear fewer(3, 4, &rng2);
+  const auto fewer_before = SnapshotParams(fewer);
+  ASSERT_FALSE(nn::LoadParameters(&fewer, path).ok());
+  EXPECT_TRUE(ParamsByteIdentical(fewer, fewer_before));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace rtgcn

@@ -109,6 +109,43 @@ TEST(WilcoxonTest, OneSampleAgainstMean) {
   EXPECT_GT(OneSampleWilcoxonPValue(x, 0.8), 0.95);
 }
 
+TEST(WilcoxonTest, ExactSmallSampleMatchesKnownValues) {
+  // n = 5, all differences positive and distinct: W+ is maximal, so the
+  // exact one-sided p-value is 1/2^5.
+  std::vector<double> a = {1, 2, 3, 4, 5};
+  std::vector<double> b = {0.9, 1.7, 2.6, 3.5, 4.4};
+  EXPECT_DOUBLE_EQ(PairedWilcoxonPValue(a, b), 0.03125);
+
+  // n = 6, differences {+1, +2, +3, +4, +5, -6}: W+ = 15 and
+  // P(W+ >= 15) = 14/64 by enumeration of the exact null.
+  std::vector<double> c = {1, 2, 3, 4, 5, 0};
+  std::vector<double> d = {0, 0, 0, 0, 0, 6};
+  EXPECT_DOUBLE_EQ(PairedWilcoxonPValue(c, d), 0.21875);
+}
+
+TEST(WilcoxonTest, ExactIsTieExact) {
+  // Differences {-0.1, +0.1, -0.1, +0.1}: all |d| tie at midrank 2.5, so
+  // W+ = 5 and P(W+ >= 5) over the 16 sign assignments is 11/16 — a value
+  // the tabulated no-ties exact distribution cannot produce.
+  std::vector<double> a = {1.0, 2.0, 3.0, 4.0};
+  std::vector<double> b = {1.1, 1.9, 3.1, 3.9};
+  EXPECT_DOUBLE_EQ(PairedWilcoxonPValue(a, b), 0.6875);
+}
+
+TEST(WilcoxonTest, ExactAtThresholdAndNormalBeyond) {
+  // n = 25 (the exact-path boundary), all positive: p = 2^-25 exactly.
+  std::vector<double> x;
+  for (int i = 0; i < 25; ++i) x.push_back(1.0 + 0.01 * i);
+  EXPECT_DOUBLE_EQ(OneSampleWilcoxonPValue(x, 0.0), std::ldexp(1.0, -25));
+
+  // n = 26 uses the normal approximation: no longer an exact power of two,
+  // but still a far-tail value (z ≈ 4.44).
+  x.push_back(1.26);
+  const double p = OneSampleWilcoxonPValue(x, 0.0);
+  EXPECT_GT(p, 1e-9);
+  EXPECT_LT(p, 1e-4);
+}
+
 TEST(WilcoxonTest, HandlesTiesWithoutNan) {
   std::vector<double> a = {1, 1, 1, 2, 2, 3};
   std::vector<double> b = {0, 0, 0, 1, 1, 3};
