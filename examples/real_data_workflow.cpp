@@ -69,15 +69,27 @@ int main(int argc, char** argv) {
                 prices_path.c_str());
   }
 
-  // 1. Load.
-  market::PricePanel panel = market::LoadPricePanel(prices_path).ValueOrDie();
+  // 1. Load. Real exports are rarely pristine, so the default here is
+  // tolerant ingestion: bad cells are forward-filled, stocks trading on
+  // fewer than 98% of days are dropped, and bad relation rows are skipped —
+  // with every repair accounted in a LoadReport. Pass --strict to fail on
+  // the first blemish instead.
+  market::LoadOptions load_options;
+  load_options.mode = flags.GetBool("strict", false)
+                          ? market::LoadOptions::Mode::kStrict
+                          : market::LoadOptions::Mode::kTolerant;
+  market::LoadReport report;
+  market::PricePanel panel =
+      market::LoadPricePanel(prices_path, load_options, &report).ValueOrDie();
   graph::RelationTensor relations =
       market::LoadRelations(relations_path, panel,
-                            flags.GetInt("relation_types", 2))
+                            flags.GetInt("relation_types", 2), load_options,
+                            &report)
           .ValueOrDie();
   std::printf("loaded %zu tickers, %lld days, %lld related pairs\n",
               panel.tickers.size(), (long long)panel.prices.dim(0),
               (long long)relations.num_edges());
+  std::printf("ingestion report: %s\n", report.Summary().c_str());
 
   // 2. Train on everything except the final 20 days.
   market::WindowDataset dataset(panel.prices, /*window=*/10,
@@ -94,9 +106,16 @@ int main(int argc, char** argv) {
   // and a re-run resumes from the latest checkpoint instead of restarting.
   opts.checkpoint_dir = flags.GetString("checkpoint_dir", "");
   opts.resume = flags.GetBool("resume", true);
+  // Divergence supervision: a NaN/Inf loss or gradient rolls the run back
+  // to the last good state (checkpoint when available, else an in-memory
+  // epoch snapshot) and halves the learning rate before continuing.
+  opts.guard.policy = harness::GuardPolicy::kRollback;
   model.Fit(dataset, split.train_days, opts);
   std::printf("trained %lld epochs in %.1fs\n", (long long)opts.epochs,
               model.fit_stats().train_seconds);
+  for (const auto& event : model.fit_stats().guard_events) {
+    std::printf("guard intervention: %s\n", event.ToString().c_str());
+  }
 
   // 3. Checkpoint and reload into a fresh model.
   const std::string ckpt = "/tmp/rtgcn_demo.ckpt";

@@ -1,0 +1,63 @@
+#include "autograd/finite_check.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/logging.h"
+#include "tensor/ops.h"
+
+namespace rtgcn::ag {
+
+namespace {
+
+bool EnabledFromEnv() {
+  const char* env = std::getenv("RTGCN_FINITE_CHECKS");
+  return env != nullptr && *env != '\0' && std::string(env) != "0";
+}
+
+bool& Enabled() {
+  static bool enabled = EnabledFromEnv();
+  return enabled;
+}
+
+NonFiniteEvent g_first;
+bool g_tripped = false;
+
+}  // namespace
+
+std::string NonFiniteEvent::ToString() const {
+  std::ostringstream oss;
+  oss << "non-finite value " << value << " from op '" << op << "' ("
+      << phase << ") at flat index " << index;
+  return oss.str();
+}
+
+bool FiniteChecks::enabled() { return Enabled(); }
+void FiniteChecks::set_enabled(bool enabled) { Enabled() = enabled; }
+
+bool FiniteChecks::tripped() { return g_tripped; }
+const NonFiniteEvent& FiniteChecks::first() { return g_first; }
+
+void FiniteChecks::Reset() {
+  g_tripped = false;
+  g_first = NonFiniteEvent{};
+}
+
+bool FiniteChecks::Observe(const char* op, const char* phase,
+                           const Tensor& t) {
+  if (!Enabled()) return true;
+  const int64_t index = FirstNonFinite(t);
+  if (index < 0) return true;
+  if (!g_tripped) {
+    g_tripped = true;
+    g_first.op = op;
+    g_first.phase = phase;
+    g_first.index = index;
+    g_first.value = t.data()[index];
+    RTGCN_LOG(Warning) << "finite check: " << g_first.ToString();
+  }
+  return false;
+}
+
+}  // namespace rtgcn::ag

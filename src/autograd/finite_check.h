@@ -1,0 +1,60 @@
+// Opt-in numerical guardrails for the autograd layer.
+//
+// When enabled (RTGCN_FINITE_CHECKS=1 in the environment, or
+// FiniteChecks::set_enabled(true)), every differentiable op scans its
+// forward output and Backward scans every node's incoming gradient. The
+// first non-finite tensor encountered is recorded with the producing op's
+// name, the phase (forward/backward) and the offending flat index, turning
+// "loss is nan" into "Exp produced inf at index 42 in forward".
+//
+// Checks cost one CheckFinite scan per op, so they are off by default;
+// the record-keeping itself is a single branch when disabled.
+#ifndef RTGCN_AUTOGRAD_FINITE_CHECK_H_
+#define RTGCN_AUTOGRAD_FINITE_CHECK_H_
+
+#include <cstdint>
+#include <string>
+
+#include "tensor/tensor.h"
+
+namespace rtgcn::ag {
+
+/// \brief Where and what the first non-finite value was.
+struct NonFiniteEvent {
+  std::string op;     ///< name of the op that produced the tensor
+  std::string phase;  ///< "forward" or "backward"
+  int64_t index = -1; ///< flat index of the first non-finite entry
+  float value = 0;    ///< the offending value (nan or +/-inf)
+
+  std::string ToString() const;
+};
+
+/// \brief Global switch + first-offender record for finite checking.
+///
+/// Tape construction is main-thread-only (see variable.h), so the record
+/// is plain global state.
+class FiniteChecks {
+ public:
+  /// Lazily initialized from RTGCN_FINITE_CHECKS (any non-empty value other
+  /// than "0"); set_enabled overrides the environment.
+  static bool enabled();
+  static void set_enabled(bool enabled);
+
+  /// True when a non-finite tensor has been seen since the last Reset.
+  static bool tripped();
+
+  /// The first offender since the last Reset (valid only when tripped()).
+  static const NonFiniteEvent& first();
+
+  /// Clears the record; typically called at the start of a train step.
+  static void Reset();
+
+  /// Scans `t` when checks are enabled; records + warns on the first
+  /// non-finite entry seen since Reset. Returns true when `t` is clean
+  /// (or checks are disabled).
+  static bool Observe(const char* op, const char* phase, const Tensor& t);
+};
+
+}  // namespace rtgcn::ag
+
+#endif  // RTGCN_AUTOGRAD_FINITE_CHECK_H_

@@ -3,12 +3,16 @@
 #include <cmath>
 #include <cstring>
 
+#include "autograd/finite_check.h"
+
 namespace rtgcn::ag {
 
 namespace {
 
-// Builds the output node; attaches the tape edge only when needed.
-VarPtr MakeOp(Tensor value, std::vector<VarPtr> parents,
+// Builds the output node; attaches the tape edge only when needed. `op` is
+// a static string naming the operation, recorded on the node so the
+// finite-check mode can pinpoint which op produced a non-finite value.
+VarPtr MakeOp(const char* op, Tensor value, std::vector<VarPtr> parents,
               std::function<void(const Tensor&)> backward_fn) {
   bool track = GradMode::enabled();
   if (track) {
@@ -21,6 +25,8 @@ VarPtr MakeOp(Tensor value, std::vector<VarPtr> parents,
     }
   }
   auto out = std::make_shared<Variable>(std::move(value));
+  out->op_name = op;
+  FiniteChecks::Observe(op, "forward", out->value);
   if (track) {
     out->parents = std::move(parents);
     out->backward_fn = std::move(backward_fn);
@@ -35,7 +41,7 @@ VarPtr MakeOp(Tensor value, std::vector<VarPtr> parents,
 // ---------------------------------------------------------------------------
 
 VarPtr Add(const VarPtr& a, const VarPtr& b) {
-  return MakeOp(rtgcn::Add(a->value, b->value), {a, b},
+  return MakeOp("Add", rtgcn::Add(a->value, b->value), {a, b},
                 [a, b](const Tensor& g) {
                   if (NeedsGrad(a)) a->AccumulateGrad(g);
                   if (NeedsGrad(b)) b->AccumulateGrad(g);
@@ -43,7 +49,7 @@ VarPtr Add(const VarPtr& a, const VarPtr& b) {
 }
 
 VarPtr Sub(const VarPtr& a, const VarPtr& b) {
-  return MakeOp(rtgcn::Sub(a->value, b->value), {a, b},
+  return MakeOp("Sub", rtgcn::Sub(a->value, b->value), {a, b},
                 [a, b](const Tensor& g) {
                   if (NeedsGrad(a)) a->AccumulateGrad(g);
                   if (NeedsGrad(b)) b->AccumulateGrad(rtgcn::Neg(g));
@@ -51,7 +57,7 @@ VarPtr Sub(const VarPtr& a, const VarPtr& b) {
 }
 
 VarPtr Mul(const VarPtr& a, const VarPtr& b) {
-  return MakeOp(rtgcn::Mul(a->value, b->value), {a, b},
+  return MakeOp("Mul", rtgcn::Mul(a->value, b->value), {a, b},
                 [a, b](const Tensor& g) {
                   if (NeedsGrad(a)) a->AccumulateGrad(rtgcn::Mul(g, b->value));
                   if (NeedsGrad(b)) b->AccumulateGrad(rtgcn::Mul(g, a->value));
@@ -59,7 +65,7 @@ VarPtr Mul(const VarPtr& a, const VarPtr& b) {
 }
 
 VarPtr Div(const VarPtr& a, const VarPtr& b) {
-  return MakeOp(
+  return MakeOp("Div", 
       rtgcn::Div(a->value, b->value), {a, b}, [a, b](const Tensor& g) {
         if (NeedsGrad(a)) a->AccumulateGrad(rtgcn::Div(g, b->value));
         if (NeedsGrad(b)) {
@@ -72,12 +78,12 @@ VarPtr Div(const VarPtr& a, const VarPtr& b) {
 }
 
 VarPtr AddScalar(const VarPtr& a, float s) {
-  return MakeOp(rtgcn::AddScalar(a->value, s), {a},
+  return MakeOp("AddScalar", rtgcn::AddScalar(a->value, s), {a},
                 [a](const Tensor& g) { a->AccumulateGrad(g); });
 }
 
 VarPtr MulScalar(const VarPtr& a, float s) {
-  return MakeOp(rtgcn::MulScalar(a->value, s), {a},
+  return MakeOp("MulScalar", rtgcn::MulScalar(a->value, s), {a},
                 [a, s](const Tensor& g) {
                   a->AccumulateGrad(rtgcn::MulScalar(g, s));
                 });
@@ -88,14 +94,14 @@ VarPtr MulScalar(const VarPtr& a, float s) {
 // ---------------------------------------------------------------------------
 
 VarPtr Neg(const VarPtr& a) {
-  return MakeOp(rtgcn::Neg(a->value), {a}, [a](const Tensor& g) {
+  return MakeOp("Neg", rtgcn::Neg(a->value), {a}, [a](const Tensor& g) {
     a->AccumulateGrad(rtgcn::Neg(g));
   });
 }
 
 VarPtr Relu(const VarPtr& a) {
   Tensor y = rtgcn::Relu(a->value);
-  return MakeOp(y, {a}, [a](const Tensor& g) {
+  return MakeOp("Relu", y, {a}, [a](const Tensor& g) {
     Tensor mask = rtgcn::Map(a->value, [](float x) { return x > 0 ? 1.0f : 0.0f; });
     a->AccumulateGrad(rtgcn::Mul(g, mask));
   });
@@ -103,7 +109,7 @@ VarPtr Relu(const VarPtr& a) {
 
 VarPtr LeakyRelu(const VarPtr& a, float slope) {
   Tensor y = rtgcn::LeakyRelu(a->value, slope);
-  return MakeOp(y, {a}, [a, slope](const Tensor& g) {
+  return MakeOp("LeakyRelu", y, {a}, [a, slope](const Tensor& g) {
     Tensor mask = rtgcn::Map(a->value,
                              [slope](float x) { return x > 0 ? 1.0f : slope; });
     a->AccumulateGrad(rtgcn::Mul(g, mask));
@@ -112,7 +118,7 @@ VarPtr LeakyRelu(const VarPtr& a, float slope) {
 
 VarPtr Sigmoid(const VarPtr& a) {
   Tensor y = rtgcn::Sigmoid(a->value);
-  return MakeOp(y, {a}, [a, y](const Tensor& g) {
+  return MakeOp("Sigmoid", y, {a}, [a, y](const Tensor& g) {
     // y' = y (1 - y)
     Tensor dy = rtgcn::Mul(y, rtgcn::Map(y, [](float v) { return 1.0f - v; }));
     a->AccumulateGrad(rtgcn::Mul(g, dy));
@@ -121,7 +127,7 @@ VarPtr Sigmoid(const VarPtr& a) {
 
 VarPtr Tanh(const VarPtr& a) {
   Tensor y = rtgcn::Tanh(a->value);
-  return MakeOp(y, {a}, [a, y](const Tensor& g) {
+  return MakeOp("Tanh", y, {a}, [a, y](const Tensor& g) {
     Tensor dy = rtgcn::Map(y, [](float v) { return 1.0f - v * v; });
     a->AccumulateGrad(rtgcn::Mul(g, dy));
   });
@@ -129,33 +135,33 @@ VarPtr Tanh(const VarPtr& a) {
 
 VarPtr Exp(const VarPtr& a) {
   Tensor y = rtgcn::Exp(a->value);
-  return MakeOp(y, {a}, [a, y](const Tensor& g) {
+  return MakeOp("Exp", y, {a}, [a, y](const Tensor& g) {
     a->AccumulateGrad(rtgcn::Mul(g, y));
   });
 }
 
 VarPtr Log(const VarPtr& a) {
-  return MakeOp(rtgcn::Log(a->value), {a}, [a](const Tensor& g) {
+  return MakeOp("Log", rtgcn::Log(a->value), {a}, [a](const Tensor& g) {
     a->AccumulateGrad(rtgcn::Div(g, a->value));
   });
 }
 
 VarPtr Sqrt(const VarPtr& a) {
   Tensor y = rtgcn::Sqrt(a->value);
-  return MakeOp(y, {a}, [a, y](const Tensor& g) {
+  return MakeOp("Sqrt", y, {a}, [a, y](const Tensor& g) {
     Tensor dy = rtgcn::Map(y, [](float v) { return 0.5f / v; });
     a->AccumulateGrad(rtgcn::Mul(g, dy));
   });
 }
 
 VarPtr Square(const VarPtr& a) {
-  return MakeOp(rtgcn::Square(a->value), {a}, [a](const Tensor& g) {
+  return MakeOp("Square", rtgcn::Square(a->value), {a}, [a](const Tensor& g) {
     a->AccumulateGrad(rtgcn::Mul(g, rtgcn::MulScalar(a->value, 2.0f)));
   });
 }
 
 VarPtr Abs(const VarPtr& a) {
-  return MakeOp(rtgcn::Abs(a->value), {a}, [a](const Tensor& g) {
+  return MakeOp("Abs", rtgcn::Abs(a->value), {a}, [a](const Tensor& g) {
     a->AccumulateGrad(rtgcn::Mul(g, rtgcn::Sign(a->value)));
   });
 }
@@ -165,7 +171,7 @@ VarPtr Abs(const VarPtr& a) {
 // ---------------------------------------------------------------------------
 
 VarPtr MatMul(const VarPtr& a, const VarPtr& b) {
-  return MakeOp(rtgcn::MatMul(a->value, b->value), {a, b},
+  return MakeOp("MatMul", rtgcn::MatMul(a->value, b->value), {a, b},
                 [a, b](const Tensor& g) {
                   if (NeedsGrad(a)) {
                     a->AccumulateGrad(rtgcn::MatMul(g, rtgcn::Transpose(b->value)));
@@ -177,7 +183,7 @@ VarPtr MatMul(const VarPtr& a, const VarPtr& b) {
 }
 
 VarPtr BatchMatMul(const VarPtr& a, const VarPtr& b) {
-  return MakeOp(
+  return MakeOp("BatchMatMul", 
       rtgcn::BatchMatMul(a->value, b->value), {a, b}, [a, b](const Tensor& g) {
         const int64_t batch = a->value.dim(0);
         const int64_t m = a->value.dim(1);
@@ -232,7 +238,7 @@ VarPtr BatchMatMul(const VarPtr& a, const VarPtr& b) {
 }
 
 VarPtr Transpose(const VarPtr& a) {
-  return MakeOp(rtgcn::Transpose(a->value), {a}, [a](const Tensor& g) {
+  return MakeOp("Transpose", rtgcn::Transpose(a->value), {a}, [a](const Tensor& g) {
     a->AccumulateGrad(rtgcn::Transpose(g));
   });
 }
@@ -240,7 +246,7 @@ VarPtr Transpose(const VarPtr& a) {
 VarPtr Permute(const VarPtr& a, const std::vector<int64_t>& perm) {
   std::vector<int64_t> inverse(perm.size());
   for (size_t i = 0; i < perm.size(); ++i) inverse[perm[i]] = static_cast<int64_t>(i);
-  return MakeOp(rtgcn::Permute(a->value, perm), {a},
+  return MakeOp("Permute", rtgcn::Permute(a->value, perm), {a},
                 [a, inverse](const Tensor& g) {
                   a->AccumulateGrad(rtgcn::Permute(g, inverse));
                 });
@@ -253,7 +259,7 @@ VarPtr Permute(const VarPtr& a, const std::vector<int64_t>& perm) {
 VarPtr Sum(const VarPtr& a, int64_t axis, bool keepdims) {
   const int64_t norm_axis = NormalizeAxis(axis, a->value.ndim());
   Shape in_shape = a->shape();
-  return MakeOp(rtgcn::Sum(a->value, norm_axis, keepdims), {a},
+  return MakeOp("Sum", rtgcn::Sum(a->value, norm_axis, keepdims), {a},
                 [a, norm_axis, keepdims, in_shape](const Tensor& g) {
                   Tensor gg = g;
                   if (!keepdims) gg = rtgcn::Unsqueeze(gg, norm_axis);
@@ -269,7 +275,7 @@ VarPtr Mean(const VarPtr& a, int64_t axis, bool keepdims) {
 
 VarPtr SumAll(const VarPtr& a) {
   Shape in_shape = a->shape();
-  return MakeOp(rtgcn::SumAll(a->value), {a},
+  return MakeOp("SumAll", rtgcn::SumAll(a->value), {a},
                 [a, in_shape](const Tensor& g) {
                   a->AccumulateGrad(Tensor::Full(in_shape, g.item()));
                 });
@@ -282,7 +288,7 @@ VarPtr MeanAll(const VarPtr& a) {
 VarPtr Softmax(const VarPtr& a, int64_t axis) {
   const int64_t norm_axis = NormalizeAxis(axis, a->value.ndim());
   Tensor y = rtgcn::Softmax(a->value, norm_axis);
-  return MakeOp(y, {a}, [a, y, norm_axis](const Tensor& g) {
+  return MakeOp("Softmax", y, {a}, [a, y, norm_axis](const Tensor& g) {
     // dx = y * (g - sum(g * y, axis, keepdims))
     Tensor gy = rtgcn::Mul(g, y);
     Tensor s = rtgcn::Sum(gy, norm_axis, /*keepdims=*/true);
@@ -296,7 +302,7 @@ VarPtr Softmax(const VarPtr& a, int64_t axis) {
 
 VarPtr Reshape(const VarPtr& a, Shape shape) {
   Shape in_shape = a->shape();
-  return MakeOp(a->value.Reshape(std::move(shape)).Clone(), {a},
+  return MakeOp("Reshape", a->value.Reshape(std::move(shape)).Clone(), {a},
                 [a, in_shape](const Tensor& g) {
                   a->AccumulateGrad(g.Reshape(in_shape));
                 });
@@ -305,7 +311,7 @@ VarPtr Reshape(const VarPtr& a, Shape shape) {
 VarPtr SliceOp(const VarPtr& a, int64_t axis, int64_t start, int64_t end) {
   const int64_t norm_axis = NormalizeAxis(axis, a->value.ndim());
   Shape in_shape = a->shape();
-  return MakeOp(
+  return MakeOp("SliceOp", 
       rtgcn::Slice(a->value, norm_axis, start, end), {a},
       [a, norm_axis, start, in_shape](const Tensor& g) {
         // Scatter g back into a zero tensor of the input shape.
@@ -335,7 +341,7 @@ VarPtr ConcatOp(const std::vector<VarPtr>& parts, int64_t axis) {
     values.push_back(p->value);
     sizes.push_back(p->value.dim(norm_axis));
   }
-  return MakeOp(rtgcn::Concat(values, norm_axis), parts,
+  return MakeOp("ConcatOp", rtgcn::Concat(values, norm_axis), parts,
                 [parts, sizes, norm_axis](const Tensor& g) {
                   int64_t offset = 0;
                   for (size_t i = 0; i < parts.size(); ++i) {
@@ -370,7 +376,7 @@ VarPtr Downsample(const VarPtr& a, int64_t axis, int64_t step, int64_t start) {
                   inner * sizeof(float));
     }
   }
-  return MakeOp(out, {a},
+  return MakeOp("Downsample", out, {a},
                 [a, in_shape, norm_axis, step, start, out_len, outer, inner,
                  len](const Tensor& g) {
                   Tensor full = Tensor::Zeros(in_shape);

@@ -39,7 +39,7 @@ Status Optimizer::CheckState(const OptimizerState& state,
   return Status::OK();
 }
 
-void Optimizer::ClipGradNorm(float max_norm) {
+float Optimizer::ClipGradNorm(float max_norm) {
   double total = 0;
   for (const auto& p : params_) {
     if (!p->grad.defined()) continue;
@@ -47,11 +47,17 @@ void Optimizer::ClipGradNorm(float max_norm) {
     total += double(n) * n;
   }
   const double norm = std::sqrt(total);
-  if (norm <= max_norm || norm == 0) return;
+  if (!std::isfinite(norm)) {
+    // NaN fails every comparison (would scale all grads by NaN below) and
+    // Inf would zero them; report instead of corrupting the gradients.
+    return static_cast<float>(norm);
+  }
+  if (norm <= max_norm || norm == 0) return static_cast<float>(norm);
   const float scale = static_cast<float>(max_norm / norm);
   for (auto& p : params_) {
     if (p->grad.defined()) p->grad = rtgcn::MulScalar(p->grad, scale);
   }
+  return static_cast<float>(norm);
 }
 
 Sgd::Sgd(std::vector<VarPtr> params, float lr, float momentum)

@@ -45,8 +45,17 @@ class Optimizer {
     for (auto& p : params_) p->ZeroGrad();
   }
 
-  /// Rescales gradients so the global L2 norm is at most `max_norm`.
-  void ClipGradNorm(float max_norm);
+  /// Rescales gradients so the global L2 norm is at most `max_norm` and
+  /// returns the pre-clip norm. A non-finite norm (NaN/Inf gradients) is
+  /// returned unchanged and the gradients are left untouched — scaling by
+  /// NaN would corrupt every gradient and max_norm/Inf would zero them all;
+  /// callers check std::isfinite on the result and skip the step instead.
+  float ClipGradNorm(float max_norm);
+
+  /// Current learning rate (0 for optimizers without one).
+  virtual float learning_rate() const { return 0; }
+  /// Updates the learning rate mid-run (divergence-rollback LR decay).
+  virtual void SetLearningRate(float /*lr*/) {}
 
   const std::vector<VarPtr>& params() const { return params_; }
 
@@ -66,6 +75,8 @@ class Sgd : public Optimizer {
   void Step() override;
   OptimizerState State() const override;
   Status LoadState(const OptimizerState& state) override;
+  float learning_rate() const override { return lr_; }
+  void SetLearningRate(float lr) override { lr_ = lr; }
 
  private:
   float lr_;
@@ -81,6 +92,8 @@ class Adam : public Optimizer {
   void Step() override;
   OptimizerState State() const override;
   Status LoadState(const OptimizerState& state) override;
+  float learning_rate() const override { return lr_; }
+  void SetLearningRate(float lr) override { lr_ = lr; }
 
  private:
   float lr_, beta1_, beta2_, eps_, weight_decay_;

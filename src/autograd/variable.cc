@@ -2,6 +2,8 @@
 
 #include <unordered_set>
 
+#include "autograd/finite_check.h"
+
 namespace rtgcn::ag {
 
 namespace {
@@ -64,9 +66,13 @@ void Backward(const VarPtr& root) {
   root->AccumulateGrad(Tensor::Ones(root->value.shape()));
   // Reverse topological order: every node's gradient is complete before its
   // backward_fn fires.
+  const bool check = FiniteChecks::enabled();
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     Variable* node = *it;
     if (node->backward_fn && node->grad.defined()) {
+      // The incoming gradient of `node` is final here, so a non-finite
+      // entry pins the blame on the op that produced it downstream.
+      if (check) FiniteChecks::Observe(node->op_name, "backward", node->grad);
       node->backward_fn(node->grad);
     }
   }

@@ -36,6 +36,9 @@ class Variable {
   std::vector<VarPtr> parents;
   /// Propagates `grad_out` (d loss / d this) into parents' grads.
   std::function<void(const Tensor& grad_out)> backward_fn;
+  /// Static name of the producing op ("leaf" for leaves/constants); lets
+  /// the finite-check mode (autograd/finite_check.h) name the offender.
+  const char* op_name = "leaf";
 
   const Shape& shape() const { return value.shape(); }
   int64_t numel() const { return value.numel(); }

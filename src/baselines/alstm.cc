@@ -28,6 +28,9 @@ double ALstmPredictor::TrainStep(const Tensor& features, const Tensor& labels,
   ag::VarPtr h = net_.lstm.ForwardLast(ag::Constant(features));
   ag::VarPtr logits = net_.head.Forward(h);
   ag::VarPtr clean_loss = CrossEntropy(logits, classes);
+  const double loss_value = clean_loss->value.item();
+  harness::TrainingGuard* guard = this->guard();
+  if (guard && !guard->StepLossOk(loss_value)) return loss_value;
   ag::Backward(clean_loss);
 
   // Adversarial pass: h_adv = h + ε · sign(∂L/∂h). Gradients from this pass
@@ -40,9 +43,11 @@ double ALstmPredictor::TrainStep(const Tensor& features, const Tensor& labels,
         ag::MulScalar(CrossEntropy(adv_logits, classes), adv_weight_);
     ag::Backward(adv_loss);
   }
-  optimizer->ClipGradNorm(options.grad_clip);
+  const float norm = optimizer->ClipGradNorm(options.grad_clip);
+  if (guard && !guard->GradNormOk(norm)) return loss_value;
   optimizer->Step();
-  return clean_loss->value.item();
+  if (guard) guard->OnGoodStep(loss_value);
+  return loss_value;
 }
 
 Tensor ALstmPredictor::Predict(const market::WindowDataset& data,

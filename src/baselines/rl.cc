@@ -45,6 +45,13 @@ void DqnPredictor::Fit(const market::WindowDataset& data,
                        const std::vector<int64_t>& train_days,
                        const harness::TrainOptions& options) {
   Stopwatch watch;
+  // The RL loops have no checkpointed state to roll back to, so the guard
+  // degrades kRollback to per-step skipping here.
+  harness::GuardOptions guard_options = options.guard;
+  if (guard_options.policy == harness::GuardPolicy::kRollback) {
+    guard_options.policy = harness::GuardPolicy::kSkip;
+  }
+  harness::TrainingGuard guard(guard_options, options.learning_rate);
   for (auto& net : q_nets_) {
     ag::Adam optimizer(net->Parameters(), options.learning_rate);
     std::vector<int64_t> days = train_days;
@@ -74,14 +81,21 @@ void DqnPredictor::Fit(const market::WindowDataset& data,
         ag::VarPtr q = net->Forward(ag::Constant(states));
         ag::VarPtr loss =
             ag::MeanAll(ag::Square(ag::Sub(q, ag::Constant(target))));
+        const double loss_value = loss->value.item();
+        if (!guard.StepLossOk(loss_value)) continue;
         ag::Backward(loss);
-        optimizer.ClipGradNorm(options.grad_clip);
+        const float norm = optimizer.ClipGradNorm(options.grad_clip);
+        if (!guard.GradNormOk(norm)) continue;
         optimizer.Step();
+        guard.OnGoodStep(loss_value);
       }
     }
+    if (guard.aborted()) break;
   }
   fit_stats_.train_seconds = watch.ElapsedSeconds();
   fit_stats_.epochs = options.epochs;
+  fit_stats_.guard_events = guard.events();
+  fit_stats_.guard_aborted = guard.aborted();
 }
 
 Tensor DqnPredictor::Predict(const market::WindowDataset& data, int64_t day) {
@@ -120,6 +134,11 @@ void IrdpgPredictor::Fit(const market::WindowDataset& data,
                          const harness::TrainOptions& options) {
   Stopwatch watch;
   ag::Adam optimizer(policy_->Parameters(), options.learning_rate);
+  harness::GuardOptions guard_options = options.guard;
+  if (guard_options.policy == harness::GuardPolicy::kRollback) {
+    guard_options.policy = harness::GuardPolicy::kSkip;
+  }
+  harness::TrainingGuard guard(guard_options, options.learning_rate);
   std::vector<int64_t> days = train_days;
   for (int64_t epoch = 0; epoch < options.epochs; ++epoch) {
     rng_.Shuffle(&days);
@@ -135,13 +154,20 @@ void IrdpgPredictor::Fit(const market::WindowDataset& data,
       ag::VarPtr profit = core::PairwiseRankingLoss(actions, labels);
       ag::VarPtr loss = ag::Add(ag::MulScalar(imitation, imitation_weight_),
                                 ag::MulScalar(profit, profit_weight_));
+      const double loss_value = loss->value.item();
+      if (!guard.StepLossOk(loss_value)) continue;
       ag::Backward(loss);
-      optimizer.ClipGradNorm(options.grad_clip);
+      const float norm = optimizer.ClipGradNorm(options.grad_clip);
+      if (!guard.GradNormOk(norm)) continue;
       optimizer.Step();
+      guard.OnGoodStep(loss_value);
     }
+    if (guard.aborted()) break;
   }
   fit_stats_.train_seconds = watch.ElapsedSeconds();
   fit_stats_.epochs = options.epochs;
+  fit_stats_.guard_events = guard.events();
+  fit_stats_.guard_aborted = guard.aborted();
 }
 
 Tensor IrdpgPredictor::Predict(const market::WindowDataset& data,

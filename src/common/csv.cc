@@ -111,6 +111,10 @@ int CsvTable::ColumnIndex(const std::string& name) const {
 }
 
 Result<CsvTable> ReadCsv(const std::string& path) {
+  return ReadCsv(path, /*allow_ragged=*/false);
+}
+
+Result<CsvTable> ReadCsv(const std::string& path, bool allow_ragged) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IoError("cannot open ", path);
   std::string content((std::istreambuf_iterator<char>(in)),
@@ -124,7 +128,7 @@ Result<CsvTable> ReadCsv(const std::string& path) {
   CsvTable table;
   table.header = std::move(rows.front());
   for (size_t r = 1; r < rows.size(); ++r) {
-    if (rows[r].size() != table.header.size()) {
+    if (!allow_ragged && rows[r].size() != table.header.size()) {
       return Status::IoError("row width mismatch in ", path, ": expected ",
                              table.header.size(), " got ", rows[r].size());
     }

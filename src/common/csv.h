@@ -24,6 +24,12 @@ struct CsvTable {
 /// identically; blank lines are skipped.
 Result<CsvTable> ReadCsv(const std::string& path);
 
+/// As above, but with `allow_ragged` true rows whose width differs from the
+/// header are kept at their natural size instead of failing the read —
+/// tolerant loaders (market/csv_loader.h) treat the missing cells as empty
+/// and repair or reject them per their policy.
+Result<CsvTable> ReadCsv(const std::string& path, bool allow_ragged);
+
 /// Writes a CSV file, creating/truncating `path`. Fields containing a
 /// comma, quote, or line break are quoted per RFC 4180, so any table
 /// round-trips exactly through ReadCsv.

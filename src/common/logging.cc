@@ -1,12 +1,35 @@
 #include "common/logging.h"
 
+#include <cctype>
+#include <cstdlib>
+#include <string>
+
 namespace rtgcn {
 
 namespace {
-LogLevel g_level = LogLevel::kInfo;
+
+// Reads RTGCN_LOG_LEVEL once: accepts "debug"/"info"/"warning"/"error"
+// (any case) or the numeric values 0-3. Unset or unparsable → Info.
+LogLevel LevelFromEnv() {
+  const char* env = std::getenv("RTGCN_LOG_LEVEL");
+  if (env == nullptr || *env == '\0') return LogLevel::kInfo;
+  std::string v(env);
+  for (char& c : v) c = static_cast<char>(std::tolower(c));
+  if (v == "0" || v == "debug") return LogLevel::kDebug;
+  if (v == "1" || v == "info") return LogLevel::kInfo;
+  if (v == "2" || v == "warning" || v == "warn") return LogLevel::kWarning;
+  if (v == "3" || v == "error") return LogLevel::kError;
+  return LogLevel::kInfo;
+}
+
+LogLevel& Level() {
+  static LogLevel level = LevelFromEnv();
+  return level;
+}
+
 }  // namespace
 
-LogLevel GetLogLevel() { return g_level; }
-void SetLogLevel(LogLevel level) { g_level = level; }
+LogLevel GetLogLevel() { return Level(); }
+void SetLogLevel(LogLevel level) { Level() = level; }
 
 }  // namespace rtgcn

@@ -12,7 +12,9 @@ namespace rtgcn {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
-/// Global log threshold; messages below it are suppressed.
+/// Global log threshold; messages below it are suppressed. Initialized from
+/// the RTGCN_LOG_LEVEL environment variable ("debug"/"info"/"warning"/
+/// "error" or 0-3, default info); SetLogLevel overrides it.
 LogLevel GetLogLevel();
 void SetLogLevel(LogLevel level);
 

@@ -48,8 +48,14 @@ class GradientPredictor : public StockPredictor {
   /// return 0.
   virtual float alpha() const { return 0.1f; }
 
+  /// The divergence supervisor active during Fit (null outside Fit or when
+  /// supervision is disabled). TrainStep overrides consult it before
+  /// committing an optimizer step.
+  TrainingGuard* guard() { return guard_.get(); }
+
  private:
   std::unique_ptr<Rng> rng_;
+  std::unique_ptr<TrainingGuard> guard_;
 };
 
 }  // namespace rtgcn::harness

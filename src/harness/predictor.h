@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/random.h"
+#include "harness/training_guard.h"
 #include "market/dataset.h"
 #include "tensor/tensor.h"
 
@@ -31,15 +32,27 @@ struct TrainOptions {
   int64_t checkpoint_every = 1;
   int64_t checkpoint_keep = 3;
   bool resume = true;
+
+  // Divergence supervision (harness/training_guard.h). Defaults detect
+  // non-finite losses/gradients and skip the offending step; set
+  // `guard.policy = GuardPolicy::kRollback` to restore the last good
+  // state and decay the learning rate instead. `guard.enabled = false`
+  // reproduces the unguarded trainer exactly.
+  GuardOptions guard;
 };
 
-/// \brief Timing collected during Fit/Predict (Figure 5).
+/// \brief Timing collected during Fit/Predict (Figure 5), plus the guard's
+/// structured intervention log when supervision was active.
 struct FitStats {
   double train_seconds = 0;
   int64_t epochs = 0;
   double seconds_per_epoch() const {
     return epochs > 0 ? train_seconds / static_cast<double>(epochs) : 0;
   }
+
+  std::vector<GuardEvent> guard_events;  ///< every guard intervention
+  int64_t guard_rollbacks = 0;           ///< checkpoint restores performed
+  bool guard_aborted = false;            ///< run stopped by the guard
 };
 
 /// \brief A model that scores stocks for one prediction day.

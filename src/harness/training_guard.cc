@@ -1,0 +1,113 @@
+#include "harness/training_guard.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace rtgcn::harness {
+
+namespace {
+
+const char* PolicyName(GuardPolicy policy) {
+  switch (policy) {
+    case GuardPolicy::kSkip: return "skip";
+    case GuardPolicy::kRollback: return "rollback";
+    case GuardPolicy::kAbort: return "abort";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string GuardEvent::ToString() const {
+  std::ostringstream oss;
+  oss << "step " << step << ": " << reason << " (loss " << loss;
+  if (ema_loss > 0) oss << ", ema " << ema_loss;
+  if (grad_norm != 0) oss << ", grad norm " << grad_norm;
+  oss << ") -> " << PolicyName(action) << ", lr " << lr_after;
+  return oss.str();
+}
+
+TrainingGuard::TrainingGuard(GuardOptions options, float base_lr)
+    : options_(options), base_lr_(base_lr), current_lr_(base_lr) {}
+
+bool TrainingGuard::OnViolation(const std::string& reason, double loss,
+                                float grad_norm) {
+  ++interventions_;
+  GuardEvent event;
+  event.step = step_;
+  event.reason = reason;
+  event.action = options_.policy;
+  event.loss = loss;
+  event.ema_loss = good_steps_ >= options_.spike_warmup_steps ? ema_loss_ : 0;
+  event.grad_norm = grad_norm;
+
+  const bool budget_exhausted =
+      options_.max_interventions > 0 &&
+      interventions_ > options_.max_interventions;
+  if (options_.policy == GuardPolicy::kAbort || budget_exhausted) {
+    aborted_ = true;
+    event.action = GuardPolicy::kAbort;
+  } else if (options_.policy == GuardPolicy::kRollback) {
+    rollback_pending_ = true;
+  }
+  event.lr_after = current_lr_;
+  events_.push_back(event);
+  RTGCN_LOG(Warning) << "training guard: " << event.ToString()
+                     << (budget_exhausted ? " (intervention budget exhausted)"
+                                          : "");
+  return false;
+}
+
+bool TrainingGuard::StepLossOk(double loss) {
+  if (!options_.enabled) return true;
+  ++step_;
+  if (aborted_) return false;
+  if (!std::isfinite(loss)) {
+    return OnViolation("nonfinite_loss", loss, 0);
+  }
+  if (options_.spike_factor > 0 &&
+      good_steps_ >= options_.spike_warmup_steps &&
+      std::fabs(loss) >
+          options_.spike_factor * std::max(std::fabs(ema_loss_), 1e-12)) {
+    return OnViolation("loss_spike", loss, 0);
+  }
+  return true;
+}
+
+bool TrainingGuard::GradNormOk(float norm) {
+  if (!options_.enabled) return true;
+  if (aborted_) return false;
+  if (!std::isfinite(norm)) {
+    return OnViolation("nonfinite_grad_norm", 0, norm);
+  }
+  return true;
+}
+
+void TrainingGuard::OnGoodStep(double loss) {
+  if (!options_.enabled) return;
+  if (good_steps_ == 0) {
+    ema_loss_ = loss;
+  } else {
+    ema_loss_ = options_.ema_decay * ema_loss_ +
+                (1.0 - options_.ema_decay) * loss;
+  }
+  ++good_steps_;
+}
+
+float TrainingGuard::CommitRollback() {
+  rollback_pending_ = false;
+  current_lr_ *= options_.lr_decay;
+  // The EMA tracked the diverging trajectory; restart it from the restored
+  // state's losses.
+  good_steps_ = 0;
+  ema_loss_ = 0;
+  if (!events_.empty()) events_.back().lr_after = current_lr_;
+  RTGCN_LOG(Warning) << "training guard: rolled back, lr decayed to "
+                     << current_lr_;
+  return current_lr_;
+}
+
+}  // namespace rtgcn::harness

@@ -1,0 +1,128 @@
+// Divergence supervisor for training loops.
+//
+// A TrainingGuard watches per-step losses and gradient norms for the two
+// ways training silently dies: non-finite values (NaN/Inf loss or
+// gradients) and loss explosions (a step loss far above the running EMA of
+// recent losses). Every violation is recorded as a structured event and
+// answered with the configured policy:
+//
+//   kSkip     — drop the offending update and keep going (bad data point);
+//   kRollback — restore the last good checkpoint, decay the learning rate
+//               and retrain from there (diverged optimizer state);
+//   kAbort    — stop training immediately, leaving the model at its last
+//               state (fail fast, e.g. under CI).
+//
+// The guard itself is policy + bookkeeping: the training loop asks
+// StepLossOk/GradNormOk before committing an update, and (for kRollback)
+// performs the restore itself when rollback_pending() turns true. A bounded
+// intervention budget turns a persistently-diverging run into an abort
+// rather than an infinite retry loop.
+#ifndef RTGCN_HARNESS_TRAINING_GUARD_H_
+#define RTGCN_HARNESS_TRAINING_GUARD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rtgcn::harness {
+
+/// \brief What a TrainingGuard does when a step violates its checks.
+enum class GuardPolicy {
+  kSkip,      ///< skip the offending optimizer step
+  kRollback,  ///< restore last good state, decay LR, continue
+  kAbort,     ///< stop training immediately
+};
+
+/// \brief Supervisor configuration (embedded in TrainOptions).
+struct GuardOptions {
+  /// Master switch. When false the guard records nothing and permits
+  /// everything, reproducing the unguarded trainer exactly.
+  bool enabled = true;
+
+  GuardPolicy policy = GuardPolicy::kSkip;
+
+  /// A step loss above `spike_factor * EMA(loss)` counts as a divergence
+  /// spike. 0 disables spike detection (non-finite checks stay active).
+  float spike_factor = 0.0f;
+  /// EMA smoothing for the spike baseline.
+  float ema_decay = 0.9f;
+  /// Committed steps before spike detection arms (the EMA needs history).
+  int64_t spike_warmup_steps = 20;
+
+  /// Multiplier applied to the learning rate at each rollback.
+  float lr_decay = 0.5f;
+
+  /// Maximum interventions (skips + rollbacks) before the guard aborts the
+  /// run anyway. 0 = unlimited.
+  int64_t max_interventions = 25;
+};
+
+/// \brief One recorded guard intervention.
+struct GuardEvent {
+  int64_t step = 0;        ///< global step index at the violation
+  std::string reason;      ///< "nonfinite_loss" | "loss_spike" | "nonfinite_grad_norm"
+  GuardPolicy action = GuardPolicy::kSkip;  ///< policy applied
+  double loss = 0;         ///< step loss at the violation
+  double ema_loss = 0;     ///< EMA baseline at the violation (0 if unarmed)
+  float grad_norm = 0;     ///< pre-clip gradient norm (0 for loss events)
+  float lr_after = 0;      ///< learning rate after the intervention
+
+  std::string ToString() const;
+};
+
+/// \brief Watches step losses / grad norms and applies a failure policy.
+class TrainingGuard {
+ public:
+  TrainingGuard(GuardOptions options, float base_lr);
+
+  /// Checks the forward loss of one step. Returns true when the step may
+  /// proceed to backward/update; false records a violation and applies the
+  /// policy (the caller must skip the optimizer step).
+  bool StepLossOk(double loss);
+
+  /// Checks the pre-clip gradient norm (Optimizer::ClipGradNorm's return).
+  /// False records a violation; the caller must skip the optimizer step.
+  bool GradNormOk(float norm);
+
+  /// Feeds the EMA after a committed (healthy) update.
+  void OnGoodStep(double loss);
+
+  /// True when the policy is kRollback and a violation is waiting for the
+  /// training loop to restore the last good state.
+  bool rollback_pending() const { return rollback_pending_; }
+
+  /// Marks the pending rollback as performed; returns the decayed learning
+  /// rate the loop must apply to its optimizer.
+  float CommitRollback();
+
+  /// True when the guard has given up (policy kAbort hit, or the
+  /// intervention budget is exhausted). The loop must stop training.
+  bool aborted() const { return aborted_; }
+
+  /// Learning rate after all rollbacks so far.
+  float current_lr() const { return current_lr_; }
+
+  int64_t interventions() const { return interventions_; }
+  int64_t steps() const { return step_; }
+  const std::vector<GuardEvent>& events() const { return events_; }
+  const GuardOptions& options() const { return options_; }
+
+ private:
+  /// Records the event, applies the policy, returns "may proceed".
+  bool OnViolation(const std::string& reason, double loss, float grad_norm);
+
+  GuardOptions options_;
+  float base_lr_;
+  float current_lr_;
+  double ema_loss_ = 0;
+  int64_t good_steps_ = 0;     // committed steps feeding the EMA
+  int64_t step_ = 0;           // all steps seen (committed or not)
+  int64_t interventions_ = 0;
+  bool rollback_pending_ = false;
+  bool aborted_ = false;
+  std::vector<GuardEvent> events_;
+};
+
+}  // namespace rtgcn::harness
+
+#endif  // RTGCN_HARNESS_TRAINING_GUARD_H_

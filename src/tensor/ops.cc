@@ -1,6 +1,7 @@
 #include "tensor/ops.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstring>
 #include <limits>
@@ -632,6 +633,36 @@ float Norm(const Tensor& a) {
   for (int64_t i = 0; i < a.numel(); ++i) acc += double(p[i]) * p[i];
   return static_cast<float>(std::sqrt(acc));
 }
+
+int64_t FirstNonFinite(const Tensor& a) {
+  if (!a.defined() || a.numel() == 0) return -1;
+  const float* p = a.data();
+  // Leftmost offender seen so far; chunks entirely to its right skip their
+  // scan. The final left-fold still picks the leftmost index, so the result
+  // is deterministic at any thread count.
+  std::atomic<int64_t> best{std::numeric_limits<int64_t>::max()};
+  return ParallelReduce<int64_t>(
+      0, a.numel(), kElemGrain, -1,
+      [&](int64_t lo, int64_t hi) -> int64_t {
+        if (lo >= best.load(std::memory_order_relaxed)) return -1;
+        for (int64_t i = lo; i < hi; ++i) {
+          if (!std::isfinite(p[i])) {
+            int64_t prev = best.load(std::memory_order_relaxed);
+            while (i < prev &&
+                   !best.compare_exchange_weak(prev, i,
+                                               std::memory_order_relaxed)) {
+            }
+            return i;
+          }
+        }
+        return -1;
+      },
+      [](int64_t acc, int64_t partial) {
+        return acc >= 0 ? acc : partial;
+      });
+}
+
+bool CheckFinite(const Tensor& a) { return FirstNonFinite(a) < 0; }
 
 float Dot(const Tensor& a, const Tensor& b) {
   RTGCN_CHECK_EQ(a.numel(), b.numel());

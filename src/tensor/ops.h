@@ -131,6 +131,15 @@ Tensor Stack(const std::vector<Tensor>& parts);
 bool AllClose(const Tensor& a, const Tensor& b, float rtol = 1e-5f,
               float atol = 1e-6f);
 
+/// True when every entry is finite (no NaN/Inf). Parallel scan; chunks
+/// whose range lies after an already-found offender are skipped, so the
+/// cost is proportional to the prefix before the first non-finite entry.
+bool CheckFinite(const Tensor& a);
+
+/// Flat (row-major) index of the first non-finite entry, or -1 when all
+/// entries are finite. Deterministic at any thread count.
+int64_t FirstNonFinite(const Tensor& a);
+
 /// Frobenius / L2 norm over all entries.
 float Norm(const Tensor& a);
 
