@@ -1,0 +1,185 @@
+// Closed-loop load generator for the serving subsystem (ISSUE 4 acceptance
+// bench): N client threads issue blocking Score() queries against an
+// in-process InferenceServer, first with micro-batching disabled
+// (--max_batch 1) and then with the configured batch size, against the
+// same exported checkpoint. Reports per-config QPS, latency percentiles
+// and the executed batch-size histogram from serve::Metrics, plus the
+// batched-over-unbatched throughput ratio.
+//
+//   ./bench_serve [--clients 8] [--requests 400] [--max_batch 32]
+//                 [--batch_timeout_us 200] [--cache 0] [--phase 64]
+//                 [--stocks 60] [--window 15] [--train_epochs 2]
+//
+// The cache is OFF by default so the comparison measures batching, not
+// memoization: with the cache on, both configs converge to cache-hit
+// latency after one pass over the days. Clients walk the test days in a
+// shared phase of `--phase` consecutive requests per day, so concurrent
+// same-day queries are coalescible into one forward — the access pattern
+// of a ranking dashboard where everyone asks about "today".
+#include <atomic>
+#include <cinttypes>
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "baselines/rtgcn_predictor.h"
+#include "common/flags.h"
+#include "common/thread_pool.h"
+#include "harness/checkpoint.h"
+#include "market/market.h"
+#include "serve/registry.h"
+#include "serve/server.h"
+
+namespace {
+
+using namespace rtgcn;
+
+struct LoadResult {
+  double seconds = 0;
+  double qps = 0;
+  uint64_t errors = 0;
+};
+
+// Runs `clients` closed-loop threads, each issuing `requests` blocking
+// Score() calls; the shared ticket counter clusters concurrent requests on
+// the same day for `phase` consecutive tickets.
+LoadResult RunLoad(serve::InferenceServer* server,
+                   const std::vector<int64_t>& days, int64_t clients,
+                   int64_t requests, int64_t phase,
+                   int64_t num_stocks) {
+  std::atomic<int64_t> ticket{0};
+  std::atomic<uint64_t> errors{0};
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(clients));
+  for (int64_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      for (int64_t i = 0; i < requests; ++i) {
+        const int64_t t = ticket.fetch_add(1, std::memory_order_relaxed);
+        const int64_t day =
+            days[static_cast<size_t>((t / phase) %
+                                     static_cast<int64_t>(days.size()))];
+        const int64_t stock = (c * requests + i) % num_stocks;
+        if (!server->Score(day, stock).ok()) {
+          errors.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  LoadResult result;
+  result.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  result.qps = static_cast<double>(clients * requests) / result.seconds;
+  result.errors = errors.load();
+  return result;
+}
+
+void PrintConfig(const char* label, const serve::Metrics& metrics,
+                 const LoadResult& load) {
+  std::printf("%-22s %8.0f qps   p50 %6.0fus  p95 %6.0fus  p99 %6.0fus   "
+              "%" PRIu64 " forwards, mean batch %.1f\n",
+              label, load.qps, metrics.latency.PercentileMicros(0.50),
+              metrics.latency.PercentileMicros(0.95),
+              metrics.latency.PercentileMicros(0.99),
+              metrics.forwards.load(), metrics.batch_size.MeanSize());
+  std::printf("  batch sizes:");
+  for (int64_t s = 1; s <= serve::BatchSizeHistogram::kMaxTracked; ++s) {
+    const uint64_t n = metrics.batch_size.CountForSize(s);
+    if (n > 0) std::printf("  %lld:%" PRIu64, static_cast<long long>(s), n);
+  }
+  if (metrics.batch_size.overflow() > 0) {
+    std::printf("  >%lld:%" PRIu64,
+                static_cast<long long>(serve::BatchSizeHistogram::kMaxTracked),
+                metrics.batch_size.overflow());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto flags = Flags::Parse(argc, argv).ValueOrDie();
+  InitNumThreadsFromFlags(flags);
+  const int64_t clients = flags.GetInt("clients", 8);
+  const int64_t requests = flags.GetInt("requests", 400);
+  const int64_t max_batch = flags.GetInt("max_batch", 32);
+  const int64_t batch_timeout_us = flags.GetInt("batch_timeout_us", 200);
+  const int64_t phase = flags.GetInt("phase", 64);
+  const bool cache = flags.GetBool("cache", false);
+
+  // A small market keeps the bench fast, but the universe must be big
+  // enough that the forward pass dominates per-request overhead —
+  // otherwise neither config is measuring inference.
+  market::MarketSpec spec = market::NasdaqSpec(/*scale=*/0.25);
+  spec.num_stocks = flags.GetInt("stocks", 60);
+  spec.train_days = 120;
+  spec.test_days = 40;
+  const market::MarketData data = market::BuildMarket(spec);
+  core::RtGcnConfig config;
+  config.window = flags.GetInt("window", 15);
+  const market::WindowDataset dataset =
+      data.MakeDataset(config.window, config.num_features);
+  const std::vector<int64_t> days =
+      dataset.Days(spec.test_boundary(), dataset.last_day());
+
+  const std::string dir = "/tmp/rtgcn_bench_serve";
+  harness::CheckpointManager manager({dir, 1, 0});
+  manager.Init().Abort();
+  auto make_predictor = [&data, config] {
+    return std::make_unique<baselines::RtGcnPredictor>(
+        data.relations.relations, config, /*alpha=*/0.1f, /*seed=*/7);
+  };
+  {
+    auto model = make_predictor();
+    harness::TrainOptions train;
+    train.epochs = flags.GetInt("train_epochs", 2);
+    model->Fit(dataset, dataset.Days(dataset.first_day(), spec.test_boundary() - 1),
+               train);
+    model->ExportSnapshot(manager.CheckpointPath(1)).Abort();
+  }
+
+  std::printf("bench_serve: %lld clients x %lld reqs, %lld stocks, "
+              "%zu test days, cache %s\n",
+              static_cast<long long>(clients),
+              static_cast<long long>(requests),
+              static_cast<long long>(dataset.num_stocks()), days.size(),
+              cache ? "on" : "off");
+
+  double qps_unbatched = 0;
+  double qps_batched = 0;
+  for (const bool batched : {false, true}) {
+    serve::Metrics metrics;
+    serve::ModelRegistry registry(
+        {dir, /*reload_interval_ms=*/0},
+        [make_predictor] { return serve::WrapPredictor(make_predictor()); },
+        &metrics);
+    registry.Start().Abort();
+    serve::InferenceServer::Options opts;
+    opts.max_batch = batched ? max_batch : 1;
+    opts.batch_timeout_us = batched ? batch_timeout_us : 0;
+    opts.enable_cache = cache;
+    serve::InferenceServer server(&dataset, &registry, opts, &metrics);
+    server.Start().Abort();
+
+    // Warm-up so neither config pays first-touch costs inside the timed run.
+    server.Rank(days.front()).status().Abort();
+
+    const LoadResult load =
+        RunLoad(&server, days, clients, requests, phase, dataset.num_stocks());
+    server.Stop();
+    registry.Stop();
+
+    PrintConfig(batched ? "batched" : "max_batch=1", metrics, load);
+    if (load.errors > 0) {
+      std::printf("  !! %" PRIu64 " failed queries\n", load.errors);
+    }
+    (batched ? qps_batched : qps_unbatched) = load.qps;
+  }
+
+  std::printf("speedup (batched / max_batch=1): %.2fx\n",
+              qps_batched / qps_unbatched);
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Serving quickstart, client side: a minimal line-protocol client for
+// serve_server.
+//
+//   ./serve_client --day 270 --stock 3            SCORE one stock
+//   ./serve_client --day 270 --k 5                RANK top-5 of the day
+//   ./serve_client --stats 1                      dump server metrics
+//   ./serve_client --day 270 --k 5 --repeat 100   re-issue the query
+//
+// Every reply line starts with "OK <model_version> ..." so a caller can
+// tell which published checkpoint produced the answer.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/flags.h"
+#include "common/logging.h"
+
+namespace {
+
+int Connect(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  RTGCN_CHECK(fd >= 0) << "socket() failed";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  RTGCN_CHECK(::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                        sizeof(addr)) == 0)
+      << "cannot connect to 127.0.0.1:" << port
+      << " — is serve_server running?";
+  return fd;
+}
+
+void SendLine(int fd, const std::string& line) {
+  const std::string wire = line + "\n";
+  size_t off = 0;
+  while (off < wire.size()) {
+    const ssize_t n = ::write(fd, wire.data() + off, wire.size() - off);
+    RTGCN_CHECK(n > 0) << "write failed";
+    off += static_cast<size_t>(n);
+  }
+}
+
+// Reads one '\n'-terminated line (the protocol is strictly one reply line
+// per request, except STATS which streams until "END").
+std::string ReadLine(int fd, std::string* buffer) {
+  for (;;) {
+    const size_t pos = buffer->find('\n');
+    if (pos != std::string::npos) {
+      std::string line = buffer->substr(0, pos);
+      buffer->erase(0, pos + 1);
+      return line;
+    }
+    char chunk[512];
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    RTGCN_CHECK(n > 0) << "server closed the connection";
+    buffer->append(chunk, static_cast<size_t>(n));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rtgcn;
+  auto flags = Flags::Parse(argc, argv).ValueOrDie();
+  const int port = static_cast<int>(flags.GetInt("port", 7070));
+  const int64_t day = flags.GetInt("day", -1);
+  const int64_t stock = flags.GetInt("stock", -1);
+  const int64_t k = flags.GetInt("k", 5);
+  const int64_t repeat = flags.GetInt("repeat", 1);
+  const bool stats = flags.GetBool("stats", false);
+
+  const int fd = Connect(port);
+  std::string buffer;
+
+  if (stats) {
+    SendLine(fd, "STATS");
+    for (;;) {
+      const std::string line = ReadLine(fd, &buffer);
+      if (line == "END") break;
+      std::printf("%s\n", line.c_str());
+    }
+  } else {
+    RTGCN_CHECK(day >= 0) << "pass --day (and optionally --stock or --k)";
+    std::string request;
+    if (stock >= 0) {
+      request = "SCORE " + std::to_string(day) + " " + std::to_string(stock);
+    } else {
+      request = "RANK " + std::to_string(day) + " " + std::to_string(k);
+    }
+    for (int64_t i = 0; i < repeat; ++i) {
+      SendLine(fd, request);
+      std::printf("%s\n", ReadLine(fd, &buffer).c_str());
+    }
+  }
+  SendLine(fd, "QUIT");
+  ::close(fd);
+  return 0;
+}

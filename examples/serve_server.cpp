@@ -1,0 +1,108 @@
+// Serving quickstart, server side: simulate a market, make sure a
+// checkpoint exists (training one if the directory is empty), then serve
+// ranking queries over the line protocol with hot checkpoint reload.
+//
+//   ./serve_server [--port 7070] [--checkpoint_dir /tmp/rtgcn_serve_demo]
+//                  [--max_batch 32] [--batch_timeout_us 200]
+//                  [--reload_interval_ms 1000] [--cache 1]
+//                  [--stocks 60] [--window 15] [--train_epochs 4]
+//                  [--serve_seconds 0] [--num_threads N]
+//
+// While it runs, retrain in another terminal and export into the same
+// --checkpoint_dir (see README "Serving"): the registry promotes the new
+// version without dropping a query. --serve_seconds 0 serves forever.
+#include <unistd.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "baselines/rtgcn_predictor.h"
+#include "common/flags.h"
+#include "common/thread_pool.h"
+#include "harness/checkpoint.h"
+#include "market/market.h"
+#include "serve/registry.h"
+#include "serve/server.h"
+#include "serve/socket_server.h"
+
+int main(int argc, char** argv) {
+  using namespace rtgcn;
+  auto flags = Flags::Parse(argc, argv).ValueOrDie();
+  InitNumThreadsFromFlags(flags);
+
+  // Market + dataset: the server needs the same feature pipeline the model
+  // was trained on.
+  market::MarketSpec spec = market::NasdaqSpec(/*scale=*/0.5);
+  spec.num_stocks = flags.GetInt("stocks", spec.num_stocks);
+  spec.train_days = 260;
+  spec.test_days = 60;
+  const market::MarketData data = market::BuildMarket(spec);
+  core::RtGcnConfig config;
+  config.window = flags.GetInt("window", 15);
+  const market::WindowDataset dataset =
+      data.MakeDataset(config.window, config.num_features);
+
+  const std::string dir =
+      flags.GetString("checkpoint_dir", "/tmp/rtgcn_serve_demo");
+  auto make_predictor = [&data, config] {
+    return std::make_unique<baselines::RtGcnPredictor>(
+        data.relations.relations, config, /*alpha=*/0.1f, /*seed=*/1);
+  };
+
+  // First run: nothing to serve yet — train briefly and export version 1.
+  harness::CheckpointManager manager({dir, 1, 0});
+  manager.Init().Abort();
+  if (manager.ListCheckpoints().ValueOrDie().empty()) {
+    std::printf("no checkpoint in %s — training an initial model...\n",
+                dir.c_str());
+    auto model = make_predictor();
+    harness::TrainOptions train;
+    train.epochs = flags.GetInt("train_epochs", 4);
+    train.verbose = true;
+    model->Fit(dataset, dataset.Days(dataset.first_day(), spec.test_boundary() - 1),
+               train);
+    model->ExportSnapshot(manager.CheckpointPath(1)).Abort();
+    std::printf("exported %s\n", manager.CheckpointPath(1).c_str());
+  }
+
+  serve::Metrics metrics;
+  serve::ModelRegistry registry(
+      {dir, flags.GetInt("reload_interval_ms", 1000)},
+      [make_predictor] { return serve::WrapPredictor(make_predictor()); },
+      &metrics);
+  registry.Start().Abort();
+
+  serve::InferenceServer::Options opts;
+  opts.max_batch = flags.GetInt("max_batch", 32);
+  opts.batch_timeout_us = flags.GetInt("batch_timeout_us", 200);
+  opts.enable_cache = flags.GetBool("cache", true);
+  serve::InferenceServer server(&dataset, &registry, opts, &metrics);
+  server.Start().Abort();
+
+  serve::SocketServer front(
+      &server, &metrics,
+      {static_cast<int>(flags.GetInt("port", 7070))});
+  front.Start().Abort();
+  std::printf("serving %s on 127.0.0.1:%d  (version %lld, days %lld..%lld, "
+              "%lld stocks)\n",
+              spec.name.c_str(), front.port(),
+              static_cast<long long>(registry.CurrentVersion()),
+              static_cast<long long>(dataset.first_day()),
+              static_cast<long long>(dataset.last_day()),
+              static_cast<long long>(dataset.num_stocks()));
+
+  const int64_t serve_seconds = flags.GetInt("serve_seconds", 0);
+  const int64_t stats_every = flags.GetInt("stats_every_s", 10);
+  for (int64_t elapsed = 0;
+       serve_seconds <= 0 || elapsed < serve_seconds; ++elapsed) {
+    ::sleep(1);
+    if (stats_every > 0 && elapsed > 0 && elapsed % stats_every == 0) {
+      std::printf("---\n%s", metrics.DumpText().c_str());
+    }
+  }
+  front.Stop();
+  server.Stop();
+  registry.Stop();
+  std::printf("final stats:\n%s", metrics.DumpText().c_str());
+  return 0;
+}

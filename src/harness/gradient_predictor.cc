@@ -6,6 +6,7 @@
 #include "common/stopwatch.h"
 #include "core/loss.h"
 #include "harness/checkpoint.h"
+#include "nn/serialize.h"
 
 namespace rtgcn::harness {
 
@@ -223,10 +224,18 @@ void GradientPredictor::Fit(const market::WindowDataset& data,
 
 Tensor GradientPredictor::Predict(const market::WindowDataset& data,
                                   int64_t day) {
+  return Score(data.Features(day));
+}
+
+Tensor GradientPredictor::Score(const Tensor& features) {
   ag::NoGradGuard no_grad;
   module()->SetTraining(false);
   if (!rng_) rng_ = std::make_unique<Rng>(1);
-  return Forward(data.Features(day), rng_.get())->value;
+  return Forward(features, rng_.get())->value;
+}
+
+Status GradientPredictor::ExportSnapshot(const std::string& path) {
+  return nn::SaveParameters(*module(), path);
 }
 
 }  // namespace rtgcn::harness

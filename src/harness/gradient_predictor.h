@@ -5,9 +5,11 @@
 #define RTGCN_HARNESS_GRADIENT_PREDICTOR_H_
 
 #include <memory>
+#include <string>
 
 #include "autograd/optimizer.h"
 #include "autograd/variable.h"
+#include "common/status.h"
 #include "harness/predictor.h"
 #include "nn/module.h"
 
@@ -21,6 +23,18 @@ class GradientPredictor : public StockPredictor {
            const TrainOptions& options) override;
 
   Tensor Predict(const market::WindowDataset& data, int64_t day) override;
+
+  /// Forward-only scores [N] for one day's features [T, N, D], computed
+  /// under NoGradGuard with the module in eval mode. This is the serving
+  /// entry point (serve::ModelSnapshot): unlike Predict it takes raw
+  /// features, so the caller controls where they come from.
+  Tensor Score(const Tensor& features);
+
+  /// Atomically writes a weights-only v2 checkpoint of the module — the
+  /// immutable serving artifact a serve::ModelRegistry promotes. Name the
+  /// file with harness::CheckpointManager::CheckpointPath so the registry's
+  /// directory scan can order it by version.
+  Status ExportSnapshot(const std::string& path);
 
   /// The trainable module, for external checkpointing of a predictor built
   /// through the catalog factory (nn::SaveCheckpoint / LoadCheckpoint).

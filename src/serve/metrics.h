@@ -1,0 +1,99 @@
+// Lock-free serving metrics: counters, fixed-bucket histograms, text dump.
+//
+// Every mutator is a relaxed atomic increment, so the inference hot path
+// never takes a lock for accounting. Readers (the STATS command, the bench
+// reporter) take a consistent-enough snapshot by summing the atomics; exact
+// cross-counter consistency is not needed for monitoring output.
+#ifndef RTGCN_SERVE_METRICS_H_
+#define RTGCN_SERVE_METRICS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace rtgcn::serve {
+
+/// \brief Fixed power-of-two-bucket histogram for microsecond latencies.
+///
+/// Bucket b holds samples in [2^(b-1), 2^b) µs (bucket 0 holds 0 µs).
+/// Percentiles interpolate linearly inside the winning bucket, so reported
+/// p50/p95/p99 are accurate to within one bucket's width.
+class LatencyHistogram {
+ public:
+  static constexpr int kNumBuckets = 40;  ///< covers up to ~2^39 µs (~6 days)
+
+  void Record(uint64_t micros);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double MeanMicros() const;
+  /// Value below which `p` (in [0, 1]) of the samples fall; 0 when empty.
+  double PercentileMicros(double p) const;
+
+ private:
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+};
+
+/// \brief Linear histogram of micro-batch sizes (1 .. kMaxTracked, with an
+/// overflow bucket for anything larger).
+class BatchSizeHistogram {
+ public:
+  static constexpr int64_t kMaxTracked = 128;
+
+  void Record(int64_t batch_size);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double MeanSize() const;
+  uint64_t CountForSize(int64_t batch_size) const;
+  uint64_t overflow() const { return overflow_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> buckets_[kMaxTracked + 1] = {};  // index = size
+  std::atomic<uint64_t> overflow_{0};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+};
+
+/// \brief All counters and histograms of the serving subsystem. One
+/// instance is shared by the registry (reload accounting), the inference
+/// server (request/batch/cache accounting) and the socket front-end.
+struct Metrics {
+  Metrics() : start_(std::chrono::steady_clock::now()) {}
+
+  // Request lifecycle.
+  std::atomic<uint64_t> requests{0};        ///< enqueued queries
+  std::atomic<uint64_t> responses_ok{0};    ///< answered successfully
+  std::atomic<uint64_t> responses_error{0}; ///< answered with an error
+
+  // Micro-batcher.
+  std::atomic<uint64_t> batches{0};         ///< batches executed
+  std::atomic<uint64_t> forwards{0};        ///< model forward passes run
+
+  // Per-(version, day) score cache.
+  std::atomic<uint64_t> cache_hits{0};
+  std::atomic<uint64_t> cache_misses{0};
+
+  // Hot-reload registry.
+  std::atomic<uint64_t> reload_success{0};  ///< snapshots promoted
+  std::atomic<uint64_t> reload_failure{0};  ///< corrupt/unloadable skipped
+
+  LatencyHistogram latency;      ///< enqueue-to-response, µs
+  BatchSizeHistogram batch_size; ///< executed batch sizes
+
+  double UptimeSeconds() const;
+  double Qps() const;            ///< completed responses per uptime second
+  double CacheHitRate() const;   ///< hits / (hits + misses); 0 when no lookups
+
+  /// Multi-line `name value` text (Prometheus-style flat keys), ending with
+  /// the latency percentiles and the batch-size distribution.
+  std::string DumpText() const;
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace rtgcn::serve
+
+#endif  // RTGCN_SERVE_METRICS_H_

@@ -1,0 +1,246 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace rtgcn::serve {
+
+namespace {
+
+// (version, day) cache key. Checkpoint epochs are capped at 2^40 by the
+// checkpoint name parser and a day index is bounded by the price panel
+// (decades of trading days << 2^20), so the packing is collision-free.
+uint64_t CacheKey(int64_t version, int64_t day) {
+  return (static_cast<uint64_t>(version) << 20) |
+         static_cast<uint64_t>(day);
+}
+
+}  // namespace
+
+InferenceServer::InferenceServer(const market::WindowDataset* data,
+                                 ModelRegistry* registry, Options options,
+                                 Metrics* metrics)
+    : data_(data), registry_(registry), options_(options), metrics_(metrics) {
+  RTGCN_CHECK(data_ != nullptr);
+  RTGCN_CHECK(registry_ != nullptr);
+  options_.max_batch = std::max<int64_t>(options_.max_batch, 1);
+  options_.batch_timeout_us = std::max<int64_t>(options_.batch_timeout_us, 0);
+  options_.cache_capacity = std::max<int64_t>(options_.cache_capacity, 1);
+}
+
+InferenceServer::~InferenceServer() { Stop(); }
+
+Status InferenceServer::Start() {
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  if (running_) return Status::OK();
+  running_ = true;
+  stop_ = false;
+  batcher_ = std::thread([this] { BatchLoop(); });
+  return Status::OK();
+}
+
+void InferenceServer::Stop() {
+  std::vector<Pending> orphans;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (!running_) return;
+    stop_ = true;
+    orphans.assign(std::make_move_iterator(queue_.begin()),
+                   std::make_move_iterator(queue_.end()));
+    queue_.clear();
+  }
+  queue_cv_.notify_all();
+  if (batcher_.joinable()) batcher_.join();
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    running_ = false;
+  }
+  for (Pending& p : orphans) {
+    p.promise.set_value(Status::Internal("server stopped"));
+    if (metrics_) {
+      metrics_->responses_error.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+Result<InferenceServer::Scored> InferenceServer::Submit(int64_t day) {
+  if (metrics_) metrics_->requests.fetch_add(1, std::memory_order_relaxed);
+  std::future<Result<Scored>> future;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (!running_ || stop_) {
+      if (metrics_) {
+        metrics_->responses_error.fetch_add(1, std::memory_order_relaxed);
+      }
+      return Status::Internal("inference server is not running");
+    }
+    Pending pending;
+    pending.day = day;
+    pending.enqueue = std::chrono::steady_clock::now();
+    future = pending.promise.get_future();
+    queue_.push_back(std::move(pending));
+  }
+  queue_cv_.notify_one();
+  return future.get();
+}
+
+Result<InferenceServer::RankReply> InferenceServer::Rank(int64_t day) {
+  auto scored = Submit(day);
+  if (!scored.ok()) return scored.status();
+  const Scored& s = scored.ValueOrDie();
+  RankReply reply;
+  reply.model_version = s.version;
+  reply.day = day;
+  reply.scores = s.day->scores;
+  return reply;
+}
+
+Result<InferenceServer::ScoreReply> InferenceServer::Score(int64_t day,
+                                                           int64_t stock) {
+  if (stock < 0 || stock >= data_->num_stocks()) {
+    if (metrics_) {
+      metrics_->requests.fetch_add(1, std::memory_order_relaxed);
+      metrics_->responses_error.fetch_add(1, std::memory_order_relaxed);
+    }
+    return Status::InvalidArgument("stock ", stock, " out of range [0, ",
+                                   data_->num_stocks(), ")");
+  }
+  auto scored = Submit(day);
+  if (!scored.ok()) return scored.status();
+  const Scored& s = scored.ValueOrDie();
+  ScoreReply reply;
+  reply.model_version = s.version;
+  reply.score = s.day->scores[static_cast<size_t>(stock)];
+  reply.rank = s.day->ranks[static_cast<size_t>(stock)];
+  reply.num_stocks = data_->num_stocks();
+  return reply;
+}
+
+void InferenceServer::BatchLoop() {
+  std::unique_lock<std::mutex> lock(queue_mu_);
+  while (true) {
+    queue_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    if (stop_) break;
+    // Micro-batch window: flush at max_batch requests or batch_timeout_us
+    // after the batch's first request, whichever comes first.
+    if (options_.batch_timeout_us > 0 &&
+        static_cast<int64_t>(queue_.size()) < options_.max_batch) {
+      const auto deadline =
+          queue_.front().enqueue +
+          std::chrono::microseconds(options_.batch_timeout_us);
+      queue_cv_.wait_until(lock, deadline, [this] {
+        return stop_ ||
+               static_cast<int64_t>(queue_.size()) >= options_.max_batch;
+      });
+      if (stop_) break;
+    }
+    std::vector<Pending> batch;
+    const int64_t take =
+        std::min<int64_t>(options_.max_batch,
+                          static_cast<int64_t>(queue_.size()));
+    batch.reserve(static_cast<size_t>(take));
+    for (int64_t i = 0; i < take; ++i) {
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    lock.unlock();
+    ExecuteBatch(std::move(batch));
+    lock.lock();
+  }
+}
+
+Result<std::shared_ptr<const InferenceServer::DayScores>>
+InferenceServer::ScoresFor(const ModelSnapshot& snapshot, int64_t day) {
+  if (day < data_->first_day() || day > data_->last_day()) {
+    return Status::InvalidArgument("day ", day, " outside the valid range [",
+                                   data_->first_day(), ", ",
+                                   data_->last_day(), "]");
+  }
+  const uint64_t key = CacheKey(snapshot.version(), day);
+  if (options_.enable_cache) {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      if (metrics_) {
+        metrics_->cache_hits.fetch_add(1, std::memory_order_relaxed);
+      }
+      return it->second;
+    }
+  }
+  if (metrics_) {
+    metrics_->cache_misses.fetch_add(1, std::memory_order_relaxed);
+    metrics_->forwards.fetch_add(1, std::memory_order_relaxed);
+  }
+  const Tensor scores = snapshot.Score(data_->Features(day));
+  const int64_t n = scores.numel();
+  auto entry = std::make_shared<DayScores>();
+  entry->scores.assign(scores.data(), scores.data() + n);
+  // Dense ranks, best score first; ties broken by stock id so the ranking
+  // is deterministic.
+  std::vector<int64_t> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
+    return entry->scores[static_cast<size_t>(a)] >
+           entry->scores[static_cast<size_t>(b)];
+  });
+  entry->ranks.assign(static_cast<size_t>(n), 0);
+  for (int64_t r = 0; r < n; ++r) {
+    entry->ranks[static_cast<size_t>(order[static_cast<size_t>(r)])] = r;
+  }
+  if (options_.enable_cache) {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    if (cache_.emplace(key, entry).second) {
+      cache_fifo_.push_back(key);
+      while (static_cast<int64_t>(cache_fifo_.size()) >
+             options_.cache_capacity) {
+        cache_.erase(cache_fifo_.front());
+        cache_fifo_.pop_front();
+      }
+    }
+  }
+  return std::shared_ptr<const DayScores>(std::move(entry));
+}
+
+void InferenceServer::ExecuteBatch(std::vector<Pending> batch) {
+  if (metrics_) {
+    metrics_->batches.fetch_add(1, std::memory_order_relaxed);
+    metrics_->batch_size.Record(static_cast<int64_t>(batch.size()));
+  }
+  // Pin exactly one published snapshot for the whole batch: every response
+  // it produces maps to this version.
+  const std::shared_ptr<const ModelSnapshot> snapshot = registry_->Current();
+  // Days scored within this batch (coalesces same-day requests even when
+  // the cross-batch cache is disabled).
+  std::unordered_map<int64_t, Result<std::shared_ptr<const DayScores>>>
+      by_day;
+  for (Pending& p : batch) {
+    Result<Scored> result = Status::Internal("unset");
+    if (!snapshot) {
+      result = Status::NotFound("no model version published yet");
+    } else {
+      auto it = by_day.find(p.day);
+      if (it == by_day.end()) {
+        it = by_day.emplace(p.day, ScoresFor(*snapshot, p.day)).first;
+      }
+      if (it->second.ok()) {
+        result = Scored{snapshot->version(), it->second.ValueOrDie()};
+      } else {
+        result = it->second.status();
+      }
+    }
+    const bool ok = result.ok();
+    if (metrics_) {
+      const auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - p.enqueue);
+      metrics_->latency.Record(static_cast<uint64_t>(elapsed.count()));
+      (ok ? metrics_->responses_ok : metrics_->responses_error)
+          .fetch_add(1, std::memory_order_relaxed);
+    }
+    p.promise.set_value(std::move(result));
+  }
+}
+
+}  // namespace rtgcn::serve

@@ -1,0 +1,132 @@
+// In-process inference runtime: dynamic micro-batching over a pinned model
+// snapshot, with a per-(model_version, day) score cache.
+//
+// Queries block in Rank()/Score() while a single batcher thread coalesces
+// them: a batch is flushed when it reaches `max_batch` requests or when
+// `batch_timeout_us` has elapsed since its first request arrived, whichever
+// comes first. One forward pass scores every stock of a day, so all
+// concurrent queries for the same day — and, via the cache, all later
+// queries against the same model version — are answered by a single
+// forward. The forward itself data-parallelizes over stocks through the
+// shared thread pool (common/thread_pool.h).
+//
+// Every batch pins exactly one registry snapshot for its whole execution,
+// so each response carries the version of exactly one published model —
+// hot reloads never produce a response mixing two versions.
+#ifndef RTGCN_SERVE_SERVER_H_
+#define RTGCN_SERVE_SERVER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "market/dataset.h"
+#include "serve/metrics.h"
+#include "serve/registry.h"
+
+namespace rtgcn::serve {
+
+/// \brief Micro-batching inference server over one WindowDataset.
+class InferenceServer {
+ public:
+  struct Options {
+    int64_t max_batch = 32;        ///< flush when this many requests queue
+    int64_t batch_timeout_us = 200;///< ... or this long after the first one
+    bool enable_cache = true;      ///< per-(version, day) score cache
+    int64_t cache_capacity = 256;  ///< cached (version, day) entries (FIFO)
+  };
+
+  /// All-stock scores for one day, plus the model version that produced
+  /// them.
+  struct RankReply {
+    int64_t model_version = -1;
+    int64_t day = -1;
+    std::vector<float> scores;  ///< [N], index = stock id
+  };
+
+  /// One stock's score and its rank (0 = best) among that day's scores.
+  struct ScoreReply {
+    int64_t model_version = -1;
+    float score = 0;
+    int64_t rank = -1;
+    int64_t num_stocks = 0;
+  };
+
+  /// `data` and `registry` must outlive the server; `metrics` may be null.
+  InferenceServer(const market::WindowDataset* data, ModelRegistry* registry,
+                  Options options, Metrics* metrics);
+  ~InferenceServer();
+
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
+  /// Starts the batcher thread. Idempotent.
+  Status Start();
+
+  /// Stops the batcher; queued requests are failed with an error status.
+  void Stop();
+
+  /// Blocking: scores for every stock on prediction day `day`.
+  Result<RankReply> Rank(int64_t day);
+
+  /// Blocking: score and rank of `stock` on prediction day `day`.
+  Result<ScoreReply> Score(int64_t day, int64_t stock);
+
+  const market::WindowDataset& data() const { return *data_; }
+  const Options& options() const { return options_; }
+
+ private:
+  // Scores of one (version, day) forward pass, shared between the cache
+  // and every reply that was answered from it.
+  struct DayScores {
+    std::vector<float> scores;  // [N]
+    std::vector<int64_t> ranks; // [N], ranks[i] = rank of stock i (0 best)
+  };
+  struct Scored {
+    int64_t version = -1;
+    std::shared_ptr<const DayScores> day;
+  };
+  struct Pending {
+    int64_t day;
+    std::chrono::steady_clock::time_point enqueue;
+    std::promise<Result<Scored>> promise;
+  };
+
+  Result<Scored> Submit(int64_t day);
+  void BatchLoop();
+  void ExecuteBatch(std::vector<Pending> batch);
+  // Scores `day` under `snapshot`, via the cache when enabled.
+  Result<std::shared_ptr<const DayScores>> ScoresFor(
+      const ModelSnapshot& snapshot, int64_t day);
+
+  const market::WindowDataset* data_;
+  ModelRegistry* registry_;
+  Options options_;
+  Metrics* metrics_;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Pending> queue_;
+  bool running_ = false;
+  bool stop_ = false;
+  std::thread batcher_;
+
+  // (version, day) -> scores; FIFO-evicted at cache_capacity. Guarded by
+  // cache_mu_ (the batcher is the only writer, STATS-driven readers none —
+  // but tests may run several servers against one registry).
+  std::mutex cache_mu_;
+  std::unordered_map<uint64_t, std::shared_ptr<const DayScores>> cache_;
+  std::deque<uint64_t> cache_fifo_;
+};
+
+}  // namespace rtgcn::serve
+
+#endif  // RTGCN_SERVE_SERVER_H_

@@ -1,0 +1,228 @@
+#include "serve/socket_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace rtgcn::serve {
+
+namespace {
+
+std::string FormatScore(float score) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", static_cast<double>(score));
+  return buf;
+}
+
+bool ParseInt(const std::string& s, int64_t* out) {
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  if (errno != 0 || end == nullptr || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+// Writes all of `data`, tolerating short writes; false on error.
+bool WriteAll(int fd, const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+SocketServer::SocketServer(InferenceServer* server, Metrics* metrics,
+                           Options options)
+    : server_(server), metrics_(metrics), options_(options) {
+  RTGCN_CHECK(server_ != nullptr);
+}
+
+SocketServer::~SocketServer() { Stop(); }
+
+Status SocketServer::Start() {
+  if (started_) return Status::OK();
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IoError("socket: ", std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IoError("bind port ", options_.port, ": ", err);
+  }
+  if (::listen(listen_fd_, options_.backlog) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IoError("listen: ", err);
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) ==
+      0) {
+    port_ = ntohs(addr.sin_port);
+  }
+  stopping_ = false;
+  started_ = true;
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  RTGCN_LOG(Info) << "serve: listening on 127.0.0.1:" << port_;
+  return Status::OK();
+}
+
+void SocketServer::Stop() {
+  if (!started_) return;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    stopping_ = true;
+  }
+  // Closing the listener unblocks accept(); shutting connections down
+  // unblocks their reads. listen_fd_ itself is only overwritten after the
+  // acceptor has joined — AcceptLoop holds its own copy of the fd.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  if (acceptor_.joinable()) acceptor_.join();
+  listen_fd_ = -1;
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+    threads.swap(conn_threads_);
+  }
+  for (std::thread& t : threads) {
+    if (t.joinable()) t.join();
+  }
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (int fd : conn_fds_) ::close(fd);
+    conn_fds_.clear();
+  }
+  started_ = false;
+}
+
+void SocketServer::AcceptLoop() {
+  // Copy once: Start() wrote listen_fd_ before spawning this thread, and
+  // Stop() does not overwrite it until after joining it.
+  const int listen_fd = listen_fd_;
+  while (true) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener closed by Stop()
+    }
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    if (stopping_) {
+      ::close(fd);
+      return;
+    }
+    conn_fds_.push_back(fd);
+    conn_threads_.emplace_back([this, fd] { HandleConnection(fd); });
+  }
+}
+
+void SocketServer::HandleConnection(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  while (true) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;
+    }
+    buffer.append(chunk, static_cast<size_t>(n));
+    size_t pos;
+    while ((pos = buffer.find('\n')) != std::string::npos) {
+      std::string line = buffer.substr(0, pos);
+      buffer.erase(0, pos + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line == "QUIT") return;
+      if (!WriteAll(fd, HandleLine(line) + "\n")) return;
+    }
+  }
+}
+
+std::string SocketServer::HandleLine(const std::string& line) {
+  std::vector<std::string> parts;
+  for (const std::string& p : Split(line, ' ')) {
+    if (!p.empty()) parts.push_back(p);
+  }
+  if (parts.empty()) return "ERR empty command";
+  const std::string& cmd = parts[0];
+  if (cmd == "PING") return "PONG";
+  if (cmd == "STATS") {
+    std::string text = metrics_ ? metrics_->DumpText() : "";
+    return text + "END";
+  }
+  if (cmd == "SCORE") {
+    int64_t day = 0, stock = 0;
+    if (parts.size() != 3 || !ParseInt(parts[1], &day) ||
+        !ParseInt(parts[2], &stock)) {
+      return "ERR usage: SCORE <day> <stock>";
+    }
+    auto reply = server_->Score(day, stock);
+    if (!reply.ok()) return "ERR " + reply.status().ToString();
+    const auto& r = reply.ValueOrDie();
+    std::ostringstream out;
+    out << "OK " << r.model_version << ' ' << FormatScore(r.score) << ' '
+        << r.rank << ' ' << r.num_stocks;
+    return out.str();
+  }
+  if (cmd == "RANK") {
+    int64_t day = 0, k = 0;
+    if (parts.size() != 3 || !ParseInt(parts[1], &day) ||
+        !ParseInt(parts[2], &k)) {
+      return "ERR usage: RANK <day> <k>";
+    }
+    auto reply = server_->Rank(day);
+    if (!reply.ok()) return "ERR " + reply.status().ToString();
+    const auto& r = reply.ValueOrDie();
+    const int64_t n = static_cast<int64_t>(r.scores.size());
+    k = std::max<int64_t>(0, std::min(k, n));
+    // Top-k by score, ties broken by stock id (matches the server's ranks).
+    std::vector<int64_t> order(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) order[static_cast<size_t>(i)] = i;
+    std::stable_sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
+      return r.scores[static_cast<size_t>(a)] >
+             r.scores[static_cast<size_t>(b)];
+    });
+    std::ostringstream out;
+    out << "OK " << r.model_version << ' ' << k;
+    for (int64_t i = 0; i < k; ++i) {
+      const int64_t stock = order[static_cast<size_t>(i)];
+      out << ' ' << stock << ':'
+          << FormatScore(r.scores[static_cast<size_t>(stock)]);
+    }
+    return out.str();
+  }
+  return "ERR unknown command: " + cmd;
+}
+
+}  // namespace rtgcn::serve

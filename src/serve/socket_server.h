@@ -1,0 +1,81 @@
+// POSIX-socket line-protocol front-end for the inference server.
+//
+// One accept thread plus one thread per connection; each connection is a
+// newline-delimited request/response stream (see DESIGN.md §9 for the wire
+// grammar):
+//
+//   PING                      -> PONG
+//   SCORE <day> <stock>       -> OK <version> <score> <rank> <num_stocks>
+//   RANK <day> <k>            -> OK <version> <k> <stock>:<score> ...
+//   STATS                     -> metrics text ..., terminated by END
+//   QUIT                      -> closes the connection
+//   anything else / failure   -> ERR <message>
+//
+// Scores are printed with %.9g, which round-trips binary float32 exactly —
+// a client can compare replies bit-for-bit against a local forward pass.
+#ifndef RTGCN_SERVE_SOCKET_SERVER_H_
+#define RTGCN_SERVE_SOCKET_SERVER_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "serve/metrics.h"
+#include "serve/server.h"
+
+namespace rtgcn::serve {
+
+/// \brief TCP listener translating the line protocol into InferenceServer
+/// calls. `server` (and its metrics) must outlive the SocketServer.
+class SocketServer {
+ public:
+  struct Options {
+    int port = 0;      ///< 0 picks an ephemeral port (see port())
+    int backlog = 64;
+  };
+
+  SocketServer(InferenceServer* server, Metrics* metrics, Options options);
+  ~SocketServer();
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// Binds, listens, and starts the accept thread.
+  Status Start();
+
+  /// Closes the listener and all connections, then joins their threads.
+  void Stop();
+
+  /// Port actually bound (resolves an ephemeral request after Start).
+  int port() const { return port_; }
+
+  /// Executes one protocol line and returns the reply (without trailing
+  /// newline; STATS replies are multi-line). Exposed for tests and shared
+  /// with the connection handlers.
+  std::string HandleLine(const std::string& line);
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(int fd);
+
+  InferenceServer* server_;
+  Metrics* metrics_;
+  Options options_;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::thread acceptor_;
+  bool started_ = false;
+
+  std::mutex conn_mu_;
+  std::vector<int> conn_fds_;
+  std::vector<std::thread> conn_threads_;
+  bool stopping_ = false;
+};
+
+}  // namespace rtgcn::serve
+
+#endif  // RTGCN_SERVE_SOCKET_SERVER_H_

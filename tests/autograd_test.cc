@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <future>
+#include <thread>
+
 #include "autograd/gradcheck.h"
 #include "autograd/ops.h"
 #include "autograd/optimizer.h"
@@ -314,6 +318,47 @@ TEST(OptimizerTest, ZeroGradClears) {
   x->AccumulateGrad(Tensor::Ones({2}));
   opt.ZeroGrad();
   EXPECT_FALSE(x->grad.defined());
+}
+
+// Regression test: GradMode must be thread-local. A serving worker holding
+// NoGradGuard for a forward-only pass must not disable taping on a training
+// thread running concurrently (and vice versa) — with a process-global flag
+// this test races and the main thread's tape silently disappears.
+TEST(GradModeTest, NoGradGuardOnOneThreadDoesNotAffectAnother) {
+  std::promise<void> guard_held;
+  std::promise<void> main_done;
+  std::atomic<bool> other_saw_disabled{false};
+  std::atomic<bool> other_built_tape{true};
+
+  std::thread server_worker([&] {
+    NoGradGuard no_grad;
+    other_saw_disabled.store(!GradMode::enabled());
+    // An op on this thread must not build a tape...
+    auto a = Param(Tensor::Ones({2}));
+    auto b = Mul(a, a);
+    other_built_tape.store(b->backward_fn != nullptr || !b->parents.empty());
+    guard_held.set_value();
+    // ... and the guard stays in force while the main thread tapes.
+    main_done.get_future().wait();
+  });
+
+  guard_held.get_future().wait();
+  // The other thread's NoGradGuard is active right now; taping here must
+  // still work.
+  EXPECT_TRUE(GradMode::enabled());
+  auto x = Param(Tensor::Ones({2}));
+  auto y = Mul(x, x);
+  EXPECT_TRUE(y->backward_fn != nullptr);
+  EXPECT_FALSE(y->parents.empty());
+  Backward(y);
+  EXPECT_TRUE(x->grad.defined());
+  main_done.set_value();
+  server_worker.join();
+
+  EXPECT_TRUE(other_saw_disabled.load());
+  EXPECT_FALSE(other_built_tape.load());
+  // Guard released with the thread; this thread was never affected.
+  EXPECT_TRUE(GradMode::enabled());
 }
 
 }  // namespace

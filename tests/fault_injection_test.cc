@@ -14,11 +14,14 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "autograd/optimizer.h"
 #include "common/file_util.h"
 #include "harness/checkpoint.h"
 #include "nn/linear.h"
 #include "nn/serialize.h"
+#include "serve/registry.h"
 #include "tensor/init.h"
 
 namespace rtgcn {
@@ -300,6 +303,87 @@ TEST(V1TransactionalTest, MidStreamShapeMismatchLeavesModuleUntouched) {
   ASSERT_FALSE(nn::LoadParameters(&fewer, path).ok());
   EXPECT_TRUE(ParamsByteIdentical(fewer, fewer_before));
   std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Serving registry (serve/registry.h): a corrupt or truncated newest
+// checkpoint must be skipped — and counted in serve::Metrics — while the
+// previously promoted snapshot keeps serving unchanged scores.
+// ---------------------------------------------------------------------------
+
+class LinearServable : public serve::ServableModel {
+ public:
+  LinearServable() : rng_(3), linear_(3, 1, &rng_) {}
+  nn::Module* module() override { return &linear_; }
+  Tensor Score(const Tensor& features) override {
+    return linear_.Forward(ag::Constant(features))->value;
+  }
+
+ private:
+  Rng rng_;
+  nn::Linear linear_;
+};
+
+TEST(FaultInjectionTest, RegistrySkipsTruncatedNewestAndKeepsServing) {
+  const std::string dir = "/tmp/rtgcn_fault_registry";
+  RemoveDirRecursive(dir);
+  harness::CheckpointManager manager({dir, 1, 0});
+  ASSERT_TRUE(manager.Init().ok());
+
+  // One good checkpoint, published as version 1.
+  std::string good_bytes;
+  {
+    LinearServable model;
+    ASSERT_TRUE(
+        nn::SaveParameters(*model.module(), manager.CheckpointPath(1)).ok());
+    auto bytes = ReadWholeFile(manager.CheckpointPath(1));
+    ASSERT_TRUE(bytes.ok());
+    good_bytes = bytes.ValueOrDie();
+  }
+  serve::Metrics metrics;
+  serve::ModelRegistry registry(
+      {dir, /*reload_interval_ms=*/0},
+      [] { return std::make_unique<LinearServable>(); }, &metrics);
+  ASSERT_TRUE(registry.Start().ok());
+  ASSERT_EQ(registry.CurrentVersion(), 1);
+
+  Rng rng(9);
+  const Tensor features = RandomUniform({4, 3}, -1, 1, &rng);
+  const Tensor before = registry.Current()->Score(features);
+
+  // A newer-but-mutilated checkpoint (several truncation points, then a
+  // bit flip) must never be promoted and never dent the served scores.
+  const std::string newest = manager.CheckpointPath(2);
+  const std::vector<size_t> cuts = {0, 1, good_bytes.size() / 2,
+                                    good_bytes.size() - 1};
+  for (const size_t cut : cuts) {
+    WritePlain(newest, good_bytes.data(), cut);
+    EXPECT_FALSE(registry.PollOnce());
+    EXPECT_EQ(registry.CurrentVersion(), 1);
+    const Tensor after = registry.Current()->Score(features);
+    EXPECT_EQ(std::memcmp(before.data(), after.data(),
+                          sizeof(float) * static_cast<size_t>(before.numel())),
+              0);
+  }
+  {
+    std::string flipped = good_bytes;
+    flipped[flipped.size() / 2] =
+        static_cast<char>(flipped[flipped.size() / 2] ^ 0x10);
+    WritePlain(newest, flipped.data(), flipped.size());
+    EXPECT_FALSE(registry.PollOnce());
+    EXPECT_EQ(registry.CurrentVersion(), 1);
+  }
+  EXPECT_EQ(metrics.reload_failure.load(),
+            static_cast<uint64_t>(cuts.size() + 1));
+  EXPECT_EQ(metrics.reload_success.load(), 1u);
+
+  // Once the newest checkpoint is whole again, it is promoted.
+  WritePlain(newest, good_bytes.data(), good_bytes.size());
+  EXPECT_TRUE(registry.PollOnce());
+  EXPECT_EQ(registry.CurrentVersion(), 2);
+  EXPECT_EQ(metrics.reload_success.load(), 2u);
+  registry.Stop();
+  RemoveDirRecursive(dir);
 }
 
 }  // namespace

@@ -1,0 +1,585 @@
+// Tests for the inference serving subsystem (src/serve/):
+//
+//  * metrics counters and fixed-bucket histograms;
+//  * snapshot load/score parity with the training-side forward pass;
+//  * registry promotion order and corrupt-checkpoint skipping;
+//  * batching equivalence — scores through the micro-batcher are
+//    bit-identical to a direct single-request Predict at every batch size
+//    and client-thread count (the serving analogue of
+//    parallel_equivalence_test.cc);
+//  * hot reload under load — concurrent clients never see a failed query
+//    or a response that does not match exactly one published version;
+//  * the socket line protocol end-to-end over a real TCP connection.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "autograd/ops.h"
+#include "common/file_util.h"
+#include "common/thread_pool.h"
+#include "harness/checkpoint.h"
+#include "harness/gradient_predictor.h"
+#include "market/dataset.h"
+#include "nn/linear.h"
+#include "serve/metrics.h"
+#include "serve/registry.h"
+#include "serve/server.h"
+#include "serve/snapshot.h"
+#include "serve/socket_server.h"
+
+namespace rtgcn::serve {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Fixture: a tiny linear ranking model over a deterministic price panel.
+// ---------------------------------------------------------------------------
+
+class LinearRanker : public harness::GradientPredictor {
+ public:
+  explicit LinearRanker(int64_t num_features, uint64_t seed = 1)
+      : rng_(seed), linear_(num_features, 1, &rng_) {}
+
+  std::string name() const override { return "LinearRanker"; }
+
+ protected:
+  nn::Module* module() override { return &linear_; }
+  ag::VarPtr Forward(const Tensor& features, Rng*) override {
+    const int64_t t_len = features.dim(0);
+    const int64_t n = features.dim(1);
+    const int64_t d = features.dim(2);
+    auto x = ag::Constant(features);
+    auto last = ag::Reshape(ag::SliceOp(x, 0, t_len - 1, t_len), {n, d});
+    return ag::Reshape(linear_.Forward(last), {n});
+  }
+  float alpha() const override { return 0.0f; }
+
+ private:
+  Rng rng_;
+  nn::Linear linear_;
+};
+
+market::WindowDataset MakePanel(int64_t days = 90, int64_t n = 10) {
+  Rng rng(17);
+  Tensor prices({days, n});
+  for (int64_t i = 0; i < n; ++i) prices.at({0, i}) = 50.0f + 2.0f * i;
+  for (int64_t t = 1; t < days; ++t) {
+    for (int64_t i = 0; i < n; ++i) {
+      const float drift = 0.002f * static_cast<float>((i % 5) - 2);
+      const float noise = static_cast<float>(rng.Gaussian(0, 0.001));
+      prices.at({t, i}) = prices.at({t - 1, i}) * (1.0f + drift + noise);
+    }
+  }
+  return market::WindowDataset(prices, /*window=*/5, /*num_features=*/2);
+}
+
+ServableFactory MakeFactory() {
+  return [] { return WrapPredictor(std::make_unique<LinearRanker>(2)); };
+}
+
+// Trains a LinearRanker for `epochs` on the panel and exports its weights
+// as checkpoint `epoch` in `dir`; returns the trained predictor so tests
+// can compute expected scores directly.
+std::unique_ptr<LinearRanker> TrainAndExport(
+    const market::WindowDataset& data, const std::string& dir, int64_t epoch,
+    int64_t epochs, uint64_t seed) {
+  auto model = std::make_unique<LinearRanker>(2, seed);
+  harness::TrainOptions opts;
+  opts.epochs = epochs;
+  opts.learning_rate = 1e-2f;
+  opts.seed = seed;
+  model->Fit(data, data.Days(data.first_day(), 60), opts);
+  harness::CheckpointManager manager({dir, 1, 0});
+  EXPECT_TRUE(manager.Init().ok());
+  EXPECT_TRUE(model->ExportSnapshot(manager.CheckpointPath(epoch)).ok());
+  return model;
+}
+
+std::string TestDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "serve_" + name + "_" +
+                          std::to_string(::getpid());
+  // Start from a clean slate if a previous run left files behind.
+  auto entries = ListDirectory(dir);
+  if (entries.ok()) {
+    for (const std::string& e : entries.ValueOrDie()) {
+      std::remove((dir + "/" + e).c_str());
+    }
+  }
+  ::rmdir(dir.c_str());
+  return dir;
+}
+
+std::vector<float> ToVector(const Tensor& t) {
+  return std::vector<float>(t.data(), t.data() + t.numel());
+}
+
+// ---------------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------------
+
+TEST(LatencyHistogramTest, PercentilesBracketSamples) {
+  LatencyHistogram hist;
+  for (uint64_t us = 1; us <= 1000; ++us) hist.Record(us);
+  EXPECT_EQ(hist.count(), 1000u);
+  EXPECT_NEAR(hist.MeanMicros(), 500.5, 1e-9);
+  // Power-of-two buckets: each percentile lands within its bucket's range.
+  const double p50 = hist.PercentileMicros(0.50);
+  EXPECT_GE(p50, 256.0);
+  EXPECT_LE(p50, 1024.0);
+  const double p99 = hist.PercentileMicros(0.99);
+  EXPECT_GE(p99, 512.0);
+  EXPECT_LE(p99, 1024.0);
+  EXPECT_GE(p99, p50);
+}
+
+TEST(BatchSizeHistogramTest, TracksDistribution) {
+  BatchSizeHistogram hist;
+  hist.Record(1);
+  hist.Record(1);
+  hist.Record(8);
+  hist.Record(BatchSizeHistogram::kMaxTracked + 5);
+  EXPECT_EQ(hist.CountForSize(1), 2u);
+  EXPECT_EQ(hist.CountForSize(8), 1u);
+  EXPECT_EQ(hist.overflow(), 1u);
+  EXPECT_EQ(hist.count(), 4u);
+}
+
+TEST(MetricsTest, DumpTextContainsAllSections) {
+  Metrics metrics;
+  metrics.requests.fetch_add(3);
+  metrics.responses_ok.fetch_add(3);
+  metrics.latency.Record(100);
+  metrics.batch_size.Record(3);
+  const std::string text = metrics.DumpText();
+  for (const char* key :
+       {"serve.requests 3", "serve.responses_ok 3", "serve.latency_us.p50",
+        "serve.latency_us.p99", "serve.batch_size.hist", "serve.qps",
+        "serve.cache_hit_rate", "serve.reload_success"}) {
+    EXPECT_NE(text.find(key), std::string::npos) << "missing " << key
+                                                 << " in:\n" << text;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot + registry
+// ---------------------------------------------------------------------------
+
+TEST(ModelSnapshotTest, ScoresMatchTrainingSideForwardBitIdentically) {
+  market::WindowDataset data = MakePanel();
+  const std::string dir = TestDir("snapshot");
+  auto trained = TrainAndExport(data, dir, /*epoch=*/1, /*epochs=*/3, 9);
+
+  harness::CheckpointManager manager({dir, 1, 0});
+  auto snap = ModelSnapshot::Load(MakeFactory(), manager.CheckpointPath(1), 1);
+  ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+  const auto& snapshot = snap.ValueOrDie();
+  EXPECT_EQ(snapshot->version(), 1);
+  EXPECT_GT(snapshot->num_parameters(), 0);
+
+  for (int64_t day : {data.first_day(), data.first_day() + 7}) {
+    const Tensor direct = trained->Predict(data, day);
+    const Tensor served = snapshot->Score(data.Features(day));
+    ASSERT_EQ(direct.numel(), served.numel());
+    EXPECT_EQ(std::memcmp(direct.data(), served.data(),
+                          sizeof(float) * static_cast<size_t>(direct.numel())),
+              0);
+  }
+}
+
+TEST(ModelRegistryTest, PromotesNewestAndOnlyNewer) {
+  market::WindowDataset data = MakePanel();
+  const std::string dir = TestDir("registry");
+  TrainAndExport(data, dir, /*epoch=*/1, /*epochs=*/1, 11);
+  TrainAndExport(data, dir, /*epoch=*/2, /*epochs=*/2, 12);
+
+  Metrics metrics;
+  ModelRegistry registry({dir, /*reload_interval_ms=*/0}, MakeFactory(),
+                         &metrics);
+  ASSERT_TRUE(registry.Start().ok());
+  EXPECT_EQ(registry.CurrentVersion(), 2);
+  EXPECT_EQ(metrics.reload_success.load(), 1u);
+  // Nothing newer: a second poll is a no-op.
+  EXPECT_FALSE(registry.PollOnce());
+  EXPECT_EQ(registry.CurrentVersion(), 2);
+  // A newer checkpoint is picked up.
+  TrainAndExport(data, dir, /*epoch=*/3, /*epochs=*/3, 13);
+  EXPECT_TRUE(registry.PollOnce());
+  EXPECT_EQ(registry.CurrentVersion(), 3);
+  EXPECT_EQ(metrics.reload_success.load(), 2u);
+  EXPECT_EQ(metrics.reload_failure.load(), 0u);
+  registry.Stop();
+}
+
+TEST(ModelRegistryTest, StartWithoutCheckpointsReportsNotFound) {
+  const std::string dir = TestDir("registry_empty");
+  Metrics metrics;
+  ModelRegistry registry({dir, /*reload_interval_ms=*/0}, MakeFactory(),
+                         &metrics);
+  const Status status = registry.Start();
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(registry.Current(), nullptr);
+  registry.Stop();
+}
+
+// ---------------------------------------------------------------------------
+// Batching equivalence (satellite): micro-batched scores == direct Predict.
+// ---------------------------------------------------------------------------
+
+TEST(InferenceServerTest, BatchedScoresBitIdenticalToDirectPredict) {
+  market::WindowDataset data = MakePanel();
+  const std::string dir = TestDir("equivalence");
+  auto trained = TrainAndExport(data, dir, /*epoch=*/1, /*epochs=*/4, 21);
+
+  const std::vector<int64_t> days = data.Days(data.first_day(), 80);
+  std::map<int64_t, std::vector<float>> expected;
+  for (int64_t day : days) expected[day] = ToVector(trained->Predict(data, day));
+
+  const int saved_threads = NumThreads();
+  for (const int pool_threads : {1, 4}) {
+    SetNumThreads(pool_threads);
+    for (const int64_t max_batch : {int64_t{1}, int64_t{7}, int64_t{32}}) {
+      for (const int num_clients : {1, 8}) {
+        Metrics metrics;
+        ModelRegistry registry({dir, /*reload_interval_ms=*/0}, MakeFactory(),
+                               &metrics);
+        ASSERT_TRUE(registry.Start().ok());
+        InferenceServer::Options opts;
+        opts.max_batch = max_batch;
+        opts.batch_timeout_us = 100;
+        InferenceServer server(&data, &registry, opts, &metrics);
+        ASSERT_TRUE(server.Start().ok());
+
+        std::atomic<int> mismatches{0};
+        std::atomic<int> failures{0};
+        std::vector<std::thread> clients;
+        for (int c = 0; c < num_clients; ++c) {
+          clients.emplace_back([&, c] {
+            for (size_t q = 0; q < days.size(); ++q) {
+              const int64_t day =
+                  days[(q + static_cast<size_t>(c) * 3) % days.size()];
+              auto reply = server.Rank(day);
+              if (!reply.ok()) {
+                failures.fetch_add(1);
+                continue;
+              }
+              const auto& scores = reply.ValueOrDie().scores;
+              const auto& want = expected.at(day);
+              if (scores.size() != want.size() ||
+                  std::memcmp(scores.data(), want.data(),
+                              sizeof(float) * want.size()) != 0) {
+                mismatches.fetch_add(1);
+              }
+            }
+          });
+        }
+        for (auto& t : clients) t.join();
+        server.Stop();
+        registry.Stop();
+        EXPECT_EQ(failures.load(), 0)
+            << "pool=" << pool_threads << " max_batch=" << max_batch
+            << " clients=" << num_clients;
+        EXPECT_EQ(mismatches.load(), 0)
+            << "pool=" << pool_threads << " max_batch=" << max_batch
+            << " clients=" << num_clients;
+      }
+    }
+  }
+  SetNumThreads(saved_threads);
+}
+
+TEST(InferenceServerTest, CacheCoalescesRepeatQueriesIntoOneForward) {
+  market::WindowDataset data = MakePanel();
+  const std::string dir = TestDir("cache");
+  TrainAndExport(data, dir, /*epoch=*/1, /*epochs=*/1, 31);
+
+  Metrics metrics;
+  ModelRegistry registry({dir, /*reload_interval_ms=*/0}, MakeFactory(),
+                         &metrics);
+  ASSERT_TRUE(registry.Start().ok());
+  InferenceServer server(&data, &registry, {}, &metrics);
+  ASSERT_TRUE(server.Start().ok());
+
+  const int64_t day = data.first_day();
+  for (int i = 0; i < 20; ++i) {
+    auto reply = server.Score(day, i % data.num_stocks());
+    ASSERT_TRUE(reply.ok());
+    EXPECT_EQ(reply.ValueOrDie().num_stocks, data.num_stocks());
+  }
+  EXPECT_EQ(metrics.forwards.load(), 1u);
+  EXPECT_GT(metrics.cache_hits.load(), 0u);
+  EXPECT_EQ(metrics.responses_ok.load(), 20u);
+
+  // Ranks are a permutation consistent with the scores.
+  auto rank_reply = server.Rank(day);
+  ASSERT_TRUE(rank_reply.ok());
+  const auto& scores = rank_reply.ValueOrDie().scores;
+  auto best = server.Score(day, 0);
+  ASSERT_TRUE(best.ok());
+  float max_score = scores[0];
+  for (float s : scores) max_score = std::max(max_score, s);
+  for (int64_t i = 0; i < data.num_stocks(); ++i) {
+    auto r = server.Score(day, i);
+    ASSERT_TRUE(r.ok());
+    if (r.ValueOrDie().rank == 0) {
+      EXPECT_EQ(r.ValueOrDie().score, max_score);
+    }
+  }
+  server.Stop();
+  registry.Stop();
+}
+
+TEST(InferenceServerTest, InvalidDayFailsThatQueryOnly) {
+  market::WindowDataset data = MakePanel();
+  const std::string dir = TestDir("invalid");
+  TrainAndExport(data, dir, /*epoch=*/1, /*epochs=*/1, 41);
+
+  Metrics metrics;
+  ModelRegistry registry({dir, /*reload_interval_ms=*/0}, MakeFactory(),
+                         &metrics);
+  ASSERT_TRUE(registry.Start().ok());
+  InferenceServer server(&data, &registry, {}, &metrics);
+  ASSERT_TRUE(server.Start().ok());
+
+  EXPECT_FALSE(server.Rank(data.last_day() + 100).ok());
+  EXPECT_FALSE(server.Score(data.first_day(), -1).ok());
+  EXPECT_FALSE(server.Score(data.first_day(), data.num_stocks()).ok());
+  EXPECT_TRUE(server.Rank(data.first_day()).ok());
+  EXPECT_EQ(metrics.responses_error.load(), 3u);
+  server.Stop();
+  registry.Stop();
+}
+
+// ---------------------------------------------------------------------------
+// Hot reload under load (satellite): N clients hammer the server while
+// checkpoints are swapped in; zero failed queries, and every response's
+// scores match exactly the model version it reports.
+// ---------------------------------------------------------------------------
+
+TEST(HotReloadTest, LosslessUnderConcurrentLoad) {
+  market::WindowDataset data = MakePanel();
+  const std::string dir = TestDir("hot_reload");
+
+  // Two distinct weight sets; versions alternate between them so every
+  // swap changes the served scores.
+  auto model_a = TrainAndExport(data, dir, /*epoch=*/1, /*epochs=*/1, 51);
+  auto model_b = std::make_unique<LinearRanker>(2, 52);
+  {
+    harness::TrainOptions opts;
+    opts.epochs = 4;
+    opts.learning_rate = 1e-2f;
+    opts.seed = 52;
+    model_b->Fit(data, data.Days(data.first_day(), 60), opts);
+  }
+
+  const std::vector<int64_t> days = data.Days(data.first_day(), 70);
+  std::map<int64_t, std::vector<float>> expected_a, expected_b;
+  for (int64_t day : days) {
+    expected_a[day] = ToVector(model_a->Predict(data, day));
+    expected_b[day] = ToVector(model_b->Predict(data, day));
+    // The two versions must be distinguishable for the check to mean
+    // anything.
+    ASSERT_NE(expected_a[day], expected_b[day]);
+  }
+
+  Metrics metrics;
+  ModelRegistry registry({dir, /*reload_interval_ms=*/2}, MakeFactory(),
+                         &metrics);
+  ASSERT_TRUE(registry.Start().ok());
+  InferenceServer::Options opts;
+  opts.max_batch = 16;
+  opts.batch_timeout_us = 100;
+  InferenceServer server(&data, &registry, opts, &metrics);
+  ASSERT_TRUE(server.Start().ok());
+
+  constexpr int kClients = 4;
+  constexpr int64_t kSwaps = 12;
+  std::atomic<bool> done{false};
+  std::atomic<int> failures{0};
+  std::atomic<int> version_mismatches{0};
+  std::atomic<int64_t> answered{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      size_t q = static_cast<size_t>(c);
+      while (!done.load(std::memory_order_acquire)) {
+        const int64_t day = days[q++ % days.size()];
+        auto reply = server.Rank(day);
+        if (!reply.ok()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        const auto& r = reply.ValueOrDie();
+        // Version v serves weight set A when odd, B when even.
+        const auto& want =
+            (r.model_version % 2 == 1) ? expected_a.at(day) : expected_b.at(day);
+        const auto& other =
+            (r.model_version % 2 == 1) ? expected_b.at(day) : expected_a.at(day);
+        const bool matches_reported =
+            r.scores.size() == want.size() &&
+            std::memcmp(r.scores.data(), want.data(),
+                        sizeof(float) * want.size()) == 0;
+        const bool matches_other =
+            r.scores.size() == other.size() &&
+            std::memcmp(r.scores.data(), other.data(),
+                        sizeof(float) * other.size()) == 0;
+        // Exactly one published version: the reported one.
+        if (!matches_reported || matches_other) {
+          version_mismatches.fetch_add(1);
+        }
+        answered.fetch_add(1);
+      }
+    });
+  }
+
+  // Publish kSwaps new versions while the clients hammer the server.
+  harness::CheckpointManager manager({dir, 1, 0});
+  for (int64_t epoch = 2; epoch <= 1 + kSwaps; ++epoch) {
+    harness::GradientPredictor* source =
+        (epoch % 2 == 1) ? static_cast<harness::GradientPredictor*>(
+                               model_a.get())
+                         : model_b.get();
+    ASSERT_TRUE(source->ExportSnapshot(manager.CheckpointPath(epoch)).ok());
+    // Wait until the poller promotes it, keeping load flowing meanwhile.
+    while (registry.CurrentVersion() < epoch) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  // Let the clients observe the final version for a moment.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  done.store(true, std::memory_order_release);
+  for (auto& t : clients) t.join();
+  server.Stop();
+  registry.Stop();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(version_mismatches.load(), 0);
+  EXPECT_GT(answered.load(), 0);
+  EXPECT_GE(metrics.reload_success.load(), static_cast<uint64_t>(kSwaps));
+  EXPECT_EQ(metrics.reload_failure.load(), 0u);
+  EXPECT_EQ(registry.CurrentVersion(), 1 + kSwaps);
+}
+
+// ---------------------------------------------------------------------------
+// Socket front-end
+// ---------------------------------------------------------------------------
+
+class LineClient {
+ public:
+  explicit LineClient(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    connected_ = ::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                           sizeof(addr)) == 0;
+  }
+  ~LineClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool connected() const { return connected_; }
+
+  std::string RoundTrip(const std::string& line) {
+    const std::string out = line + "\n";
+    EXPECT_EQ(::write(fd_, out.data(), out.size()),
+              static_cast<ssize_t>(out.size()));
+    return ReadLine();
+  }
+
+  std::string ReadLine() {
+    while (buffer_.find('\n') == std::string::npos) {
+      char chunk[512];
+      const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+      if (n <= 0) return "";
+      buffer_.append(chunk, static_cast<size_t>(n));
+    }
+    const size_t pos = buffer_.find('\n');
+    std::string line = buffer_.substr(0, pos);
+    buffer_.erase(0, pos + 1);
+    return line;
+  }
+
+ private:
+  int fd_ = -1;
+  bool connected_ = false;
+  std::string buffer_;
+};
+
+TEST(SocketServerTest, LineProtocolEndToEnd) {
+  market::WindowDataset data = MakePanel();
+  const std::string dir = TestDir("socket");
+  auto trained = TrainAndExport(data, dir, /*epoch=*/1, /*epochs=*/2, 61);
+
+  Metrics metrics;
+  ModelRegistry registry({dir, /*reload_interval_ms=*/0}, MakeFactory(),
+                         &metrics);
+  ASSERT_TRUE(registry.Start().ok());
+  InferenceServer server(&data, &registry, {}, &metrics);
+  ASSERT_TRUE(server.Start().ok());
+  SocketServer front(&server, &metrics, {/*port=*/0});
+  ASSERT_TRUE(front.Start().ok());
+  ASSERT_GT(front.port(), 0);
+
+  LineClient client(front.port());
+  ASSERT_TRUE(client.connected());
+  EXPECT_EQ(client.RoundTrip("PING"), "PONG");
+
+  // SCORE returns the bit-exact forward-pass score (%.9g round-trips f32).
+  const int64_t day = data.first_day();
+  const Tensor direct = trained->Predict(data, day);
+  const std::string reply = client.RoundTrip(
+      "SCORE " + std::to_string(day) + " 3");
+  ASSERT_EQ(reply.rfind("OK ", 0), 0u) << reply;
+  {
+    std::istringstream in(reply);
+    std::string ok;
+    int64_t version, rank, n;
+    float score;
+    in >> ok >> version >> score >> rank >> n;
+    EXPECT_EQ(version, 1);
+    EXPECT_EQ(n, data.num_stocks());
+    EXPECT_EQ(score, direct.data()[3]);
+    EXPECT_GE(rank, 0);
+    EXPECT_LT(rank, n);
+  }
+
+  const std::string rank_reply =
+      client.RoundTrip("RANK " + std::to_string(day) + " 3");
+  EXPECT_EQ(rank_reply.rfind("OK 1 3 ", 0), 0u) << rank_reply;
+
+  // STATS streams the metrics dump, terminated by END.
+  std::string stats = client.RoundTrip("STATS");
+  bool saw_requests = false;
+  while (!stats.empty() && stats != "END") {
+    if (stats.rfind("serve.requests", 0) == 0) saw_requests = true;
+    stats = client.ReadLine();
+  }
+  EXPECT_EQ(stats, "END");
+  EXPECT_TRUE(saw_requests);
+
+  EXPECT_EQ(client.RoundTrip("BOGUS"), "ERR unknown command: BOGUS");
+  EXPECT_EQ(client.RoundTrip("SCORE nope 1"),
+            "ERR usage: SCORE <day> <stock>");
+  const std::string bad_day =
+      client.RoundTrip("SCORE 99999 0");
+  EXPECT_EQ(bad_day.rfind("ERR ", 0), 0u) << bad_day;
+
+  front.Stop();
+  server.Stop();
+  registry.Stop();
+}
+
+}  // namespace
+}  // namespace rtgcn::serve
