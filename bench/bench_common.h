@@ -4,6 +4,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <numeric>
 #include <string>
@@ -26,18 +27,84 @@ inline Flags ParseBenchFlags(int argc, char** argv) {
   return flags;
 }
 
-/// Markets for a bench run: parses --markets "NASDAQ,NYSE,CSI" (default all)
-/// and applies --scale (default 1.0).
-inline std::vector<market::MarketSpec> MarketsFromFlags(const Flags& flags) {
-  const double scale = flags.GetDouble("scale", 1.0);
+/// Market specs for a "NASDAQ,NYSE,CSI"-style list at a size multiplier.
+inline std::vector<market::MarketSpec> ParseMarkets(const std::string& csv,
+                                                    double scale) {
   std::vector<market::MarketSpec> specs;
-  for (const std::string& name :
-       Split(flags.GetString("markets", "NASDAQ,NYSE,CSI"), ',')) {
+  for (const std::string& name : Split(csv, ',')) {
     if (name == "NASDAQ") specs.push_back(market::NasdaqSpec(scale));
     if (name == "NYSE") specs.push_back(market::NyseSpec(scale));
     if (name == "CSI") specs.push_back(market::CsiSpec(scale));
   }
   return specs;
+}
+
+/// Markets for a bench run: parses --markets "NASDAQ,NYSE,CSI" (default all)
+/// and applies --scale (default 1.0).
+inline std::vector<market::MarketSpec> MarketsFromFlags(const Flags& flags) {
+  return ParseMarkets(flags.GetString("markets", "NASDAQ,NYSE,CSI"),
+                      flags.GetDouble("scale", 1.0));
+}
+
+/// Flags every bench binary shares, for FlagSet-based drivers. Register the
+/// relevant groups, Parse, then call Apply() once.
+struct BenchFlags {
+  int num_threads = 0;  ///< 0 = RTGCN_NUM_THREADS env var / hardware
+  std::string markets = "NASDAQ,NYSE,CSI";
+  double scale = 1.0;
+
+  std::string checkpoint_dir;  ///< empty = checkpointing off
+  int64_t checkpoint_every = 1;
+  int64_t checkpoint_keep = 3;
+  bool resume = true;
+
+  /// Execution flags take effect (thread-pool size).
+  void Apply() const {
+    if (num_threads >= 1) SetNumThreads(num_threads);
+  }
+
+  std::vector<market::MarketSpec> Markets() const {
+    return ParseMarkets(markets, scale);
+  }
+
+  void ApplyCheckpoints(harness::TrainOptions* train) const {
+    train->checkpoint_dir = checkpoint_dir;
+    train->checkpoint_every = checkpoint_every;
+    train->checkpoint_keep = checkpoint_keep;
+    train->resume = resume;
+  }
+};
+
+/// Registers the shared execution/market flags onto `fs`, bound to `*bf`.
+inline void RegisterBenchFlags(FlagSet* fs, BenchFlags* bf) {
+  fs->Register("num_threads", &bf->num_threads,
+               "tensor worker threads (0 = RTGCN_NUM_THREADS env / auto)");
+  fs->Register("markets", &bf->markets,
+               "comma-separated markets to run (NASDAQ,NYSE,CSI)");
+  fs->Register("scale", &bf->scale, "market size multiplier");
+}
+
+/// Registers the crash-safe checkpointing flags (sweep binaries that train).
+inline void RegisterCheckpointFlags(FlagSet* fs, BenchFlags* bf) {
+  fs->Register("checkpoint_dir", &bf->checkpoint_dir,
+               "save/resume training checkpoints here (empty = off)");
+  fs->Register("checkpoint_every", &bf->checkpoint_every,
+               "checkpoint every N epochs");
+  fs->Register("checkpoint_keep", &bf->checkpoint_keep,
+               "retained checkpoints per model");
+  fs->Register("resume", &bf->resume,
+               "resume from the newest checkpoint when present");
+}
+
+/// Parse with --help support: prints the generated usage text and exits 0
+/// on --help; aborts the process on a malformed or unknown flag.
+inline void ParseOrDie(FlagSet* fs, int argc, char** argv) {
+  const Status status = fs->Parse(argc, argv);
+  if (fs->help_requested()) {
+    std::printf("%s", fs->Usage(argv[0]).c_str());
+    std::exit(0);
+  }
+  status.Abort();
 }
 
 /// Applies the shared crash-safe checkpointing flags to a TrainOptions:

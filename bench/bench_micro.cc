@@ -3,6 +3,10 @@
 // that underlies Figure 5's speed comparison.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <string>
+#include <vector>
+
 #include "autograd/ops.h"
 #include "autograd/optimizer.h"
 #include "baselines/lstm_models.h"
@@ -12,6 +16,7 @@
 #include "graph/adjacency.h"
 #include "market/market.h"
 #include "nn/rnn.h"
+#include "obs/trace.h"
 #include "tensor/init.h"
 #include "tensor/ops.h"
 
@@ -177,4 +182,43 @@ BENCHMARK(BM_FeatureWindow);
 }  // namespace
 }  // namespace rtgcn
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): supports `--trace_out FILE`,
+// which enables span tracing for the whole run and exports a Chrome trace
+// JSON (chrome://tracing / Perfetto) when the benchmarks finish. The flag
+// is stripped before google-benchmark sees argv — it rejects unknown flags.
+int main(int argc, char** argv) {
+  std::string trace_out;
+  std::vector<char*> args;
+  args.reserve(static_cast<size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--trace_out=", 0) == 0) {
+      trace_out = arg.substr(sizeof("--trace_out=") - 1);
+      continue;
+    }
+    if (arg == "--trace_out" && i + 1 < argc) {
+      trace_out = argv[++i];
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  if (!trace_out.empty()) rtgcn::obs::Tracer::SetEnabled(true);
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!trace_out.empty()) {
+    std::string error;
+    if (!rtgcn::obs::Tracer::ExportChromeJson(trace_out, &error)) {
+      std::fprintf(stderr, "bench_micro: trace export failed: %s\n",
+                   error.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "bench_micro: trace written to %s\n",
+                 trace_out.c_str());
+  }
+  return 0;
+}

@@ -101,25 +101,50 @@ void PrintConfig(const char* label, const serve::Metrics& metrics,
 }  // namespace
 
 int main(int argc, char** argv) {
-  auto flags = Flags::Parse(argc, argv).ValueOrDie();
-  InitNumThreadsFromFlags(flags);
-  const int64_t clients = flags.GetInt("clients", 8);
-  const int64_t requests = flags.GetInt("requests", 400);
-  const int64_t max_batch = flags.GetInt("max_batch", 32);
-  const int64_t batch_timeout_us = flags.GetInt("batch_timeout_us", 200);
-  const int64_t phase = flags.GetInt("phase", 64);
-  const bool cache = flags.GetBool("cache", false);
+  int64_t clients = 8;
+  int64_t requests = 400;
+  int64_t max_batch = 32;
+  int64_t batch_timeout_us = 200;
+  int64_t phase = 64;
+  bool cache = false;
+  int64_t train_epochs = 2;
+  int num_threads = 0;
 
   // A small market keeps the bench fast, but the universe must be big
   // enough that the forward pass dominates per-request overhead —
   // otherwise neither config is measuring inference.
   market::MarketSpec spec = market::NasdaqSpec(/*scale=*/0.25);
-  spec.num_stocks = flags.GetInt("stocks", 60);
+  spec.num_stocks = 60;
   spec.train_days = 120;
   spec.test_days = 40;
-  const market::MarketData data = market::BuildMarket(spec);
   core::RtGcnConfig config;
-  config.window = flags.GetInt("window", 15);
+
+  FlagSet fs("Closed-loop serving load generator: batched vs unbatched QPS "
+             "against the same exported checkpoint.");
+  fs.Register("clients", &clients, "closed-loop client threads");
+  fs.Register("requests", &requests, "blocking Score() calls per client");
+  fs.Register("max_batch", &max_batch,
+              "micro-batch flush size for the batched config");
+  fs.Register("batch_timeout_us", &batch_timeout_us,
+              "micro-batch window after a batch's first request");
+  fs.Register("phase", &phase,
+              "consecutive tickets per day (same-day query clustering)");
+  fs.Register("cache", &cache, "enable the (version, day) score cache");
+  fs.Register("stocks", &spec.num_stocks, "simulated universe size");
+  fs.Register("window", &config.window, "look-back window length");
+  fs.Register("train_epochs", &train_epochs,
+              "training epochs for the exported model");
+  fs.Register("num_threads", &num_threads,
+              "tensor worker threads (0 = auto)");
+  const Status flag_status = fs.Parse(argc, argv);
+  if (fs.help_requested()) {
+    std::printf("%s", fs.Usage(argv[0]).c_str());
+    return 0;
+  }
+  flag_status.Abort();
+  if (num_threads >= 1) SetNumThreads(num_threads);
+
+  const market::MarketData data = market::BuildMarket(spec);
   const market::WindowDataset dataset =
       data.MakeDataset(config.window, config.num_features);
   const std::vector<int64_t> days =
@@ -135,7 +160,7 @@ int main(int argc, char** argv) {
   {
     auto model = make_predictor();
     harness::TrainOptions train;
-    train.epochs = flags.GetInt("train_epochs", 2);
+    train.epochs = train_epochs;
     model->Fit(dataset, dataset.Days(dataset.first_day(), spec.test_boundary() - 1),
                train);
     model->ExportSnapshot(manager.CheckpointPath(1)).Abort();

@@ -3,6 +3,7 @@
 // Wilcoxon p-value of RT-GCN (T) against the strongest baseline.
 //
 // Flags: --markets NASDAQ,NYSE,CSI  --reps 2  --epochs 8  --scale 1.0
+// (--help prints the full generated list, checkpointing flags included).
 // The paper's protocol is --reps 15; the default keeps a single-core run
 // tractable (see EXPERIMENTS.md).
 #include <cstdio>
@@ -15,11 +16,19 @@ namespace rtgcn::bench {
 namespace {
 
 int Run(int argc, char** argv) {
-  auto flags = ParseBenchFlags(argc, argv);
-  const int64_t reps = flags.GetInt("reps", 2);
-  const int64_t epochs = flags.GetInt("epochs", 8);
+  int64_t reps = 2;
+  int64_t epochs = 8;
+  BenchFlags bench;
+  FlagSet fs("Table IV reproduction: MRR/IRR of every baseline per market, "
+             "with Wilcoxon significance of RT-GCN (T).");
+  fs.Register("reps", &reps, "training repetitions per model");
+  fs.Register("epochs", &epochs, "training epochs per model");
+  RegisterBenchFlags(&fs, &bench);
+  RegisterCheckpointFlags(&fs, &bench);
+  ParseOrDie(&fs, argc, argv);
+  bench.Apply();
 
-  for (const market::MarketSpec& spec : MarketsFromFlags(flags)) {
+  for (const market::MarketSpec& spec : bench.Markets()) {
     std::printf("=== Table IV — %s (simulated, %lld stocks, %lld train / "
                 "%lld test days, %lld reps) ===\n",
                 spec.name.c_str(), (long long)spec.num_stocks,
@@ -38,7 +47,7 @@ int Run(int argc, char** argv) {
       // With --checkpoint_dir set, a killed sweep resumes the interrupted
       // model's training from its latest epoch checkpoint (per-model subdir
       // so repetitions/models don't collide).
-      ApplyCheckpointFlags(flags, &config.train);
+      bench.ApplyCheckpoints(&config.train);
       if (!config.train.checkpoint_dir.empty()) {
         config.train.checkpoint_dir += "/" + spec.name + "_" + model;
       }

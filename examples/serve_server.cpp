@@ -27,23 +27,57 @@
 
 int main(int argc, char** argv) {
   using namespace rtgcn;
-  auto flags = Flags::Parse(argc, argv).ValueOrDie();
-  InitNumThreadsFromFlags(flags);
 
   // Market + dataset: the server needs the same feature pipeline the model
   // was trained on.
   market::MarketSpec spec = market::NasdaqSpec(/*scale=*/0.5);
-  spec.num_stocks = flags.GetInt("stocks", spec.num_stocks);
   spec.train_days = 260;
   spec.test_days = 60;
-  const market::MarketData data = market::BuildMarket(spec);
   core::RtGcnConfig config;
-  config.window = flags.GetInt("window", 15);
+
+  int port = 7070;
+  std::string dir = "/tmp/rtgcn_serve_demo";
+  int64_t max_batch = 32;
+  int64_t batch_timeout_us = 200;
+  int64_t reload_interval_ms = 1000;
+  bool cache = true;
+  int64_t train_epochs = 4;
+  int64_t serve_seconds = 0;
+  int64_t stats_every_s = 10;
+  int num_threads = 0;
+
+  FlagSet fs("Line-protocol ranking server with hot checkpoint reload over "
+             "a simulated market.");
+  fs.Register("port", &port, "TCP port to listen on (127.0.0.1)");
+  fs.Register("checkpoint_dir", &dir,
+              "directory watched for checkpoint versions");
+  fs.Register("max_batch", &max_batch, "micro-batch flush size");
+  fs.Register("batch_timeout_us", &batch_timeout_us,
+              "micro-batch window after a batch's first request");
+  fs.Register("reload_interval_ms", &reload_interval_ms,
+              "checkpoint directory poll interval");
+  fs.Register("cache", &cache, "enable the (version, day) score cache");
+  fs.Register("stocks", &spec.num_stocks, "simulated universe size");
+  fs.Register("window", &config.window, "look-back window length");
+  fs.Register("train_epochs", &train_epochs,
+              "epochs for the bootstrap model when the directory is empty");
+  fs.Register("serve_seconds", &serve_seconds,
+              "serve this long then exit (0 = forever)");
+  fs.Register("stats_every_s", &stats_every_s,
+              "print metrics every N seconds (0 = never)");
+  fs.Register("num_threads", &num_threads,
+              "tensor worker threads (0 = auto)");
+  const Status flag_status = fs.Parse(argc, argv);
+  if (fs.help_requested()) {
+    std::printf("%s", fs.Usage(argv[0]).c_str());
+    return 0;
+  }
+  flag_status.Abort();
+  if (num_threads >= 1) SetNumThreads(num_threads);
+
+  const market::MarketData data = market::BuildMarket(spec);
   const market::WindowDataset dataset =
       data.MakeDataset(config.window, config.num_features);
-
-  const std::string dir =
-      flags.GetString("checkpoint_dir", "/tmp/rtgcn_serve_demo");
   auto make_predictor = [&data, config] {
     return std::make_unique<baselines::RtGcnPredictor>(
         data.relations.relations, config, /*alpha=*/0.1f, /*seed=*/1);
@@ -57,7 +91,7 @@ int main(int argc, char** argv) {
                 dir.c_str());
     auto model = make_predictor();
     harness::TrainOptions train;
-    train.epochs = flags.GetInt("train_epochs", 4);
+    train.epochs = train_epochs;
     train.verbose = true;
     model->Fit(dataset, dataset.Days(dataset.first_day(), spec.test_boundary() - 1),
                train);
@@ -67,21 +101,19 @@ int main(int argc, char** argv) {
 
   serve::Metrics metrics;
   serve::ModelRegistry registry(
-      {dir, flags.GetInt("reload_interval_ms", 1000)},
+      {dir, reload_interval_ms},
       [make_predictor] { return serve::WrapPredictor(make_predictor()); },
       &metrics);
   registry.Start().Abort();
 
   serve::InferenceServer::Options opts;
-  opts.max_batch = flags.GetInt("max_batch", 32);
-  opts.batch_timeout_us = flags.GetInt("batch_timeout_us", 200);
-  opts.enable_cache = flags.GetBool("cache", true);
+  opts.max_batch = max_batch;
+  opts.batch_timeout_us = batch_timeout_us;
+  opts.enable_cache = cache;
   serve::InferenceServer server(&dataset, &registry, opts, &metrics);
   server.Start().Abort();
 
-  serve::SocketServer front(
-      &server, &metrics,
-      {static_cast<int>(flags.GetInt("port", 7070))});
+  serve::SocketServer front(&server, &metrics, {port});
   front.Start().Abort();
   std::printf("serving %s on 127.0.0.1:%d  (version %lld, days %lld..%lld, "
               "%lld stocks)\n",
@@ -91,8 +123,7 @@ int main(int argc, char** argv) {
               static_cast<long long>(dataset.last_day()),
               static_cast<long long>(dataset.num_stocks()));
 
-  const int64_t serve_seconds = flags.GetInt("serve_seconds", 0);
-  const int64_t stats_every = flags.GetInt("stats_every_s", 10);
+  const int64_t stats_every = stats_every_s;
   for (int64_t elapsed = 0;
        serve_seconds <= 0 || elapsed < serve_seconds; ++elapsed) {
     ::sleep(1);

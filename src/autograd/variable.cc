@@ -3,6 +3,7 @@
 #include <unordered_set>
 
 #include "autograd/finite_check.h"
+#include "obs/trace.h"
 
 namespace rtgcn::ag {
 
@@ -61,6 +62,7 @@ void TopoSort(const VarPtr& root, std::vector<Variable*>* order) {
 
 void Backward(const VarPtr& root) {
   RTGCN_CHECK(root != nullptr);
+  obs::Span backward_span("ag.Backward", "ag");
   std::vector<Variable*> order;
   TopoSort(root, &order);
   root->AccumulateGrad(Tensor::Ones(root->value.shape()));
@@ -70,6 +72,9 @@ void Backward(const VarPtr& root) {
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     Variable* node = *it;
     if (node->backward_fn && node->grad.defined()) {
+      // Per-op span: op_name is a static string, so recording it is
+      // pointer-copy cheap; with tracing off this is a single branch.
+      obs::Span op_span(node->op_name, "ag");
       // The incoming gradient of `node` is final here, so a non-finite
       // entry pins the blame on the op that produced it downstream.
       if (check) FiniteChecks::Observe(node->op_name, "backward", node->grad);

@@ -1,10 +1,22 @@
-// Minimal command-line flag parser used by the bench harness binaries.
+// Command-line flag parsing used by the bench harness binaries.
 //
-// Supports `--name value` and `--name=value` forms. Unknown flags are an
-// error so typos in experiment scripts fail loudly.
+// Two layers:
+//  - Flags: the original untyped bag — parse argv into name -> string and
+//    pull values out with Get*(name, default). Still supported, since some
+//    drivers forward arbitrary flags.
+//  - FlagSet: declarative registration. Bind a variable once
+//    (`fs.Register("num_threads", &n, "worker count")`), call Parse, and
+//    get typed validation, unknown-flag rejection and a generated --help
+//    for free. New binaries should use this.
+//
+// Both accept `--name value` and `--name=value`; bare `--name` sets a bool
+// flag to true. Unknown flags are an error so typos in experiment scripts
+// fail loudly.
 #ifndef RTGCN_COMMON_FLAGS_H_
 #define RTGCN_COMMON_FLAGS_H_
 
+#include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -32,6 +44,57 @@ class Flags {
 
  private:
   std::map<std::string, std::string> values_;
+};
+
+/// \brief Declarative flag registry: bind variables, parse, get --help.
+///
+/// Defaults are whatever the bound variables hold at Register time; they
+/// appear in the generated help text. `--help` (any position) sets
+/// help_requested() instead of failing as unknown — callers print Usage()
+/// and exit 0.
+class FlagSet {
+ public:
+  /// `description` is a one-line summary of the binary for Usage().
+  explicit FlagSet(std::string description = "")
+      : description_(std::move(description)) {}
+
+  void Register(const std::string& name, bool* var, const std::string& help);
+  void Register(const std::string& name, int* var, const std::string& help);
+  void Register(const std::string& name, int64_t* var,
+                const std::string& help);
+  void Register(const std::string& name, double* var,
+                const std::string& help);
+  void Register(const std::string& name, float* var, const std::string& help);
+  void Register(const std::string& name, std::string* var,
+                const std::string& help);
+
+  /// Parses argv into the bound variables. Errors on unknown flags,
+  /// malformed values and missing values. `--help` is always accepted.
+  Status Parse(int argc, char** argv);
+
+  /// True once Parse has seen `--help`.
+  bool help_requested() const { return help_requested_; }
+
+  /// Generated help text: one entry per registered flag with its type,
+  /// default and help string.
+  std::string Usage(const char* argv0 = nullptr) const;
+
+ private:
+  struct Flag {
+    std::string name;
+    std::string help;
+    std::string type;          // "bool", "int", "double", "string"
+    std::string default_text;  // value at Register time, for Usage()
+    bool is_bool = false;
+    std::function<bool(const std::string&)> set;  // false = parse failure
+  };
+
+  const Flag* Find(const std::string& name) const;
+  void Add(Flag flag);
+
+  std::string description_;
+  std::vector<Flag> flags_;
+  bool help_requested_ = false;
 };
 
 }  // namespace rtgcn

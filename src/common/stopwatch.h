@@ -1,27 +1,33 @@
 // Wall-clock timing used by the speed benchmarks (Figure 5).
+//
+// Built on obs::NowMicros so every duration in the codebase — benchmark
+// timings, serve latencies, trace spans — comes from the same monotonic
+// clock (see obs/clock.h). Elapsed time is clamped at zero, so readings
+// can never go negative even under clock skew or a test clock override.
 #ifndef RTGCN_COMMON_STOPWATCH_H_
 #define RTGCN_COMMON_STOPWATCH_H_
 
-#include <chrono>
+#include <cstdint>
+
+#include "obs/clock.h"
 
 namespace rtgcn {
 
 /// \brief Monotonic stopwatch with millisecond/second accessors.
 class Stopwatch {
  public:
-  Stopwatch() : start_(Clock::now()) {}
+  Stopwatch() : start_us_(obs::NowMicros()) {}
 
-  void Restart() { start_ = Clock::now(); }
+  void Restart() { start_us_ = obs::NowMicros(); }
 
   double ElapsedSeconds() const {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
+    return static_cast<double>(obs::ElapsedMicrosSince(start_us_)) * 1e-6;
   }
 
   double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
 
  private:
-  using Clock = std::chrono::steady_clock;
-  Clock::time_point start_;
+  uint64_t start_us_;
 };
 
 }  // namespace rtgcn

@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "common/flags.h"
+#include "obs/trace.h"
 
 namespace rtgcn {
 
@@ -94,6 +95,7 @@ ThreadPool::~ThreadPool() { Shutdown(); }
 
 void ThreadPool::WorkChunks(const std::function<void(int64_t)>* fn,
                             int64_t num_chunks) {
+  obs::Span span("pool.work", "pool");
   tl_in_parallel_region = true;
   int64_t executed = 0;
   for (;;) {
@@ -119,9 +121,14 @@ void ThreadPool::WorkerLoop() {
   uint64_t seen_generation = 0;
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
-    work_cv_.wait(lock, [&] {
-      return stop_ || (job_fn_ != nullptr && generation_ != seen_generation);
-    });
+    {
+      // Idle time shows up in the trace as its own span, so stalls between
+      // jobs are visible next to pool.work spans on the same thread track.
+      obs::Span idle("pool.idle", "pool");
+      work_cv_.wait(lock, [&] {
+        return stop_ || (job_fn_ != nullptr && generation_ != seen_generation);
+      });
+    }
     if (stop_) return;
     seen_generation = generation_;
     const std::function<void(int64_t)>* fn = job_fn_;
@@ -137,6 +144,7 @@ void ThreadPool::WorkerLoop() {
 
 void ThreadPool::Run(int64_t num_chunks,
                      const std::function<void(int64_t)>& fn) {
+  obs::Span span("pool.run", "pool");
   std::unique_lock<std::mutex> lock(mu_);
   EnsureWorkersLocked(NumThreads() - 1, lock);
   job_fn_ = &fn;

@@ -5,6 +5,9 @@
 
 #include "common/file_util.h"
 #include "common/logging.h"
+#include "obs/clock.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 
 namespace rtgcn::harness {
 
@@ -65,8 +68,15 @@ Result<std::vector<int64_t>> CheckpointManager::ListCheckpoints() const {
 
 Status CheckpointManager::Save(const nn::Module& module,
                                const nn::TrainingState& state) {
+  obs::Span span("ckpt.save", "ckpt");
+  const uint64_t start_us = obs::NowMicros();
   RTGCN_RETURN_NOT_OK(
       nn::SaveCheckpoint(module, CheckpointPath(state.epoch), &state));
+  auto& registry = obs::Registry::Global();
+  registry.GetCounter("ckpt.saves")->Increment();
+  registry
+      .GetHistogram("ckpt.save_us", obs::BucketSpec::Exponential2(40))
+      ->Record(static_cast<int64_t>(obs::ElapsedMicrosSince(start_us)));
   return Prune();
 }
 
@@ -85,13 +95,17 @@ Status CheckpointManager::Prune() {
 
 Status CheckpointManager::LoadLatest(nn::Module* module,
                                      nn::TrainingState* state) {
+  obs::Span span("ckpt.load", "ckpt");
   auto epochs = ListCheckpoints();
   if (!epochs.ok()) return epochs.status();
   const auto& list = epochs.ValueOrDie();
   for (auto it = list.rbegin(); it != list.rend(); ++it) {
     const std::string path = CheckpointPath(*it);
     const Status status = nn::LoadCheckpoint(module, path, state);
-    if (status.ok()) return status;
+    if (status.ok()) {
+      obs::Registry::Global().GetCounter("ckpt.loads")->Increment();
+      return status;
+    }
     RTGCN_LOG(Warning) << "skipping unloadable checkpoint " << path << ": "
                        << status.ToString();
   }

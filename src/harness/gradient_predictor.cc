@@ -7,10 +7,29 @@
 #include "core/loss.h"
 #include "harness/checkpoint.h"
 #include "nn/serialize.h"
+#include "obs/clock.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 
 namespace rtgcn::harness {
 
 namespace {
+
+// Registry pointers are stable for process life, so resolve them once.
+struct TrainMetrics {
+  obs::Counter* steps;
+  obs::Counter* epochs;
+  obs::Histogram* step_us;
+};
+
+const TrainMetrics& GlobalTrainMetrics() {
+  static const TrainMetrics m{
+      obs::Registry::Global().GetCounter("train.steps"),
+      obs::Registry::Global().GetCounter("train.epochs"),
+      obs::Registry::Global().GetHistogram(
+          "train.step_us", obs::BucketSpec::Exponential2(40))};
+  return m;
+}
 
 // In-memory fallback rollback target for runs without a checkpoint_dir:
 // a deep copy of everything Fit needs to replay an epoch.
@@ -62,6 +81,17 @@ double GradientPredictor::TrainStep(const Tensor& features,
                                     const Tensor& labels,
                                     ag::Optimizer* optimizer,
                                     const TrainOptions& options, Rng* rng) {
+  obs::Span span("fit.step", "fit");
+  // Destructor-driven so guard early-outs still count: a skipped step paid
+  // for its forward pass and belongs in the step-time distribution.
+  struct StepRecord {
+    uint64_t start_us = obs::NowMicros();
+    ~StepRecord() {
+      const TrainMetrics& m = GlobalTrainMetrics();
+      m.steps->Increment();
+      m.step_us->Record(obs::ElapsedMicrosSince(start_us));
+    }
+  } record;
   optimizer->ZeroGrad();
   ag::VarPtr scores = Forward(features, rng);
   ag::VarPtr loss = Loss(scores, labels);
@@ -124,9 +154,16 @@ void GradientPredictor::Fit(const market::WindowDataset& data,
       guard_ && options.guard.policy == GuardPolicy::kRollback;
   EpochSnapshot snapshot;
 
+  // Cumulative baseline: the telemetry delta at the end isolates this Fit's
+  // contribution to the process-global registry.
+  const obs::RegistrySnapshot fit_base = obs::Registry::Global().Snapshot();
+  fit_stats_.telemetry = FitTelemetry{};
+
   Stopwatch watch;
+  Stopwatch epoch_watch;  // restarted per completed epoch, not per attempt
   int64_t rollbacks = 0;
   for (int64_t epoch = start_epoch; epoch < options.epochs;) {
+    obs::Span epoch_span("fit.epoch", "fit");
     // The pre-shuffle epoch state is the rollback target: restoring it and
     // re-entering the loop replays this epoch (fresh shuffle, decayed LR).
     if (rollback_armed) {
@@ -189,6 +226,9 @@ void GradientPredictor::Fit(const market::WindowDataset& data,
                       << epoch_loss / static_cast<double>(days.size());
     }
     ++epoch;
+    GlobalTrainMetrics().epochs->Increment();
+    fit_stats_.telemetry.epoch_seconds.push_back(epoch_watch.ElapsedSeconds());
+    epoch_watch.Restart();
     if (checkpoints &&
         (checkpoints->ShouldSave(epoch) || epoch == options.epochs)) {
       nn::TrainingState state;
@@ -209,6 +249,8 @@ void GradientPredictor::Fit(const market::WindowDataset& data,
   }
   fit_stats_.train_seconds = watch.ElapsedSeconds();
   fit_stats_.epochs = options.epochs;
+  fit_stats_.telemetry.metrics =
+      obs::Registry::Global().Snapshot().DeltaSince(fit_base);
   if (guard_) {
     fit_stats_.guard_events = guard_->events();
     fit_stats_.guard_rollbacks = rollbacks;

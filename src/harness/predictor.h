@@ -9,6 +9,7 @@
 #include "common/random.h"
 #include "harness/training_guard.h"
 #include "market/dataset.h"
+#include "obs/registry.h"
 #include "tensor/tensor.h"
 
 namespace rtgcn::harness {
@@ -41,6 +42,27 @@ struct TrainOptions {
   GuardOptions guard;
 };
 
+/// \brief Per-run telemetry rendered from the global metrics registry
+/// (obs/registry.h). Populated by gradient-trained models; closed-form
+/// baselines leave it empty.
+struct FitTelemetry {
+  /// Wall seconds per completed epoch, in completion order. A rolled-back
+  /// epoch's replay time folds into the entry of the attempt that finally
+  /// completed, so the entries always sum to roughly train_seconds.
+  std::vector<double> epoch_seconds;
+
+  /// Delta of the global registry over this Fit call (train.steps,
+  /// train.epochs, train.step_us, ckpt.*): only what this run contributed,
+  /// even when several models train in one process.
+  obs::RegistrySnapshot metrics;
+
+  /// p95 of train.step_us from `metrics`, in milliseconds; 0 if absent.
+  double StepP95Millis() const {
+    const obs::HistogramSnapshot* h = metrics.FindHistogram("train.step_us");
+    return h != nullptr ? h->Percentile(0.95) * 1e-3 : 0;
+  }
+};
+
 /// \brief Timing collected during Fit/Predict (Figure 5), plus the guard's
 /// structured intervention log when supervision was active.
 struct FitStats {
@@ -49,6 +71,8 @@ struct FitStats {
   double seconds_per_epoch() const {
     return epochs > 0 ? train_seconds / static_cast<double>(epochs) : 0;
   }
+
+  FitTelemetry telemetry;  ///< registry-backed timing detail
 
   std::vector<GuardEvent> guard_events;  ///< every guard intervention
   int64_t guard_rollbacks = 0;           ///< checkpoint restores performed

@@ -1,0 +1,31 @@
+#include "obs/clock.h"
+
+#include <atomic>
+#include <chrono>
+
+namespace rtgcn::obs {
+
+namespace {
+std::atomic<uint64_t (*)()> g_clock_override{nullptr};
+}  // namespace
+
+uint64_t NowMicros() {
+  if (uint64_t (*fn)() = g_clock_override.load(std::memory_order_relaxed)) {
+    return fn();
+  }
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+uint64_t ElapsedMicrosSince(uint64_t start_us) {
+  const uint64_t now = NowMicros();
+  return now >= start_us ? now - start_us : 0;
+}
+
+void SetClockForTesting(uint64_t (*fn)()) {
+  g_clock_override.store(fn, std::memory_order_relaxed);
+}
+
+}  // namespace rtgcn::obs

@@ -1,0 +1,32 @@
+// The single clock source of the observability layer (and, through
+// Stopwatch, of every timing number the repo reports).
+//
+// Everything is steady_clock-based: metrics latencies, tracer span
+// timestamps and the bench stopwatches all read the same monotonic clock,
+// so an NTP step adjustment (which moves system_clock, not steady_clock)
+// can never produce a negative or wildly inflated latency sample. A
+// test-only override lets regression tests simulate a misbehaving clock
+// and verify that every consumer clamps instead of corrupting histograms.
+#ifndef RTGCN_OBS_CLOCK_H_
+#define RTGCN_OBS_CLOCK_H_
+
+#include <cstdint>
+
+namespace rtgcn::obs {
+
+/// Microseconds on the process-wide monotonic timeline (steady_clock).
+uint64_t NowMicros();
+
+/// Elapsed microseconds since `start_us` (a previous NowMicros reading),
+/// clamped to zero if the clock appears to have moved backwards. All
+/// latency recording must go through this helper: a raw subtraction of a
+/// skewed clock would wrap to ~2^64 µs and poison a histogram forever.
+uint64_t ElapsedMicrosSince(uint64_t start_us);
+
+/// Test hook: replaces NowMicros with `fn` (nullptr restores the real
+/// clock). Not for production use — the override is process-global.
+void SetClockForTesting(uint64_t (*fn)());
+
+}  // namespace rtgcn::obs
+
+#endif  // RTGCN_OBS_CLOCK_H_

@@ -1,0 +1,254 @@
+#include "obs/registry.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace rtgcn::obs {
+
+namespace {
+
+// Upper edge used for interpolation inside bucket b: the next bucket's
+// lower bound, or twice the last bound for the unbounded tail (1 for a
+// zero bound, so bucket {0} interpolates over [0, 1)).
+uint64_t UpperEdge(const std::vector<uint64_t>& bounds, size_t b) {
+  if (b + 1 < bounds.size()) return bounds[b + 1];
+  return bounds[b] > 0 ? bounds[b] * 2 : 1;
+}
+
+double PercentileFromBuckets(const std::vector<uint64_t>& bounds,
+                             const std::vector<uint64_t>& counts, double p) {
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
+  if (total == 0) return 0;
+  p = std::clamp(p, 0.0, 1.0);
+  const double target = p * static_cast<double>(total);
+  double cumulative = 0;
+  for (size_t b = 0; b < counts.size(); ++b) {
+    if (counts[b] == 0) continue;
+    const double next = cumulative + static_cast<double>(counts[b]);
+    if (next >= target) {
+      const double lo = static_cast<double>(bounds[b]);
+      const double hi = static_cast<double>(UpperEdge(bounds, b));
+      const double frac = (target - cumulative) / static_cast<double>(counts[b]);
+      return lo + frac * (hi - lo);
+    }
+    cumulative = next;
+  }
+  return static_cast<double>(UpperEdge(bounds, bounds.size() - 1));
+}
+
+std::string FormatValue(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+}  // namespace
+
+BucketSpec BucketSpec::Exponential2(int num_buckets) {
+  BucketSpec spec;
+  spec.lower_bounds.reserve(static_cast<size_t>(std::max(num_buckets, 1)));
+  spec.lower_bounds.push_back(0);
+  for (int b = 1; b < num_buckets; ++b) {
+    spec.lower_bounds.push_back(uint64_t{1} << (b - 1));
+  }
+  return spec;
+}
+
+BucketSpec BucketSpec::LinearUnit(int64_t max_value) {
+  BucketSpec spec;
+  max_value = std::max<int64_t>(max_value, 0);
+  spec.lower_bounds.reserve(static_cast<size_t>(max_value) + 2);
+  for (int64_t v = 0; v <= max_value + 1; ++v) {
+    spec.lower_bounds.push_back(static_cast<uint64_t>(v));
+  }
+  return spec;
+}
+
+Histogram::Histogram(BucketSpec spec) : bounds_(std::move(spec.lower_bounds)) {
+  if (bounds_.empty() || bounds_.front() != 0) {
+    bounds_.insert(bounds_.begin(), 0);
+  }
+  buckets_ = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size());
+  for (size_t b = 0; b < bounds_.size(); ++b) buckets_[b].store(0);
+}
+
+void Histogram::Record(uint64_t value) {
+  // Last bucket whose lower bound is <= value.
+  const auto it = std::upper_bound(bounds_.begin(), bounds_.end(), value);
+  const size_t b = static_cast<size_t>(it - bounds_.begin()) - 1;
+  buckets_[b].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+double Histogram::Mean() const {
+  const uint64_t n = Count();
+  if (n == 0) return 0;
+  return static_cast<double>(Sum()) / static_cast<double>(n);
+}
+
+double Histogram::Percentile(double p) const {
+  std::vector<uint64_t> counts(bounds_.size());
+  for (size_t b = 0; b < bounds_.size(); ++b) {
+    counts[b] = buckets_[b].load(std::memory_order_relaxed);
+  }
+  return PercentileFromBuckets(bounds_, counts, p);
+}
+
+double HistogramSnapshot::Mean() const {
+  return count > 0 ? static_cast<double>(sum) / static_cast<double>(count) : 0;
+}
+
+double HistogramSnapshot::Percentile(double p) const {
+  return PercentileFromBuckets(lower_bounds, buckets, p);
+}
+
+RegistrySnapshot RegistrySnapshot::DeltaSince(
+    const RegistrySnapshot& base) const {
+  auto sub = [](uint64_t a, uint64_t b) { return a >= b ? a - b : 0; };
+  RegistrySnapshot delta;
+  delta.gauges = gauges;
+  for (const auto& [name, value] : counters) {
+    uint64_t before = 0;
+    for (const auto& [bname, bvalue] : base.counters) {
+      if (bname == name) {
+        before = bvalue;
+        break;
+      }
+    }
+    delta.counters.emplace_back(name, sub(value, before));
+  }
+  for (const HistogramSnapshot& h : histograms) {
+    const HistogramSnapshot* before = base.FindHistogram(h.name);
+    HistogramSnapshot d = h;
+    if (before != nullptr && before->buckets.size() == h.buckets.size()) {
+      for (size_t b = 0; b < d.buckets.size(); ++b) {
+        d.buckets[b] = sub(d.buckets[b], before->buckets[b]);
+      }
+      d.count = sub(d.count, before->count);
+      d.sum = sub(d.sum, before->sum);
+    }
+    delta.histograms.push_back(std::move(d));
+  }
+  return delta;
+}
+
+uint64_t RegistrySnapshot::CounterValue(const std::string& name,
+                                        uint64_t def) const {
+  for (const auto& [cname, value] : counters) {
+    if (cname == name) return value;
+  }
+  return def;
+}
+
+const HistogramSnapshot* RegistrySnapshot::FindHistogram(
+    const std::string& name) const {
+  for (const HistogramSnapshot& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+std::string RegistrySnapshot::ToText() const {
+  std::ostringstream out;
+  for (const auto& [name, value] : counters) {
+    out << name << ' ' << value << '\n';
+  }
+  for (const auto& [name, value] : gauges) {
+    out << name << ' ' << FormatValue(value) << '\n';
+  }
+  for (const HistogramSnapshot& h : histograms) {
+    out << h.name << ".count " << h.count << '\n';
+    out << h.name << ".mean " << FormatValue(h.Mean()) << '\n';
+    out << h.name << ".p50 " << FormatValue(h.Percentile(0.50)) << '\n';
+    out << h.name << ".p95 " << FormatValue(h.Percentile(0.95)) << '\n';
+    out << h.name << ".p99 " << FormatValue(h.Percentile(0.99)) << '\n';
+  }
+  return out.str();
+}
+
+Counter* Registry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* Registry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* Registry::GetHistogram(const std::string& name,
+                                  const BucketSpec& spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(spec);
+  return slot.get();
+}
+
+std::string Registry::DumpText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  for (const auto& [name, counter] : counters_) {
+    out << name << ' ' << counter->Value() << '\n';
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    out << name << ' ' << FormatValue(gauge->Value()) << '\n';
+  }
+  for (const auto& [name, hist] : histograms_) {
+    uint64_t cumulative = 0;
+    const int n = hist->num_buckets();
+    for (int b = 0; b < n; ++b) {
+      const uint64_t c = hist->BucketCount(b);
+      cumulative += c;
+      if (c == 0) continue;
+      out << name << "_bucket{le=\"";
+      if (b + 1 < n) {
+        out << hist->BucketLowerBound(b + 1);
+      } else {
+        out << "+Inf";
+      }
+      out << "\"} " << cumulative << '\n';
+    }
+    out << name << "_sum " << hist->Sum() << '\n';
+    out << name << "_count " << hist->Count() << '\n';
+  }
+  return out.str();
+}
+
+RegistrySnapshot Registry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  RegistrySnapshot snap;
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.emplace_back(name, counter->Value());
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.emplace_back(name, gauge->Value());
+  }
+  for (const auto& [name, hist] : histograms_) {
+    HistogramSnapshot h;
+    h.name = name;
+    h.lower_bounds.reserve(static_cast<size_t>(hist->num_buckets()));
+    h.buckets.reserve(static_cast<size_t>(hist->num_buckets()));
+    for (int b = 0; b < hist->num_buckets(); ++b) {
+      h.lower_bounds.push_back(hist->BucketLowerBound(b));
+      h.buckets.push_back(hist->BucketCount(b));
+    }
+    h.count = hist->Count();
+    h.sum = hist->Sum();
+    snap.histograms.push_back(std::move(h));
+  }
+  return snap;
+}
+
+Registry& Registry::Global() {
+  static Registry* registry = new Registry();  // leaked: outlives all users
+  return *registry;
+}
+
+}  // namespace rtgcn::obs

@@ -1,0 +1,458 @@
+#include "obs/trace.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+
+namespace rtgcn::obs {
+
+namespace internal {
+
+std::atomic<bool> g_trace_enabled{false};
+
+namespace {
+
+constexpr size_t kRingCapacity = 1 << 15;  // completed spans per thread
+
+struct Event {
+  const char* name;
+  const char* cat;
+  uint64_t start_us;
+  uint64_t dur_us;
+};
+
+struct Ring {
+  std::mutex mu;
+  int tid = 0;
+  uint64_t total = 0;  // spans ever written; ring holds the newest kRingCapacity
+  std::unique_ptr<Event[]> events{new Event[kRingCapacity]};
+};
+
+struct RingList {
+  std::mutex mu;
+  std::vector<std::shared_ptr<Ring>> rings;
+  int next_tid = 1;
+};
+
+RingList& Rings() {
+  static RingList* list = new RingList();  // leaked: outlives all threads
+  return *list;
+}
+
+// Shared ownership so the global list keeps a ring alive after its thread
+// exits; exports merge spans from joined workers too.
+Ring* ThisThreadRing() {
+  thread_local std::shared_ptr<Ring> ring = [] {
+    auto r = std::make_shared<Ring>();
+    RingList& list = Rings();
+    std::lock_guard<std::mutex> lock(list.mu);
+    r->tid = list.next_tid++;
+    list.rings.push_back(r);
+    return r;
+  }();
+  return ring.get();
+}
+
+// RTGCN_TRACE env handling; runs once during static initialization of this
+// translation unit (before main for any binary linking obs).
+std::string& ExportPathAtExit() {
+  static std::string* path = new std::string();
+  return *path;
+}
+
+void ExportAtExit() {
+  const std::string& path = ExportPathAtExit();
+  if (path.empty()) return;
+  std::string error;
+  if (!Tracer::ExportChromeJson(path, &error)) {
+    std::fprintf(stderr, "rtgcn: trace export to %s failed: %s\n",
+                 path.c_str(), error.c_str());
+  } else {
+    std::fprintf(stderr, "rtgcn: trace written to %s (%zu spans, %zu dropped)\n",
+                 path.c_str(), Tracer::EventCount(), Tracer::DroppedCount());
+  }
+}
+
+const bool g_env_init = [] {
+  const char* env = std::getenv("RTGCN_TRACE");
+  if (env == nullptr || env[0] == '\0' || std::strcmp(env, "0") == 0) {
+    return false;
+  }
+  g_trace_enabled.store(true, std::memory_order_relaxed);
+  if (std::strcmp(env, "1") != 0 && std::strcmp(env, "true") != 0) {
+    ExportPathAtExit() = env;
+    std::atexit(ExportAtExit);
+  }
+  return true;
+}();
+
+}  // namespace
+
+void RecordSpan(const char* name, const char* cat, uint64_t start_us,
+                uint64_t end_us) {
+  Ring* ring = ThisThreadRing();
+  const uint64_t dur = end_us >= start_us ? end_us - start_us : 0;
+  std::lock_guard<std::mutex> lock(ring->mu);
+  ring->events[ring->total % kRingCapacity] = {name, cat, start_us, dur};
+  ++ring->total;
+}
+
+}  // namespace internal
+
+namespace {
+
+using internal::kRingCapacity;
+
+// Copies a ring's live events oldest-first.
+std::vector<internal::Event> SnapshotRing(internal::Ring* ring,
+                                          uint64_t* dropped) {
+  std::lock_guard<std::mutex> lock(ring->mu);
+  const uint64_t total = ring->total;
+  const uint64_t held = total < kRingCapacity ? total : kRingCapacity;
+  *dropped = total - held;
+  std::vector<internal::Event> out;
+  out.reserve(static_cast<size_t>(held));
+  for (uint64_t i = total - held; i < total; ++i) {
+    out.push_back(ring->events[i % kRingCapacity]);
+  }
+  return out;
+}
+
+void JsonEscape(std::ostream& os, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      os << '\\' << c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      os << buf;
+    } else {
+      os << c;
+    }
+  }
+}
+
+}  // namespace
+
+void Tracer::SetEnabled(bool enabled) {
+  internal::g_trace_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void Tracer::Clear() {
+  internal::RingList& list = internal::Rings();
+  std::lock_guard<std::mutex> lock(list.mu);
+  for (const auto& ring : list.rings) {
+    std::lock_guard<std::mutex> ring_lock(ring->mu);
+    ring->total = 0;
+  }
+}
+
+size_t Tracer::EventCount() {
+  internal::RingList& list = internal::Rings();
+  std::lock_guard<std::mutex> lock(list.mu);
+  size_t count = 0;
+  for (const auto& ring : list.rings) {
+    std::lock_guard<std::mutex> ring_lock(ring->mu);
+    count += static_cast<size_t>(
+        ring->total < kRingCapacity ? ring->total : kRingCapacity);
+  }
+  return count;
+}
+
+size_t Tracer::DroppedCount() {
+  internal::RingList& list = internal::Rings();
+  std::lock_guard<std::mutex> lock(list.mu);
+  size_t dropped = 0;
+  for (const auto& ring : list.rings) {
+    std::lock_guard<std::mutex> ring_lock(ring->mu);
+    if (ring->total > kRingCapacity) {
+      dropped += static_cast<size_t>(ring->total - kRingCapacity);
+    }
+  }
+  return dropped;
+}
+
+void Tracer::WriteChromeJson(std::ostream& os) {
+  // Copy the ring list (not the rings) under the list lock, then drain each
+  // ring under its own lock; recording threads only ever block on their own
+  // ring, and only for the duration of one copy.
+  std::vector<std::shared_ptr<internal::Ring>> rings;
+  {
+    internal::RingList& list = internal::Rings();
+    std::lock_guard<std::mutex> lock(list.mu);
+    rings = list.rings;
+  }
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  os << "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\","
+        "\"args\":{\"name\":\"rtgcn\"}}";
+  uint64_t total_dropped = 0;
+  for (const auto& ring : rings) {
+    uint64_t dropped = 0;
+    const std::vector<internal::Event> events =
+        SnapshotRing(ring.get(), &dropped);
+    total_dropped += dropped;
+    for (const internal::Event& e : events) {
+      os << ",\n{\"ph\":\"X\",\"pid\":1,\"tid\":" << ring->tid << ",\"ts\":"
+         << e.start_us << ",\"dur\":" << e.dur_us << ",\"cat\":\"";
+      JsonEscape(os, e.cat);
+      os << "\",\"name\":\"";
+      JsonEscape(os, e.name);
+      os << "\"}";
+    }
+  }
+  os << "],\"otherData\":{\"dropped_spans\":\"" << total_dropped << "\"}}\n";
+}
+
+bool Tracer::ExportChromeJson(const std::string& path, std::string* error) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return false;
+  }
+  WriteChromeJson(out);
+  out.flush();
+  if (!out.good()) {
+    if (error != nullptr) *error = "short write to " + path;
+    return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace JSON parse-back (well-formedness validation)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Minimal recursive-descent JSON reader over the subset Chrome traces use.
+// Values other than the fields TraceEventRecord keeps are parsed (so syntax
+// errors anywhere fail validation) but discarded.
+class JsonCursor {
+ public:
+  JsonCursor(const std::string& text, std::string* error)
+      : s_(text), error_(error) {}
+
+  bool Fail(const std::string& message) {
+    if (error_ != nullptr && error_->empty()) {
+      *error_ = message + " at offset " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  void SkipSpace() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool AtEnd() {
+    SkipSpace();
+    return pos_ >= s_.size();
+  }
+
+  char Peek() {
+    SkipSpace();
+    return pos_ < s_.size() ? s_[pos_] : '\0';
+  }
+
+  bool Consume(char c) {
+    if (Peek() != c) return Fail(std::string("expected '") + c + "'");
+    ++pos_;
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) return false;
+    std::string value;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      char c = s_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= s_.size()) return Fail("dangling escape");
+        const char esc = s_[pos_++];
+        switch (esc) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          case 'b': c = '\b'; break;
+          case 'f': c = '\f'; break;
+          case 'u': {
+            if (pos_ + 4 > s_.size()) return Fail("short \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = s_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else return Fail("bad \\u escape");
+            }
+            c = static_cast<char>(code & 0x7f);  // ASCII subset is enough
+            break;
+          }
+          default: c = esc; break;
+        }
+      }
+      value.push_back(c);
+    }
+    if (!Consume('"')) return false;
+    if (out != nullptr) *out = std::move(value);
+    return true;
+  }
+
+  bool ParseNumber(double* out) {
+    SkipSpace();
+    const size_t start = pos_;
+    if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '-' || s_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Fail("expected number");
+    if (out != nullptr) *out = std::strtod(s_.substr(start, pos_ - start).c_str(), nullptr);
+    return true;
+  }
+
+  bool SkipLiteral(const char* lit) {
+    SkipSpace();
+    const size_t len = std::strlen(lit);
+    if (s_.compare(pos_, len, lit) != 0) return Fail("bad literal");
+    pos_ += len;
+    return true;
+  }
+
+  // Parses and discards any value.
+  bool SkipValue() {
+    switch (Peek()) {
+      case '{': return SkipObject();
+      case '[': return SkipArray();
+      case '"': return ParseString(nullptr);
+      case 't': return SkipLiteral("true");
+      case 'f': return SkipLiteral("false");
+      case 'n': return SkipLiteral("null");
+      default: return ParseNumber(nullptr);
+    }
+  }
+
+  bool SkipObject() {
+    if (!Consume('{')) return false;
+    if (Peek() == '}') return Consume('}');
+    for (;;) {
+      if (!ParseString(nullptr) || !Consume(':') || !SkipValue()) return false;
+      if (Peek() == ',') { ++pos_; continue; }
+      return Consume('}');
+    }
+  }
+
+  bool SkipArray() {
+    if (!Consume('[')) return false;
+    if (Peek() == ']') return Consume(']');
+    for (;;) {
+      if (!SkipValue()) return false;
+      if (Peek() == ',') { ++pos_; continue; }
+      return Consume(']');
+    }
+  }
+
+  // One {"ph": ..., "name": ...} event object.
+  bool ParseEvent(TraceEventRecord* event) {
+    if (!Consume('{')) return false;
+    if (Peek() == '}') return Consume('}');
+    for (;;) {
+      std::string key;
+      if (!ParseString(&key) || !Consume(':')) return false;
+      if (key == "name" || key == "cat" || key == "ph") {
+        std::string value;
+        if (Peek() == '"') {
+          if (!ParseString(&value)) return false;
+        } else if (!SkipValue()) {
+          return false;
+        }
+        if (key == "name") event->name = std::move(value);
+        else if (key == "cat") event->cat = std::move(value);
+        else event->ph = std::move(value);
+      } else if (key == "ts" || key == "dur" || key == "pid" || key == "tid") {
+        double value = 0;
+        if (!ParseNumber(&value)) return false;
+        if (key == "ts") event->ts = value;
+        else if (key == "dur") event->dur = value;
+        else if (key == "pid") event->pid = static_cast<int64_t>(value);
+        else event->tid = static_cast<int64_t>(value);
+      } else if (!SkipValue()) {
+        return false;
+      }
+      if (Peek() == ',') { ++pos_; continue; }
+      return Consume('}');
+    }
+  }
+
+  bool ParseEventArray(std::vector<TraceEventRecord>* events) {
+    if (!Consume('[')) return false;
+    if (Peek() == ']') return Consume(']');
+    for (;;) {
+      TraceEventRecord event;
+      if (!ParseEvent(&event)) return false;
+      events->push_back(std::move(event));
+      if (Peek() == ',') { ++pos_; continue; }
+      return Consume(']');
+    }
+  }
+
+  // Top level: either a bare event array or an object with traceEvents.
+  bool ParseDocument(std::vector<TraceEventRecord>* events) {
+    if (Peek() == '[') {
+      if (!ParseEventArray(events)) return false;
+    } else {
+      if (!Consume('{')) return false;
+      bool saw_events = false;
+      if (Peek() != '}') {
+        for (;;) {
+          std::string key;
+          if (!ParseString(&key) || !Consume(':')) return false;
+          if (key == "traceEvents") {
+            if (!ParseEventArray(events)) return false;
+            saw_events = true;
+          } else if (!SkipValue()) {
+            return false;
+          }
+          if (Peek() == ',') { ++pos_; continue; }
+          break;
+        }
+      }
+      if (!Consume('}')) return false;
+      if (!saw_events) return Fail("missing traceEvents array");
+    }
+    if (!AtEnd()) return Fail("trailing content");
+    return true;
+  }
+
+ private:
+  const std::string& s_;
+  std::string* error_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool ParseChromeTraceJson(const std::string& json,
+                          std::vector<TraceEventRecord>* events,
+                          std::string* error) {
+  if (error != nullptr) error->clear();
+  events->clear();
+  JsonCursor cursor(json, error);
+  if (!cursor.ParseDocument(events)) {
+    if (error != nullptr && error->empty()) *error = "malformed JSON";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace rtgcn::obs

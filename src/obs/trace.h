@@ -1,0 +1,111 @@
+// Span tracer: RAII scopes recorded into per-thread ring buffers and
+// exported as Chrome-trace JSON (open in chrome://tracing or Perfetto).
+//
+// Cost model:
+//  * tracing disabled (the default): constructing a Span is ONE relaxed
+//    atomic load and a branch — cheap enough to leave in tensor kernels,
+//    the autograd backward loop and the thread-pool dispatch path.
+//  * tracing enabled: span end takes the calling thread's ring mutex,
+//    which is uncontended except while an export is copying that ring.
+//
+// Each thread owns a fixed-capacity ring (kRingCapacity completed spans);
+// when it wraps, the oldest spans are overwritten and counted as dropped.
+// Rings outlive their threads (shared ownership from a global list), so an
+// export after the workers have joined still sees their spans.
+//
+// Enablement: Tracer::SetEnabled(true), or the RTGCN_TRACE environment
+// variable — "1"/"true" enables tracing; any other non-empty value both
+// enables it and names a file the trace is exported to at process exit.
+#ifndef RTGCN_OBS_TRACE_H_
+#define RTGCN_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/clock.h"
+
+namespace rtgcn::obs {
+
+namespace internal {
+extern std::atomic<bool> g_trace_enabled;
+// Appends one completed span to the calling thread's ring.
+void RecordSpan(const char* name, const char* cat, uint64_t start_us,
+                uint64_t end_us);
+}  // namespace internal
+
+/// \brief Process-wide span collector.
+class Tracer {
+ public:
+  static bool enabled() {
+    return internal::g_trace_enabled.load(std::memory_order_relaxed);
+  }
+  static void SetEnabled(bool enabled);
+
+  /// Drops every recorded span (rings stay allocated).
+  static void Clear();
+
+  /// Completed spans currently held across all rings.
+  static size_t EventCount();
+  /// Spans overwritten by ring wraparound since the last Clear().
+  static size_t DroppedCount();
+
+  /// Writes the Chrome trace-event JSON document ({"traceEvents": [...]}).
+  /// Safe to call while spans are still being recorded; concurrent spans
+  /// land in the export or don't, atomically per span.
+  static void WriteChromeJson(std::ostream& os);
+
+  /// WriteChromeJson to `path`; false (with *error set) on I/O failure.
+  static bool ExportChromeJson(const std::string& path, std::string* error);
+};
+
+/// \brief RAII span: times its scope under a static name.
+///
+/// `name` and `cat` must be string literals (or otherwise outlive the
+/// tracer) — the ring stores the pointers, never a copy.
+class Span {
+ public:
+  explicit Span(const char* name, const char* cat = "app") {
+    if (!Tracer::enabled()) return;
+    name_ = name;
+    cat_ = cat;
+    start_us_ = NowMicros();
+  }
+  ~Span() {
+    if (name_ != nullptr) {
+      internal::RecordSpan(name_, cat_, start_us_, NowMicros());
+    }
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  const char* cat_ = nullptr;
+  uint64_t start_us_ = 0;
+};
+
+/// \brief One event parsed back out of a Chrome trace JSON document.
+struct TraceEventRecord {
+  std::string name;
+  std::string cat;
+  std::string ph;
+  double ts = 0;   ///< start, µs
+  double dur = 0;  ///< duration, µs (complete events)
+  int64_t pid = 0;
+  int64_t tid = 0;
+};
+
+/// Parses a Chrome trace JSON document (the object form with a
+/// "traceEvents" array, or a bare array). Returns false and sets *error on
+/// malformed JSON or a missing/ill-typed traceEvents array. Used by the
+/// trace_export tool and by tests to verify export well-formedness.
+bool ParseChromeTraceJson(const std::string& json,
+                          std::vector<TraceEventRecord>* events,
+                          std::string* error);
+
+}  // namespace rtgcn::obs
+
+#endif  // RTGCN_OBS_TRACE_H_

@@ -1,105 +1,44 @@
 #include "serve/metrics.h"
 
-#include <algorithm>
-#include <bit>
 #include <cstdio>
 #include <sstream>
 
+#include "obs/clock.h"
+
 namespace rtgcn::serve {
 
-namespace {
-
-// Bucket index for a microsecond sample: 0 for 0 µs, else 1 + floor(log2),
-// clamped to the last bucket.
-int BucketIndex(uint64_t micros) {
-  if (micros == 0) return 0;
-  const int idx = std::bit_width(micros);  // 1 + floor(log2(micros))
-  return std::min(idx, LatencyHistogram::kNumBuckets - 1);
-}
-
-}  // namespace
-
-void LatencyHistogram::Record(uint64_t micros) {
-  buckets_[BucketIndex(micros)].fetch_add(1, std::memory_order_relaxed);
-  count_.fetch_add(1, std::memory_order_relaxed);
-  sum_.fetch_add(micros, std::memory_order_relaxed);
-}
-
-double LatencyHistogram::MeanMicros() const {
-  const uint64_t n = count_.load(std::memory_order_relaxed);
-  if (n == 0) return 0;
-  return static_cast<double>(sum_.load(std::memory_order_relaxed)) /
-         static_cast<double>(n);
-}
-
-double LatencyHistogram::PercentileMicros(double p) const {
-  uint64_t counts[kNumBuckets];
-  uint64_t total = 0;
-  for (int b = 0; b < kNumBuckets; ++b) {
-    counts[b] = buckets_[b].load(std::memory_order_relaxed);
-    total += counts[b];
-  }
-  if (total == 0) return 0;
-  p = std::clamp(p, 0.0, 1.0);
-  const double target = p * static_cast<double>(total);
-  double cumulative = 0;
-  for (int b = 0; b < kNumBuckets; ++b) {
-    if (counts[b] == 0) continue;
-    const double next = cumulative + static_cast<double>(counts[b]);
-    if (next >= target) {
-      // Linear interpolation inside [lo, hi) of the winning bucket.
-      const double lo = b == 0 ? 0 : static_cast<double>(uint64_t{1} << (b - 1));
-      const double hi = b == 0 ? 1 : static_cast<double>(uint64_t{1} << b);
-      const double frac =
-          (target - cumulative) / static_cast<double>(counts[b]);
-      return lo + frac * (hi - lo);
-    }
-    cumulative = next;
-  }
-  return static_cast<double>(uint64_t{1} << (kNumBuckets - 1));
-}
-
-void BatchSizeHistogram::Record(int64_t batch_size) {
-  if (batch_size < 0) return;
-  if (batch_size <= kMaxTracked) {
-    buckets_[batch_size].fetch_add(1, std::memory_order_relaxed);
-  } else {
-    overflow_.fetch_add(1, std::memory_order_relaxed);
-  }
-  count_.fetch_add(1, std::memory_order_relaxed);
-  sum_.fetch_add(static_cast<uint64_t>(batch_size),
-                 std::memory_order_relaxed);
-}
-
-double BatchSizeHistogram::MeanSize() const {
-  const uint64_t n = count_.load(std::memory_order_relaxed);
-  if (n == 0) return 0;
-  return static_cast<double>(sum_.load(std::memory_order_relaxed)) /
-         static_cast<double>(n);
-}
-
-uint64_t BatchSizeHistogram::CountForSize(int64_t batch_size) const {
-  if (batch_size < 0 || batch_size > kMaxTracked) return 0;
-  return buckets_[batch_size].load(std::memory_order_relaxed);
-}
+Metrics::Metrics()
+    : requests(*registry.GetCounter("serve.requests")),
+      responses_ok(*registry.GetCounter("serve.responses_ok")),
+      responses_error(*registry.GetCounter("serve.responses_error")),
+      batches(*registry.GetCounter("serve.batches")),
+      forwards(*registry.GetCounter("serve.forwards")),
+      cache_hits(*registry.GetCounter("serve.cache_hits")),
+      cache_misses(*registry.GetCounter("serve.cache_misses")),
+      reload_success(*registry.GetCounter("serve.reload_success")),
+      reload_failure(*registry.GetCounter("serve.reload_failure")),
+      latency(registry.GetHistogram(
+          "serve.latency_us",
+          obs::BucketSpec::Exponential2(LatencyHistogram::kNumBuckets))),
+      batch_size(registry.GetHistogram(
+          "serve.batch_size",
+          obs::BucketSpec::LinearUnit(BatchSizeHistogram::kMaxTracked))),
+      start_us_(obs::NowMicros()) {}
 
 double Metrics::UptimeSeconds() const {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                       start_)
-      .count();
+  return static_cast<double>(obs::ElapsedMicrosSince(start_us_)) * 1e-6;
 }
 
 double Metrics::Qps() const {
   const double uptime = UptimeSeconds();
   if (uptime <= 0) return 0;
-  const uint64_t done = responses_ok.load(std::memory_order_relaxed) +
-                        responses_error.load(std::memory_order_relaxed);
+  const uint64_t done = responses_ok.Value() + responses_error.Value();
   return static_cast<double>(done) / uptime;
 }
 
 double Metrics::CacheHitRate() const {
-  const uint64_t hits = cache_hits.load(std::memory_order_relaxed);
-  const uint64_t misses = cache_misses.load(std::memory_order_relaxed);
+  const uint64_t hits = cache_hits.Value();
+  const uint64_t misses = cache_misses.Value();
   if (hits + misses == 0) return 0;
   return static_cast<double>(hits) / static_cast<double>(hits + misses);
 }
@@ -114,17 +53,16 @@ std::string Metrics::DumpText() const {
   auto count = [&out](const char* name, uint64_t value) {
     out << name << ' ' << value << '\n';
   };
-  count("serve.requests", requests.load(std::memory_order_relaxed));
-  count("serve.responses_ok", responses_ok.load(std::memory_order_relaxed));
-  count("serve.responses_error",
-        responses_error.load(std::memory_order_relaxed));
-  count("serve.batches", batches.load(std::memory_order_relaxed));
-  count("serve.forwards", forwards.load(std::memory_order_relaxed));
-  count("serve.cache_hits", cache_hits.load(std::memory_order_relaxed));
-  count("serve.cache_misses", cache_misses.load(std::memory_order_relaxed));
+  count("serve.requests", requests.Value());
+  count("serve.responses_ok", responses_ok.Value());
+  count("serve.responses_error", responses_error.Value());
+  count("serve.batches", batches.Value());
+  count("serve.forwards", forwards.Value());
+  count("serve.cache_hits", cache_hits.Value());
+  count("serve.cache_misses", cache_misses.Value());
   line("serve.cache_hit_rate", CacheHitRate());
-  count("serve.reload_success", reload_success.load(std::memory_order_relaxed));
-  count("serve.reload_failure", reload_failure.load(std::memory_order_relaxed));
+  count("serve.reload_success", reload_success.Value());
+  count("serve.reload_failure", reload_failure.Value());
   line("serve.uptime_seconds", UptimeSeconds());
   line("serve.qps", Qps());
   line("serve.latency_us.mean", latency.MeanMicros());

@@ -1,83 +1,121 @@
-// Lock-free serving metrics: counters, fixed-bucket histograms, text dump.
+// Serving metrics, backed by the shared observability registry
+// (obs/registry.h). Every mutator is a relaxed atomic on an obs metric, so
+// the inference hot path never takes a lock for accounting.
 //
-// Every mutator is a relaxed atomic increment, so the inference hot path
-// never takes a lock for accounting. Readers (the STATS command, the bench
-// reporter) take a consistent-enough snapshot by summing the atomics; exact
-// cross-counter consistency is not needed for monitoring output.
+// This header is a compatibility shim over obs::Registry (DESIGN.md §9
+// documents the mapping): the counter members are obs::Counter references
+// exposing the std::atomic surface the original struct had, and the
+// histogram types forward to obs::Histogram under their historical names.
+// New code should prefer the obs types directly; `registry` is public so
+// additional per-server metrics can be registered next to the built-ins.
 #ifndef RTGCN_SERVE_METRICS_H_
 #define RTGCN_SERVE_METRICS_H_
 
-#include <atomic>
-#include <chrono>
 #include <cstdint>
+#include <memory>
 #include <string>
+
+#include "obs/registry.h"
 
 namespace rtgcn::serve {
 
 /// \brief Fixed power-of-two-bucket histogram for microsecond latencies.
 ///
-/// Bucket b holds samples in [2^(b-1), 2^b) µs (bucket 0 holds 0 µs).
-/// Percentiles interpolate linearly inside the winning bucket, so reported
-/// p50/p95/p99 are accurate to within one bucket's width.
+/// Deprecated shim: an obs::Histogram with BucketSpec::Exponential2
+/// buckets. Bucket b holds samples in [2^(b-1), 2^b) µs (bucket 0 holds
+/// 0 µs); percentiles interpolate linearly inside the winning bucket.
 class LatencyHistogram {
  public:
   static constexpr int kNumBuckets = 40;  ///< covers up to ~2^39 µs (~6 days)
 
-  void Record(uint64_t micros);
+  LatencyHistogram()
+      : owned_(std::make_unique<obs::Histogram>(
+            obs::BucketSpec::Exponential2(kNumBuckets))),
+        hist_(owned_.get()) {}
+  /// View over a registry-owned histogram (how serve::Metrics wires it).
+  explicit LatencyHistogram(obs::Histogram* hist) : hist_(hist) {}
 
-  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
-  double MeanMicros() const;
+  void Record(uint64_t micros) { hist_->Record(micros); }
+
+  uint64_t count() const { return hist_->Count(); }
+  double MeanMicros() const { return hist_->Mean(); }
   /// Value below which `p` (in [0, 1]) of the samples fall; 0 when empty.
-  double PercentileMicros(double p) const;
+  double PercentileMicros(double p) const { return hist_->Percentile(p); }
+
+  const obs::Histogram& hist() const { return *hist_; }
 
  private:
-  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
-  std::atomic<uint64_t> count_{0};
-  std::atomic<uint64_t> sum_{0};
+  std::unique_ptr<obs::Histogram> owned_;  // null when viewing a registry's
+  obs::Histogram* hist_;
 };
 
 /// \brief Linear histogram of micro-batch sizes (1 .. kMaxTracked, with an
-/// overflow bucket for anything larger).
+/// overflow bucket for anything larger). Deprecated shim over
+/// obs::Histogram with BucketSpec::LinearUnit buckets.
 class BatchSizeHistogram {
  public:
   static constexpr int64_t kMaxTracked = 128;
 
-  void Record(int64_t batch_size);
+  BatchSizeHistogram()
+      : owned_(std::make_unique<obs::Histogram>(
+            obs::BucketSpec::LinearUnit(kMaxTracked))),
+        hist_(owned_.get()) {}
+  explicit BatchSizeHistogram(obs::Histogram* hist) : hist_(hist) {}
 
-  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
-  double MeanSize() const;
-  uint64_t CountForSize(int64_t batch_size) const;
-  uint64_t overflow() const { return overflow_.load(std::memory_order_relaxed); }
+  void Record(int64_t batch_size) {
+    if (batch_size < 0) return;
+    hist_->Record(static_cast<uint64_t>(batch_size));
+  }
+
+  uint64_t count() const { return hist_->Count(); }
+  double MeanSize() const { return hist_->Mean(); }
+  uint64_t CountForSize(int64_t batch_size) const {
+    if (batch_size < 0 || batch_size > kMaxTracked) return 0;
+    return hist_->BucketCount(static_cast<int>(batch_size));
+  }
+  uint64_t overflow() const {
+    return hist_->BucketCount(hist_->num_buckets() - 1);
+  }
+
+  const obs::Histogram& hist() const { return *hist_; }
 
  private:
-  std::atomic<uint64_t> buckets_[kMaxTracked + 1] = {};  // index = size
-  std::atomic<uint64_t> overflow_{0};
-  std::atomic<uint64_t> count_{0};
-  std::atomic<uint64_t> sum_{0};
+  std::unique_ptr<obs::Histogram> owned_;
+  obs::Histogram* hist_;
 };
 
 /// \brief All counters and histograms of the serving subsystem. One
 /// instance is shared by the registry (reload accounting), the inference
 /// server (request/batch/cache accounting) and the socket front-end.
+///
+/// Each Metrics owns its own obs::Registry (not the process-global one) so
+/// concurrent servers — several in one test binary, the batched and
+/// unbatched configs of bench_serve — account independently.
 struct Metrics {
-  Metrics() : start_(std::chrono::steady_clock::now()) {}
+  Metrics();
+
+  Metrics(const Metrics&) = delete;
+  Metrics& operator=(const Metrics&) = delete;
+
+  /// The backing registry; STATS and DumpText render from it.
+  obs::Registry registry;
 
   // Request lifecycle.
-  std::atomic<uint64_t> requests{0};        ///< enqueued queries
-  std::atomic<uint64_t> responses_ok{0};    ///< answered successfully
-  std::atomic<uint64_t> responses_error{0}; ///< answered with an error
+  obs::Counter& requests;        ///< enqueued queries
+  obs::Counter& responses_ok;    ///< answered successfully
+  obs::Counter& responses_error; ///< answered with an error
 
   // Micro-batcher.
-  std::atomic<uint64_t> batches{0};         ///< batches executed
-  std::atomic<uint64_t> forwards{0};        ///< model forward passes run
+  obs::Counter& batches;         ///< batches executed
+  obs::Counter& forwards;        ///< model forward passes run
 
   // Per-(version, day) score cache.
-  std::atomic<uint64_t> cache_hits{0};
-  std::atomic<uint64_t> cache_misses{0};
+  obs::Counter& cache_hits;
+  obs::Counter& cache_misses;
 
   // Hot-reload registry.
-  std::atomic<uint64_t> reload_success{0};  ///< snapshots promoted
-  std::atomic<uint64_t> reload_failure{0};  ///< corrupt/unloadable skipped
+  obs::Counter& reload_success;  ///< snapshots promoted
+  obs::Counter& reload_failure;  ///< corrupt/unloadable skipped
 
   LatencyHistogram latency;      ///< enqueue-to-response, µs
   BatchSizeHistogram batch_size; ///< executed batch sizes
@@ -87,11 +125,12 @@ struct Metrics {
   double CacheHitRate() const;   ///< hits / (hits + misses); 0 when no lookups
 
   /// Multi-line `name value` text (Prometheus-style flat keys), ending with
-  /// the latency percentiles and the batch-size distribution.
+  /// the latency percentiles and the batch-size distribution. Field names
+  /// and layout are stable — the STATS verb's output contract.
   std::string DumpText() const;
 
  private:
-  std::chrono::steady_clock::time_point start_;
+  uint64_t start_us_;  ///< obs::NowMicros at construction (steady clock)
 };
 
 }  // namespace rtgcn::serve

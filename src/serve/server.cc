@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "obs/clock.h"
+#include "obs/trace.h"
 
 namespace rtgcn::serve {
 
@@ -80,6 +82,7 @@ Result<InferenceServer::Scored> InferenceServer::Submit(int64_t day) {
     Pending pending;
     pending.day = day;
     pending.enqueue = std::chrono::steady_clock::now();
+    pending.enqueue_us = obs::NowMicros();
     future = pending.promise.get_future();
     queue_.push_back(std::move(pending));
   }
@@ -88,6 +91,7 @@ Result<InferenceServer::Scored> InferenceServer::Submit(int64_t day) {
 }
 
 Result<InferenceServer::RankReply> InferenceServer::Rank(int64_t day) {
+  obs::Span span("serve.rank", "serve");
   auto scored = Submit(day);
   if (!scored.ok()) return scored.status();
   const Scored& s = scored.ValueOrDie();
@@ -100,6 +104,7 @@ Result<InferenceServer::RankReply> InferenceServer::Rank(int64_t day) {
 
 Result<InferenceServer::ScoreReply> InferenceServer::Score(int64_t day,
                                                            int64_t stock) {
+  obs::Span span("serve.score", "serve");
   if (stock < 0 || stock >= data_->num_stocks()) {
     if (metrics_) {
       metrics_->requests.fetch_add(1, std::memory_order_relaxed);
@@ -138,13 +143,16 @@ void InferenceServer::BatchLoop() {
       if (stop_) break;
     }
     std::vector<Pending> batch;
-    const int64_t take =
-        std::min<int64_t>(options_.max_batch,
-                          static_cast<int64_t>(queue_.size()));
-    batch.reserve(static_cast<size_t>(take));
-    for (int64_t i = 0; i < take; ++i) {
-      batch.push_back(std::move(queue_.front()));
-      queue_.pop_front();
+    {
+      obs::Span assemble("serve.assemble", "serve");
+      const int64_t take =
+          std::min<int64_t>(options_.max_batch,
+                            static_cast<int64_t>(queue_.size()));
+      batch.reserve(static_cast<size_t>(take));
+      for (int64_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
     }
     lock.unlock();
     ExecuteBatch(std::move(batch));
@@ -174,6 +182,7 @@ InferenceServer::ScoresFor(const ModelSnapshot& snapshot, int64_t day) {
     metrics_->cache_misses.fetch_add(1, std::memory_order_relaxed);
     metrics_->forwards.fetch_add(1, std::memory_order_relaxed);
   }
+  obs::Span span("serve.forward", "serve");
   const Tensor scores = snapshot.Score(data_->Features(day));
   const int64_t n = scores.numel();
   auto entry = std::make_shared<DayScores>();
@@ -205,6 +214,7 @@ InferenceServer::ScoresFor(const ModelSnapshot& snapshot, int64_t day) {
 }
 
 void InferenceServer::ExecuteBatch(std::vector<Pending> batch) {
+  obs::Span span("serve.batch", "serve");
   if (metrics_) {
     metrics_->batches.fetch_add(1, std::memory_order_relaxed);
     metrics_->batch_size.Record(static_cast<int64_t>(batch.size()));
@@ -233,12 +243,13 @@ void InferenceServer::ExecuteBatch(std::vector<Pending> batch) {
     }
     const bool ok = result.ok();
     if (metrics_) {
-      const auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
-          std::chrono::steady_clock::now() - p.enqueue);
-      metrics_->latency.Record(static_cast<uint64_t>(elapsed.count()));
+      // Clamped single-clock-source elapsed time: can never go negative or
+      // wrap, even if the clock is skewed (obs/clock.h).
+      metrics_->latency.Record(obs::ElapsedMicrosSince(p.enqueue_us));
       (ok ? metrics_->responses_ok : metrics_->responses_error)
           .fetch_add(1, std::memory_order_relaxed);
     }
+    obs::Span reply("serve.reply", "serve");
     p.promise.set_value(std::move(result));
   }
 }

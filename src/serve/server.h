@@ -96,7 +96,8 @@ class InferenceServer {
   };
   struct Pending {
     int64_t day;
-    std::chrono::steady_clock::time_point enqueue;
+    std::chrono::steady_clock::time_point enqueue;  // batch-window deadline
+    uint64_t enqueue_us = 0;  // obs::NowMicros at enqueue, for latency
     std::promise<Result<Scored>> promise;
   };
 

@@ -16,6 +16,8 @@
 
 #include "common/logging.h"
 #include "common/strings.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 
 namespace rtgcn::serve {
 
@@ -170,6 +172,7 @@ void SocketServer::HandleConnection(int fd) {
 }
 
 std::string SocketServer::HandleLine(const std::string& line) {
+  obs::Span span("serve.handle_line", "serve");
   std::vector<std::string> parts;
   for (const std::string& p : Split(line, ' ')) {
     if (!p.empty()) parts.push_back(p);
@@ -178,7 +181,11 @@ std::string SocketServer::HandleLine(const std::string& line) {
   const std::string& cmd = parts[0];
   if (cmd == "PING") return "PONG";
   if (cmd == "STATS") {
+    // Serving metrics first (stable field set), then whatever the rest of
+    // the process published to the global registry (training, checkpoint
+    // and pool metrics) — both render through obs::Registry.
     std::string text = metrics_ ? metrics_->DumpText() : "";
+    text += obs::Registry::Global().DumpText();
     return text + "END";
   }
   if (cmd == "SCORE") {

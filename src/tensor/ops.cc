@@ -7,6 +7,7 @@
 #include <limits>
 
 #include "common/thread_pool.h"
+#include "obs/trace.h"
 
 namespace rtgcn {
 
@@ -283,6 +284,7 @@ void MatMulKernel(const float* a, const float* b, float* c, int64_t m,
 }  // namespace
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
+  obs::Span span("tensor.MatMul", "tensor");
   RTGCN_CHECK_EQ(a.ndim(), 2);
   RTGCN_CHECK_EQ(b.ndim(), 2);
   RTGCN_CHECK_EQ(a.dim(1), b.dim(0))
@@ -297,6 +299,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
 }
 
 Tensor BatchMatMul(const Tensor& a, const Tensor& b) {
+  obs::Span span("tensor.BatchMatMul", "tensor");
   RTGCN_CHECK_EQ(a.ndim(), 3);
   const int64_t batch = a.dim(0);
   const int64_t m = a.dim(1);
@@ -520,6 +523,7 @@ Tensor Argmax(const Tensor& a, int64_t axis) {
 }
 
 Tensor Softmax(const Tensor& a, int64_t axis) {
+  obs::Span span("tensor.Softmax", "tensor");
   axis = NormalizeAxis(axis, a.ndim());
   Tensor shifted = Sub(a, Max(a, axis, /*keepdims=*/true));
   Tensor e = Exp(shifted);

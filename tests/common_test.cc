@@ -63,6 +63,93 @@ TEST(FlagsTest, RejectsPositional) {
   EXPECT_FALSE(Flags::Parse(2, const_cast<char**>(argv)).ok());
 }
 
+// Builds argv (with a fake program name) and parses it into `fs`.
+Status ParseFlagSet(FlagSet* fs, std::vector<std::string> args) {
+  std::vector<char*> argv;
+  argv.push_back(const_cast<char*>("prog"));
+  for (std::string& a : args) argv.push_back(a.data());
+  return fs->Parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(FlagSetTest, TypedParsingAllForms) {
+  int64_t n = 4;
+  int small = 2;
+  double alpha = 0.1;
+  float beta = 1.0f;
+  std::string name = "default";
+  bool verbose = false;
+  FlagSet fs;
+  fs.Register("n", &n, "");
+  fs.Register("small", &small, "");
+  fs.Register("alpha", &alpha, "");
+  fs.Register("beta", &beta, "");
+  fs.Register("name", &name, "");
+  fs.Register("verbose", &verbose, "");
+  ASSERT_TRUE(ParseFlagSet(&fs, {"--n", "32", "--small=7", "--alpha", "0.5",
+                                 "--beta=2.5", "--name=x y", "--verbose"})
+                  .ok());
+  EXPECT_EQ(n, 32);
+  EXPECT_EQ(small, 7);
+  EXPECT_DOUBLE_EQ(alpha, 0.5);
+  EXPECT_FLOAT_EQ(beta, 2.5f);
+  EXPECT_EQ(name, "x y");
+  EXPECT_TRUE(verbose);
+  EXPECT_FALSE(fs.help_requested());
+}
+
+TEST(FlagSetTest, UnparsedFlagsKeepDefaults) {
+  int64_t n = 4;
+  std::string name = "default";
+  FlagSet fs;
+  fs.Register("n", &n, "");
+  fs.Register("name", &name, "");
+  ASSERT_TRUE(ParseFlagSet(&fs, {"--n", "8"}).ok());
+  EXPECT_EQ(n, 8);
+  EXPECT_EQ(name, "default");
+}
+
+TEST(FlagSetTest, BoolLookaheadOnlyConsumesBoolLiterals) {
+  bool a = true;
+  bool b = false;
+  int64_t n = 0;
+  FlagSet fs;
+  fs.Register("a", &a, "");
+  fs.Register("b", &b, "");
+  fs.Register("n", &n, "");
+  // `--a false` consumes the literal; bare `--b` before another flag does
+  // not swallow `--n`.
+  ASSERT_TRUE(ParseFlagSet(&fs, {"--a", "false", "--b", "--n", "3"}).ok());
+  EXPECT_FALSE(a);
+  EXPECT_TRUE(b);
+  EXPECT_EQ(n, 3);
+}
+
+TEST(FlagSetTest, RejectsUnknownMalformedAndMissing) {
+  int64_t n = 0;
+  FlagSet fs;
+  fs.Register("n", &n, "");
+  EXPECT_FALSE(ParseFlagSet(&fs, {"--typo", "1"}).ok());
+  EXPECT_FALSE(ParseFlagSet(&fs, {"--n", "12x"}).ok());
+  EXPECT_FALSE(ParseFlagSet(&fs, {"--n"}).ok());
+  EXPECT_FALSE(ParseFlagSet(&fs, {"positional"}).ok());
+}
+
+TEST(FlagSetTest, HelpGeneratedFromRegistrations) {
+  int64_t threads = 4;
+  bool cache = true;
+  FlagSet fs("A test binary.");
+  fs.Register("num_threads", &threads, "worker thread count");
+  fs.Register("cache", &cache, "enable the cache");
+  ASSERT_TRUE(ParseFlagSet(&fs, {"--help"}).ok());
+  EXPECT_TRUE(fs.help_requested());
+  const std::string usage = fs.Usage("prog");
+  EXPECT_NE(usage.find("A test binary."), std::string::npos);
+  EXPECT_NE(usage.find("--num_threads (int; default 4)"), std::string::npos);
+  EXPECT_NE(usage.find("worker thread count"), std::string::npos);
+  EXPECT_NE(usage.find("--cache (bool; default true)"), std::string::npos);
+  EXPECT_NE(usage.find("--help"), std::string::npos);
+}
+
 TEST(CsvTest, RoundTrip) {
   CsvTable table;
   table.header = {"a", "b"};

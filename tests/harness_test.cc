@@ -8,6 +8,8 @@
 #include "harness/table.h"
 #include "market/dataset.h"
 #include "nn/linear.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "tensor/init.h"
 #include "tensor/ops.h"
 
@@ -175,6 +177,86 @@ TEST(FitStatsTest, SecondsPerEpoch) {
   EXPECT_DOUBLE_EQ(stats.seconds_per_epoch(), 2.0);
   FitStats empty;
   EXPECT_DOUBLE_EQ(empty.seconds_per_epoch(), 0.0);
+}
+
+TEST(FitTelemetryTest, PopulatedByGradientFit) {
+  market::WindowDataset data = LinearPanel();
+  market::DatasetSplit split = SplitByDay(data, 90);
+  ToyPredictor model(2);
+  TrainOptions opts;
+  opts.epochs = 5;
+  model.Fit(data, split.train_days, opts);
+
+  const FitTelemetry& t = model.fit_stats().telemetry;
+  ASSERT_EQ(t.epoch_seconds.size(), 5u);
+  double epoch_sum = 0;
+  for (double s : t.epoch_seconds) {
+    EXPECT_GE(s, 0.0);
+    epoch_sum += s;
+  }
+  // Per-epoch times partition the epoch loop, so they can't exceed the
+  // whole Fit by more than scheduling noise.
+  EXPECT_LE(epoch_sum, model.fit_stats().train_seconds + 0.25);
+
+  const uint64_t steps = 5u * split.train_days.size();
+  EXPECT_EQ(t.metrics.CounterValue("train.epochs"), 5u);
+  EXPECT_EQ(t.metrics.CounterValue("train.steps"), steps);
+  const obs::HistogramSnapshot* h = t.metrics.FindHistogram("train.step_us");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, steps);
+  EXPECT_GE(t.StepP95Millis(), 0.0);
+}
+
+TEST(FitTelemetryTest, DeltaIsolatesBackToBackFits) {
+  market::WindowDataset data = LinearPanel();
+  market::DatasetSplit split = SplitByDay(data, 90);
+  TrainOptions opts;
+  opts.epochs = 2;
+  ToyPredictor first(2);
+  first.Fit(data, split.train_days, opts);
+  opts.epochs = 3;
+  ToyPredictor second(2);
+  second.Fit(data, split.train_days, opts);
+  // The registry is process-global and cumulative; each Fit's telemetry
+  // must still report only its own contribution.
+  EXPECT_EQ(first.fit_stats().telemetry.metrics.CounterValue("train.epochs"),
+            2u);
+  EXPECT_EQ(second.fit_stats().telemetry.metrics.CounterValue("train.epochs"),
+            3u);
+}
+
+TEST(FitTraceCoverageTest, EpochSpansCoverFitWall) {
+  market::WindowDataset data = LinearPanel();
+  market::DatasetSplit split = SplitByDay(data, 90);
+  obs::Tracer::SetEnabled(true);
+  obs::Tracer::Clear();
+  ToyPredictor model(2);
+  TrainOptions opts;
+  opts.epochs = 5;
+  model.Fit(data, split.train_days, opts);
+  obs::Tracer::SetEnabled(false);
+
+  std::ostringstream os;
+  obs::Tracer::WriteChromeJson(os);
+  obs::Tracer::Clear();
+  std::vector<obs::TraceEventRecord> events;
+  std::string error;
+  ASSERT_TRUE(obs::ParseChromeTraceJson(os.str(), &events, &error)) << error;
+
+  double epoch_us = 0;
+  double step_us = 0;
+  for (const auto& e : events) {
+    if (e.ph != "X") continue;
+    if (e.name == "fit.epoch") epoch_us += e.dur;
+    if (e.name == "fit.step") step_us += e.dur;
+  }
+  const double wall_us = model.fit_stats().train_seconds * 1e6;
+  ASSERT_GT(wall_us, 0.0);
+  // The acceptance target is >=90% coverage of Fit wall time by fit.epoch
+  // spans; assert a relaxed 75% so CI machines under load don't flake.
+  EXPECT_GE(epoch_us, 0.75 * wall_us);
+  EXPECT_GT(step_us, 0.0);
+  EXPECT_LE(step_us, epoch_us * 1.01);  // steps nest inside epochs
 }
 
 }  // namespace
