@@ -16,6 +16,7 @@
 #include "common/thread_pool.h"
 #include "harness/table.h"
 #include "market/market.h"
+#include "tensor/kernels/kernels.h"
 
 namespace rtgcn::bench {
 
@@ -50,6 +51,7 @@ inline std::vector<market::MarketSpec> MarketsFromFlags(const Flags& flags) {
 /// relevant groups, Parse, then call Apply() once.
 struct BenchFlags {
   int num_threads = 0;  ///< 0 = RTGCN_NUM_THREADS env var / hardware
+  std::string kernel = "auto";  ///< tensor kernel backend
   std::string markets = "NASDAQ,NYSE,CSI";
   double scale = 1.0;
 
@@ -58,9 +60,12 @@ struct BenchFlags {
   int64_t checkpoint_keep = 3;
   bool resume = true;
 
-  /// Execution flags take effect (thread-pool size).
+  /// Execution flags take effect (thread-pool size, kernel backend).
   void Apply() const {
     if (num_threads >= 1) SetNumThreads(num_threads);
+    // The value set is enforced at Parse time (RegisterChoice), so this
+    // cannot fail on anything RegisterBenchFlags accepted.
+    kernels::SetBackendByName(kernel).Abort();
   }
 
   std::vector<market::MarketSpec> Markets() const {
@@ -79,6 +84,8 @@ struct BenchFlags {
 inline void RegisterBenchFlags(FlagSet* fs, BenchFlags* bf) {
   fs->Register("num_threads", &bf->num_threads,
                "tensor worker threads (0 = RTGCN_NUM_THREADS env / auto)");
+  fs->RegisterChoice("kernel", &bf->kernel, {"reference", "avx2", "auto"},
+                     "tensor kernel backend (overrides RTGCN_KERNEL)");
   fs->Register("markets", &bf->markets,
                "comma-separated markets to run (NASDAQ,NYSE,CSI)");
   fs->Register("scale", &bf->scale, "market size multiplier");

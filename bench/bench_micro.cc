@@ -18,6 +18,7 @@
 #include "nn/rnn.h"
 #include "obs/trace.h"
 #include "tensor/init.h"
+#include "tensor/kernels/kernels.h"
 #include "tensor/ops.h"
 
 namespace rtgcn {
@@ -44,6 +45,38 @@ BENCHMARK(BM_MatMul)
     ->Args({256, 4})
     ->Args({512, 1})
     ->Args({512, 4});
+
+// Same matmul, but with the kernel backend forced per run — the direct
+// reference-vs-avx2 comparison that BENCH_kernels.json records.
+void BM_MatMulKernel(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const auto backend = static_cast<kernels::Backend>(state.range(1));
+  if (backend == kernels::Backend::kAvx2 && !kernels::CpuSupportsAvx2()) {
+    state.SkipWithError("AVX2+FMA not supported on this CPU/build");
+    return;
+  }
+  const kernels::Backend prev = kernels::ActiveBackend();
+  kernels::SetBackend(backend);
+  SetNumThreads(1);
+  Rng rng(1);
+  Tensor a = RandomGaussian({n, n}, 0, 1, &rng);
+  Tensor b = RandomGaussian({n, n}, 0, 1, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+  state.SetLabel(kernels::Active().name);
+  SetNumThreads(0);
+  kernels::SetBackend(prev);
+}
+BENCHMARK(BM_MatMulKernel)
+    ->ArgNames({"n", "backend"})
+    ->Args({128, 0})
+    ->Args({128, 1})
+    ->Args({256, 0})
+    ->Args({256, 1})
+    ->Args({512, 0})
+    ->Args({512, 1});
 
 void BM_BroadcastAdd(benchmark::State& state) {
   const int64_t n = state.range(0);
@@ -182,12 +215,15 @@ BENCHMARK(BM_FeatureWindow);
 }  // namespace
 }  // namespace rtgcn
 
-// Custom main instead of BENCHMARK_MAIN(): supports `--trace_out FILE`,
-// which enables span tracing for the whole run and exports a Chrome trace
-// JSON (chrome://tracing / Perfetto) when the benchmarks finish. The flag
-// is stripped before google-benchmark sees argv — it rejects unknown flags.
+// Custom main instead of BENCHMARK_MAIN(): supports `--trace_out FILE`
+// (enables span tracing for the whole run and exports a Chrome trace JSON
+// when the benchmarks finish) and `--kernel reference|avx2|auto` (forces
+// the tensor kernel backend for the run, like the RTGCN_KERNEL env var).
+// Both flags are stripped before google-benchmark sees argv — it rejects
+// unknown flags.
 int main(int argc, char** argv) {
   std::string trace_out;
+  std::string kernel;
   std::vector<char*> args;
   args.reserve(static_cast<size_t>(argc));
   for (int i = 0; i < argc; ++i) {
@@ -200,7 +236,22 @@ int main(int argc, char** argv) {
       trace_out = argv[++i];
       continue;
     }
+    if (arg.rfind("--kernel=", 0) == 0) {
+      kernel = arg.substr(sizeof("--kernel=") - 1);
+      continue;
+    }
+    if (arg == "--kernel" && i + 1 < argc) {
+      kernel = argv[++i];
+      continue;
+    }
     args.push_back(argv[i]);
+  }
+  if (!kernel.empty()) {
+    const rtgcn::Status status = rtgcn::kernels::SetBackendByName(kernel);
+    if (!status.ok()) {
+      std::fprintf(stderr, "bench_micro: %s\n", status.message().c_str());
+      return 1;
+    }
   }
   if (!trace_out.empty()) rtgcn::obs::Tracer::SetEnabled(true);
   int filtered_argc = static_cast<int>(args.size());

@@ -196,6 +196,32 @@ void FlagSet::Register(const std::string& name, std::string* var,
   Add(std::move(f));
 }
 
+void FlagSet::RegisterChoice(const std::string& name, std::string* var,
+                             const std::vector<std::string>& choices,
+                             const std::string& help) {
+  RTGCN_CHECK(!choices.empty()) << "flag --" << name << " has no choices";
+  std::string type = "one of ";
+  for (size_t i = 0; i < choices.size(); ++i) {
+    if (i > 0) type += "|";
+    type += choices[i];
+  }
+  Flag f;
+  f.name = name;
+  f.help = help;
+  f.type = std::move(type);
+  f.default_text = "\"" + *var + "\"";
+  f.set = [var, choices](const std::string& s) {
+    for (const std::string& c : choices) {
+      if (s == c) {
+        *var = s;
+        return true;
+      }
+    }
+    return false;
+  };
+  Add(std::move(f));
+}
+
 const FlagSet::Flag* FlagSet::Find(const std::string& name) const {
   for (const Flag& f : flags_) {
     if (f.name == name) return &f;

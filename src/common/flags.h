@@ -68,6 +68,14 @@ class FlagSet {
   void Register(const std::string& name, std::string* var,
                 const std::string& help);
 
+  /// String flag restricted to an explicit value set. Parse rejects any
+  /// value not in `choices` (the error lists the accepted values), so a
+  /// typo like --kernel=axv2 fails loudly instead of being forwarded to
+  /// code that may silently fall back.
+  void RegisterChoice(const std::string& name, std::string* var,
+                      const std::vector<std::string>& choices,
+                      const std::string& help);
+
   /// Parses argv into the bound variables. Errors on unknown flags,
   /// malformed values and missing values. `--help` is always accepted.
   Status Parse(int argc, char** argv);

@@ -1,0 +1,135 @@
+// Runtime-dispatched tensor kernel backends.
+//
+// A KernelSet is a table of function pointers covering the tensor hot
+// paths: the contiguous elementwise loops, row-panel matmul, fused
+// last-axis softmax and 2-d transpose. Two sets are registered:
+//
+//  * reference — the original scalar loops. Always available; the ground
+//    truth every other variant is checked against (tests/kernel_checker.h).
+//  * avx2 — cache-blocked AVX2/FMA kernels (kernels/avx2.cc, compiled with
+//    -mavx2 -mfma in its own TU). Used only when CPUID reports AVX2+FMA.
+//
+// Selection happens once, lazily, from the RTGCN_KERNEL environment
+// variable ("reference" | "avx2" | "auto", default auto = best supported),
+// and can be overridden programmatically (SetBackendByName) or via the
+// --kernel flag the bench binaries register. Requesting avx2 on a CPU
+// without it falls back to reference with a warning; unknown names are
+// rejected. The active choice is published to obs::Registry::Global()
+// (gauges tensor.kernels.backend / tensor.kernels.avx2_supported, counters
+// tensor.kernels.selected.<name>) and to span tags: each set carries its
+// own static span names ("tensor.MatMul[avx2]", ...) so traces show which
+// backend ran.
+//
+// Determinism contract: every kernel, on every backend, must produce
+// bit-identical results at any thread count. Callers partition work with
+// ParallelFor into row panels / contiguous spans; a kernel's output for a
+// given element may depend only on the element's absolute position and the
+// problem shape — never on the panel boundaries it happened to be called
+// with. Backends may differ from EACH OTHER (FMA contraction, vectorized
+// exp), which is why the checker compares with an epsilon rather than
+// bit equality.
+#ifndef RTGCN_TENSOR_KERNELS_KERNELS_H_
+#define RTGCN_TENSOR_KERNELS_KERNELS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace rtgcn::kernels {
+
+/// Contiguous binary elementwise: o[i] = f(a[i], b[i]) for i in [0, n).
+using BinaryFn = void (*)(const float* a, const float* b, float* o,
+                          int64_t n);
+/// Contiguous scalar elementwise: o[i] = f(a[i], s).
+using ScalarFn = void (*)(const float* a, float s, float* o, int64_t n);
+/// Contiguous unary elementwise: o[i] = f(a[i]).
+using UnaryFn = void (*)(const float* a, float* o, int64_t n);
+
+/// \brief One interchangeable kernel backend.
+struct KernelSet {
+  const char* name;      ///< "reference", "avx2"
+  bool (*supported)();   ///< runtime CPU capability check
+
+  // Fused contiguous elementwise loops (same-shape fast path of the
+  // broadcasting ops plus the scalar/unary ops built on them).
+  BinaryFn add;
+  BinaryFn sub;
+  BinaryFn mul;
+  BinaryFn div;
+  BinaryFn vmax;
+  BinaryFn vmin;
+  ScalarFn add_scalar;
+  ScalarFn mul_scalar;
+  UnaryFn relu;
+  ScalarFn leaky_relu;  ///< s = negative slope
+
+  /// Row-panel GEMM: C[i,:] += A[i,:] * B for i in [row_lo, row_hi).
+  /// A is [m,k], B is [k,n], C is [m,n]; pointers are to full matrices.
+  void (*matmul_rows)(const float* a, const float* b, float* c,
+                      int64_t row_lo, int64_t row_hi, int64_t k, int64_t n);
+
+  /// Fused numerically-stable softmax over the last axis: rows
+  /// [row_lo, row_hi) of a [rows, cols] row-major view.
+  void (*softmax_rows)(const float* in, float* out, int64_t row_lo,
+                       int64_t row_hi, int64_t cols);
+
+  /// 2-d transpose: out[j, i] = in[i, j] for i in [row_lo, row_hi),
+  /// in is [m, n], out is [n, m].
+  void (*transpose_rows)(const float* in, float* out, int64_t row_lo,
+                         int64_t row_hi, int64_t m, int64_t n);
+
+  // Static span names (obs::Span stores the pointer, never a copy) tagging
+  // traces with the backend that executed the op.
+  const char* matmul_span;
+  const char* batch_matmul_span;
+  const char* softmax_span;
+};
+
+enum class Backend : int { kReference = 0, kAvx2 = 1 };
+
+/// The scalar ground-truth backend (always supported).
+const KernelSet& Reference();
+
+/// The AVX2/FMA backend. Defined on every build; `supported()` reports
+/// whether this CPU (and this build's compiler) can actually run it.
+const KernelSet& Avx2();
+
+/// Every registered backend, reference first. The kernel checker iterates
+/// this list; future variants (quantized, AVX-512) register here.
+const std::vector<const KernelSet*>& AllKernels();
+
+/// True when the CPU reports AVX2 and FMA and the build has the AVX2 TU.
+bool CpuSupportsAvx2();
+
+/// Test hook: 0/1 forces the reported AVX2 support, -1 restores real
+/// CPUID detection. Affects Resolve/SetBackend fallback, not AllKernels().
+void OverrideCpuSupportsAvx2ForTest(int forced);
+
+/// Parses a backend name: "reference", "avx2", "auto" or "" (= auto).
+/// "auto" resolves to avx2 when supported, else reference. An explicit
+/// "avx2" on an unsupported CPU gracefully degrades to reference (with a
+/// warning at SetBackendByName time). Unknown names -> InvalidArgument.
+Result<Backend> ResolveBackend(const std::string& name);
+
+/// The active kernel set. First use initializes from the RTGCN_KERNEL
+/// environment variable (invalid values warn and fall back to auto).
+const KernelSet& Active();
+Backend ActiveBackend();
+
+/// Explicitly selects a backend and publishes the choice to the global
+/// metrics registry.
+void SetBackend(Backend backend);
+
+/// ResolveBackend + SetBackend; the error of ResolveBackend on unknown
+/// names. This is what the --kernel flag calls.
+Status SetBackendByName(const std::string& name);
+
+/// Test hook: drops the cached selection so the next Active() re-reads
+/// RTGCN_KERNEL from the environment.
+void ReinitFromEnvForTest();
+
+}  // namespace rtgcn::kernels
+
+#endif  // RTGCN_TENSOR_KERNELS_KERNELS_H_

@@ -1,0 +1,114 @@
+// Reference (scalar) kernel backend: the original portable loops. This is
+// the ground truth the kernel checker validates every other variant
+// against, and the fallback on CPUs without AVX2.
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/kernels/kernels.h"
+
+namespace rtgcn::kernels {
+namespace {
+
+bool AlwaysSupported() { return true; }
+
+void AddRef(const float* a, const float* b, float* o, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) o[i] = a[i] + b[i];
+}
+void SubRef(const float* a, const float* b, float* o, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) o[i] = a[i] - b[i];
+}
+void MulRef(const float* a, const float* b, float* o, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) o[i] = a[i] * b[i];
+}
+void DivRef(const float* a, const float* b, float* o, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) o[i] = a[i] / b[i];
+}
+void MaxRef(const float* a, const float* b, float* o, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) o[i] = std::max(a[i], b[i]);
+}
+void MinRef(const float* a, const float* b, float* o, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) o[i] = std::min(a[i], b[i]);
+}
+void AddScalarRef(const float* a, float s, float* o, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) o[i] = a[i] + s;
+}
+void MulScalarRef(const float* a, float s, float* o, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) o[i] = a[i] * s;
+}
+void ReluRef(const float* a, float* o, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) o[i] = a[i] > 0 ? a[i] : 0.0f;
+}
+void LeakyReluRef(const float* a, float slope, float* o, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) o[i] = a[i] > 0 ? a[i] : slope * a[i];
+}
+
+// C[m,n] += A[m,k] * B[k,n], ikj loop order for cache-friendly access.
+// Each output row is produced with the serial accumulation order
+// regardless of the [row_lo, row_hi) panel it arrives in.
+void MatMulRowsRef(const float* a, const float* b, float* c, int64_t row_lo,
+                   int64_t row_hi, int64_t k, int64_t n) {
+  for (int64_t i = row_lo; i < row_hi; ++i) {
+    float* ci = c + i * n;
+    const float* ai = a + i * k;
+    for (int64_t p = 0; p < k; ++p) {
+      const float aip = ai[p];
+      if (aip == 0.0f) continue;  // common for sparse adjacency rows
+      const float* bp = b + p * n;
+      for (int64_t j = 0; j < n; ++j) ci[j] += aip * bp[j];
+    }
+  }
+}
+
+// Per-row shift-by-max softmax, matching the composed Max/Sub/Exp/Sum/Div
+// path element for element (serial max scan, serial sum).
+void SoftmaxRowsRef(const float* in, float* out, int64_t row_lo,
+                    int64_t row_hi, int64_t cols) {
+  for (int64_t r = row_lo; r < row_hi; ++r) {
+    const float* x = in + r * cols;
+    float* y = out + r * cols;
+    float mx = x[0];
+    for (int64_t j = 1; j < cols; ++j) mx = std::max(mx, x[j]);
+    float sum = 0.0f;
+    for (int64_t j = 0; j < cols; ++j) {
+      y[j] = std::exp(x[j] - mx);
+      sum += y[j];
+    }
+    for (int64_t j = 0; j < cols; ++j) y[j] /= sum;
+  }
+}
+
+// Naive row scan; writes are column-strided (po[j*m + i]), which is what
+// the blocked avx2 variant exists to avoid.
+void TransposeRowsRef(const float* in, float* out, int64_t row_lo,
+                      int64_t row_hi, int64_t m, int64_t n) {
+  for (int64_t i = row_lo; i < row_hi; ++i) {
+    for (int64_t j = 0; j < n; ++j) out[j * m + i] = in[i * n + j];
+  }
+}
+
+const KernelSet kReferenceSet = {
+    /*name=*/"reference",
+    /*supported=*/AlwaysSupported,
+    /*add=*/AddRef,
+    /*sub=*/SubRef,
+    /*mul=*/MulRef,
+    /*div=*/DivRef,
+    /*vmax=*/MaxRef,
+    /*vmin=*/MinRef,
+    /*add_scalar=*/AddScalarRef,
+    /*mul_scalar=*/MulScalarRef,
+    /*relu=*/ReluRef,
+    /*leaky_relu=*/LeakyReluRef,
+    /*matmul_rows=*/MatMulRowsRef,
+    /*softmax_rows=*/SoftmaxRowsRef,
+    /*transpose_rows=*/TransposeRowsRef,
+    /*matmul_span=*/"tensor.MatMul",
+    /*batch_matmul_span=*/"tensor.BatchMatMul",
+    /*softmax_span=*/"tensor.Softmax",
+};
+
+}  // namespace
+
+const KernelSet& Reference() { return kReferenceSet; }
+
+}  // namespace rtgcn::kernels

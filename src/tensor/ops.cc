@@ -8,6 +8,7 @@
 
 #include "common/thread_pool.h"
 #include "obs/trace.h"
+#include "tensor/kernels/kernels.h"
 
 namespace rtgcn {
 
@@ -157,6 +158,44 @@ Tensor UnaryOp(const Tensor& a, UnaryFn fn) {
   return out;
 }
 
+// Same-shape contiguous spans through the active kernel backend
+// (tensor/kernels/). Chunks are disjoint contiguous ranges, and the
+// backends' elementwise lanes are exact IEEE ops, so results stay
+// bit-identical at any thread count.
+Tensor ContiguousBinary(const Tensor& a, const Tensor& b,
+                        kernels::BinaryFn fn) {
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  ParallelFor(0, a.numel(), kElemGrain, [&](int64_t lo, int64_t hi) {
+    fn(pa + lo, pb + lo, po + lo, hi - lo);
+  });
+  return out;
+}
+
+Tensor ScalarMap(const Tensor& a, float s, kernels::ScalarFn fn) {
+  RTGCN_CHECK(a.defined());
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  float* po = out.data();
+  ParallelFor(0, a.numel(), kElemGrain, [&](int64_t lo, int64_t hi) {
+    fn(pa + lo, s, po + lo, hi - lo);
+  });
+  return out;
+}
+
+Tensor UnaryMap(const Tensor& a, kernels::UnaryFn fn) {
+  RTGCN_CHECK(a.defined());
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  float* po = out.data();
+  ParallelFor(0, a.numel(), kElemGrain, [&](int64_t lo, int64_t hi) {
+    fn(pa + lo, po + lo, hi - lo);
+  });
+  return out;
+}
+
 }  // namespace
 
 Tensor BroadcastTo(const Tensor& t, const Shape& shape) {
@@ -188,40 +227,69 @@ Tensor ReduceToShape(const Tensor& t, const Shape& shape) {
 // Elementwise
 // ---------------------------------------------------------------------------
 
+// The same-shape and scalar fast paths run through the dispatched kernel
+// backend (reference or avx2); broadcast shapes keep the generic odometer.
 Tensor Add(const Tensor& a, const Tensor& b) {
+  RTGCN_CHECK(a.defined() && b.defined());
+  const kernels::KernelSet& ks = kernels::Active();
+  if (a.shape() == b.shape()) return ContiguousBinary(a, b, ks.add);
+  if (b.numel() == 1) return ScalarMap(a, b.data()[0], ks.add_scalar);
+  if (a.numel() == 1) return ScalarMap(b, a.data()[0], ks.add_scalar);
   return BinaryOp(a, b, [](float x, float y) { return x + y; });
 }
 Tensor Sub(const Tensor& a, const Tensor& b) {
+  RTGCN_CHECK(a.defined() && b.defined());
+  const kernels::KernelSet& ks = kernels::Active();
+  if (a.shape() == b.shape()) return ContiguousBinary(a, b, ks.sub);
+  // x - s == x + (-s) bitwise in IEEE arithmetic.
+  if (b.numel() == 1) return ScalarMap(a, -b.data()[0], ks.add_scalar);
   return BinaryOp(a, b, [](float x, float y) { return x - y; });
 }
 Tensor Mul(const Tensor& a, const Tensor& b) {
+  RTGCN_CHECK(a.defined() && b.defined());
+  const kernels::KernelSet& ks = kernels::Active();
+  if (a.shape() == b.shape()) return ContiguousBinary(a, b, ks.mul);
+  if (b.numel() == 1) return ScalarMap(a, b.data()[0], ks.mul_scalar);
+  if (a.numel() == 1) return ScalarMap(b, a.data()[0], ks.mul_scalar);
   return BinaryOp(a, b, [](float x, float y) { return x * y; });
 }
 Tensor Div(const Tensor& a, const Tensor& b) {
+  RTGCN_CHECK(a.defined() && b.defined());
+  if (a.shape() == b.shape()) {
+    return ContiguousBinary(a, b, kernels::Active().div);
+  }
   return BinaryOp(a, b, [](float x, float y) { return x / y; });
 }
 Tensor Maximum(const Tensor& a, const Tensor& b) {
+  RTGCN_CHECK(a.defined() && b.defined());
+  if (a.shape() == b.shape()) {
+    return ContiguousBinary(a, b, kernels::Active().vmax);
+  }
   return BinaryOp(a, b, [](float x, float y) { return std::max(x, y); });
 }
 Tensor Minimum(const Tensor& a, const Tensor& b) {
+  RTGCN_CHECK(a.defined() && b.defined());
+  if (a.shape() == b.shape()) {
+    return ContiguousBinary(a, b, kernels::Active().vmin);
+  }
   return BinaryOp(a, b, [](float x, float y) { return std::min(x, y); });
 }
 
 Tensor AddScalar(const Tensor& a, float s) {
-  return UnaryOp(a, [s](float x) { return x + s; });
+  return ScalarMap(a, s, kernels::Active().add_scalar);
 }
 Tensor MulScalar(const Tensor& a, float s) {
-  return UnaryOp(a, [s](float x) { return x * s; });
+  return ScalarMap(a, s, kernels::Active().mul_scalar);
 }
 
 Tensor Neg(const Tensor& a) {
   return UnaryOp(a, [](float x) { return -x; });
 }
 Tensor Relu(const Tensor& a) {
-  return UnaryOp(a, [](float x) { return x > 0 ? x : 0.0f; });
+  return UnaryMap(a, kernels::Active().relu);
 }
 Tensor LeakyRelu(const Tensor& a, float slope) {
-  return UnaryOp(a, [slope](float x) { return x > 0 ? x : slope * x; });
+  return ScalarMap(a, slope, kernels::Active().leaky_relu);
 }
 Tensor Sigmoid(const Tensor& a) {
   return UnaryOp(a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); });
@@ -261,30 +329,23 @@ Tensor Map(const Tensor& a, const std::function<float(float)>& fn) {
 
 namespace {
 
-// C[m,n] += A[m,k] * B[k,n], ikj loop order for cache-friendly access.
-// Parallel over row panels: each output row is produced by exactly one
-// chunk with the serial accumulation order, so results are bit-identical
-// at any thread count.
-void MatMulKernel(const float* a, const float* b, float* c, int64_t m,
-                  int64_t k, int64_t n) {
+// C[m,n] += A[m,k] * B[k,n] through the active kernel backend. Parallel
+// over row panels: each output row is produced by exactly one chunk with
+// a panel-independent accumulation order, so results are bit-identical
+// at any thread count (see tensor/kernels/kernels.h).
+void MatMulKernel(const kernels::KernelSet& ks, const float* a,
+                  const float* b, float* c, int64_t m, int64_t k,
+                  int64_t n) {
   ParallelFor(0, m, GrainForCost(k * n), [&](int64_t row_lo, int64_t row_hi) {
-    for (int64_t i = row_lo; i < row_hi; ++i) {
-      float* ci = c + i * n;
-      const float* ai = a + i * k;
-      for (int64_t p = 0; p < k; ++p) {
-        const float aip = ai[p];
-        if (aip == 0.0f) continue;  // common for sparse adjacency rows
-        const float* bp = b + p * n;
-        for (int64_t j = 0; j < n; ++j) ci[j] += aip * bp[j];
-      }
-    }
+    ks.matmul_rows(a, b, c, row_lo, row_hi, k, n);
   });
 }
 
 }  // namespace
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
-  obs::Span span("tensor.MatMul", "tensor");
+  const kernels::KernelSet& ks = kernels::Active();
+  obs::Span span(ks.matmul_span, "tensor");
   RTGCN_CHECK_EQ(a.ndim(), 2);
   RTGCN_CHECK_EQ(b.ndim(), 2);
   RTGCN_CHECK_EQ(a.dim(1), b.dim(0))
@@ -294,12 +355,13 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   const int64_t k = a.dim(1);
   const int64_t n = b.dim(1);
   Tensor out = Tensor::Zeros({m, n});
-  MatMulKernel(a.data(), b.data(), out.data(), m, k, n);
+  MatMulKernel(ks, a.data(), b.data(), out.data(), m, k, n);
   return out;
 }
 
 Tensor BatchMatMul(const Tensor& a, const Tensor& b) {
-  obs::Span span("tensor.BatchMatMul", "tensor");
+  const kernels::KernelSet& ks = kernels::Active();
+  obs::Span span(ks.batch_matmul_span, "tensor");
   RTGCN_CHECK_EQ(a.ndim(), 3);
   const int64_t batch = a.dim(0);
   const int64_t m = a.dim(1);
@@ -322,7 +384,8 @@ Tensor BatchMatMul(const Tensor& a, const Tensor& b) {
   ParallelFor(0, batch, GrainForCost(m * k * n), [&](int64_t lo, int64_t hi) {
     for (int64_t i = lo; i < hi; ++i) {
       const float* bi = shared_b ? b.data() : b.data() + i * k * n;
-      MatMulKernel(a.data() + i * m * k, bi, out.data() + i * m * n, m, k, n);
+      MatMulKernel(ks, a.data() + i * m * k, bi, out.data() + i * m * n, m,
+                   k, n);
     }
   });
   return out;
@@ -330,15 +393,14 @@ Tensor BatchMatMul(const Tensor& a, const Tensor& b) {
 
 Tensor Transpose(const Tensor& a) {
   RTGCN_CHECK_EQ(a.ndim(), 2);
+  const kernels::KernelSet& ks = kernels::Active();
   const int64_t m = a.dim(0);
   const int64_t n = a.dim(1);
   Tensor out({n, m});
   const float* pa = a.data();
   float* po = out.data();
   ParallelFor(0, m, GrainForCost(n), [&](int64_t lo, int64_t hi) {
-    for (int64_t i = lo; i < hi; ++i) {
-      for (int64_t j = 0; j < n; ++j) po[j * m + i] = pa[i * n + j];
-    }
+    ks.transpose_rows(pa, po, lo, hi, m, n);
   });
   return out;
 }
@@ -523,8 +585,23 @@ Tensor Argmax(const Tensor& a, int64_t axis) {
 }
 
 Tensor Softmax(const Tensor& a, int64_t axis) {
-  obs::Span span("tensor.Softmax", "tensor");
+  const kernels::KernelSet& ks = kernels::Active();
+  obs::Span span(ks.softmax_span, "tensor");
   axis = NormalizeAxis(axis, a.ndim());
+  const int64_t cols = a.dim(axis);
+  if (axis == a.ndim() - 1 && cols > 0) {
+    // Last-axis rows are contiguous: fused shift/exp/normalize kernel,
+    // parallel over independent rows.
+    Tensor out(a.shape());
+    const int64_t rows = a.numel() / cols;
+    const float* pa = a.data();
+    float* po = out.data();
+    ParallelFor(0, rows, GrainForCost(4 * cols), [&](int64_t lo, int64_t hi) {
+      ks.softmax_rows(pa, po, lo, hi, cols);
+    });
+    return out;
+  }
+  // Non-last axes keep the composed path (strided rows).
   Tensor shifted = Sub(a, Max(a, axis, /*keepdims=*/true));
   Tensor e = Exp(shifted);
   return Div(e, Sum(e, axis, /*keepdims=*/true));

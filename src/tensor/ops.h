@@ -7,8 +7,13 @@
 // Elementwise ops, matmul (row panels), batched matmul (batch dim), axis
 // reductions (outer dim), and layout transforms run on the shared thread
 // pool (common/thread_pool.h). Chunk boundaries depend only on problem
-// size, and every output element keeps its serial accumulation order, so
-// results are bit-identical at any --num_threads setting.
+// size, and every output element keeps a panel-independent accumulation
+// order, so results are bit-identical at any --num_threads setting.
+//
+// The hot paths (matmul, batched matmul, last-axis softmax, transpose and
+// the contiguous elementwise loops) execute through a runtime-dispatched
+// kernel backend — scalar reference or AVX2/FMA — selected by CPUID and
+// the RTGCN_KERNEL knob; see tensor/kernels/kernels.h.
 #ifndef RTGCN_TENSOR_OPS_H_
 #define RTGCN_TENSOR_OPS_H_
 

@@ -1,0 +1,204 @@
+// Kernel-equivalence sweeps: every registered backend vs the scalar
+// reference, across shapes chosen to hit vector-width tails, odd sizes,
+// single rows/columns, grain boundaries and broadcast edges. See
+// kernel_checker.h for the comparison contract.
+#include "kernel_checker.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "tensor/kernels/kernels.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace rtgcn {
+namespace {
+
+std::string ShapeStr(const Shape& s) {
+  std::string out = "[";
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(s[i]);
+  }
+  return out + "]";
+}
+
+// ---------------------------------------------------------------------------
+// MatMul / BatchMatMul
+// ---------------------------------------------------------------------------
+
+// m/k/n chosen to cover: degenerate 1x1, sub-vector sizes, the 8- and
+// 16-lane j-block boundaries +/-1 (tail lanes), the 4-row panel boundary
+// +/-1, and one cache-blocked size. Odd everything on purpose.
+const std::vector<std::vector<int64_t>> kMatMulShapes = {
+    {1, 1, 1},    {3, 5, 2},     {5, 17, 9},    {4, 8, 16},
+    {9, 31, 33},  {17, 1, 63},   {8, 16, 24},   {33, 29, 65},
+    {65, 63, 127}, {128, 100, 96},
+};
+
+TEST(KernelChecker, MatMulShapeSweep) {
+  KernelChecker checker(101);
+  // Long k accumulations under FMA contraction need a looser rtol than
+  // elementwise ops.
+  checker.set_rtol(1e-4f).set_atol(1e-5f);
+  for (const auto& mkn : kMatMulShapes) {
+    const int64_t m = mkn[0], k = mkn[1], n = mkn[2];
+    Tensor a = checker.Gaussian({m, k});
+    Tensor b = checker.Gaussian({k, n});
+    checker.Check("MatMul " + ShapeStr({m, k}) + "x" + ShapeStr({k, n}),
+                  [&] { return MatMul(a, b); });
+  }
+}
+
+TEST(KernelChecker, MatMulWithZerosHitsSkipPath) {
+  // The reference kernel skips a[i,p] == 0 rows of B; the AVX2 kernel does
+  // not. Heavily zeroed inputs must still agree.
+  KernelChecker checker(102);
+  checker.set_rtol(1e-4f).set_atol(1e-5f);
+  Tensor a = checker.Gaussian({13, 21});
+  Tensor b = checker.Gaussian({21, 19});
+  float* pa = a.data();
+  for (int64_t i = 0; i < a.numel(); i += 2) pa[i] = 0.0f;
+  checker.Check("MatMul zero-heavy", [&] { return MatMul(a, b); });
+}
+
+TEST(KernelChecker, BatchMatMulPerBatchAndSharedB) {
+  KernelChecker checker(103);
+  checker.set_rtol(1e-4f).set_atol(1e-5f);
+  for (const auto& mkn : {std::vector<int64_t>{3, 5, 7},
+                          std::vector<int64_t>{9, 17, 33}}) {
+    const int64_t m = mkn[0], k = mkn[1], n = mkn[2];
+    Tensor a = checker.Gaussian({4, m, k});
+    Tensor b3 = checker.Gaussian({4, k, n});
+    Tensor b2 = checker.Gaussian({k, n});
+    checker.Check("BatchMatMul per-batch " + ShapeStr({4, m, k}),
+                  [&] { return BatchMatMul(a, b3); });
+    checker.Check("BatchMatMul shared-B " + ShapeStr({4, m, k}),
+                  [&] { return BatchMatMul(a, b2); });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Softmax
+// ---------------------------------------------------------------------------
+
+TEST(KernelChecker, SoftmaxColumnSweep) {
+  KernelChecker checker(104);
+  // The AVX2 backend uses a polynomial exp; agreement is approximate.
+  checker.set_rtol(2e-5f).set_atol(1e-6f);
+  for (int64_t cols : {1, 2, 7, 8, 9, 16, 17, 33, 100}) {
+    Tensor a = checker.Gaussian({5, cols}, 0.0f, 3.0f);
+    checker.Check("Softmax cols=" + std::to_string(cols),
+                  [&] { return Softmax(a, -1); });
+  }
+}
+
+TEST(KernelChecker, SoftmaxLargeMagnitudeRows) {
+  KernelChecker checker(105);
+  checker.set_rtol(2e-5f).set_atol(1e-6f);
+  // Entries far outside exp()'s naive range; the max-subtraction must keep
+  // every backend finite and in agreement.
+  Tensor a = checker.Uniform({7, 23}, 500.0f, 1000.0f);
+  checker.Check("Softmax large-magnitude", [&] { return Softmax(a, -1); });
+  Tensor b = checker.Uniform({7, 23}, -1000.0f, -500.0f);
+  checker.Check("Softmax large-negative", [&] { return Softmax(b, -1); });
+}
+
+TEST(KernelChecker, SoftmaxNonLastAxisUsesComposedPath) {
+  KernelChecker checker(106);
+  checker.set_rtol(2e-5f).set_atol(1e-6f);
+  Tensor a = checker.Gaussian({9, 17}, 0.0f, 2.0f);
+  checker.Check("Softmax axis=0", [&] { return Softmax(a, 0); });
+}
+
+// ---------------------------------------------------------------------------
+// Elementwise: sizes straddling the vector width and the ParallelFor grain
+// ---------------------------------------------------------------------------
+
+// 1..17 covers every AVX lane-tail residue; 8191/8192/8193 straddle
+// kElemGrain so chunk-start alignment inside the kernels is exercised.
+const std::vector<int64_t> kElemSizes = {1,  2,  7,    8,    9,
+                                         15, 17, 8191, 8192, 8193};
+
+TEST(KernelChecker, BinaryElementwiseSizeSweep) {
+  KernelChecker checker(107);
+  for (int64_t size : kElemSizes) {
+    Tensor a = checker.Gaussian({size});
+    Tensor b = checker.Gaussian({size});
+    // Keep divisors away from zero so Div stays well-conditioned.
+    float* pb = b.data();
+    for (int64_t i = 0; i < size; ++i) {
+      if (std::fabs(pb[i]) < 0.1f) pb[i] = pb[i] < 0 ? -0.5f : 0.5f;
+    }
+    const std::string tag = " n=" + std::to_string(size);
+    checker.Check("Add" + tag, [&] { return Add(a, b); });
+    checker.Check("Sub" + tag, [&] { return Sub(a, b); });
+    checker.Check("Mul" + tag, [&] { return Mul(a, b); });
+    checker.Check("Div" + tag, [&] { return Div(a, b); });
+    checker.Check("Maximum" + tag, [&] { return Maximum(a, b); });
+    checker.Check("Minimum" + tag, [&] { return Minimum(a, b); });
+  }
+}
+
+TEST(KernelChecker, ScalarAndUnarySizeSweep) {
+  KernelChecker checker(108);
+  for (int64_t size : kElemSizes) {
+    Tensor a = checker.Gaussian({size});
+    const std::string tag = " n=" + std::to_string(size);
+    checker.Check("AddScalar" + tag, [&] { return AddScalar(a, 1.25f); });
+    checker.Check("MulScalar" + tag, [&] { return MulScalar(a, -0.75f); });
+    checker.Check("Relu" + tag, [&] { return Relu(a); });
+    checker.Check("LeakyRelu" + tag, [&] { return LeakyRelu(a, 0.2f); });
+  }
+}
+
+TEST(KernelChecker, BroadcastEdges) {
+  KernelChecker checker(109);
+  // Scalar-operand fast paths (0-d and 1-element tensors on either side)
+  // plus a genuine broadcast that must take the generic strided path.
+  Tensor a = checker.Gaussian({6, 9});
+  Tensor s = Tensor::Scalar(2.5f);
+  Tensor row = checker.Gaussian({1, 9});
+  Tensor col = checker.Gaussian({6, 1});
+  checker.Check("Add tensor+scalar", [&] { return Add(a, s); });
+  checker.Check("Add scalar+tensor", [&] { return Add(s, a); });
+  checker.Check("Sub tensor-scalar", [&] { return Sub(a, s); });
+  checker.Check("Mul scalar*tensor", [&] { return Mul(s, a); });
+  checker.Check("Add row-broadcast", [&] { return Add(a, row); });
+  checker.Check("Add col-broadcast", [&] { return Add(a, col); });
+  checker.Check("Maximum row-broadcast", [&] { return Maximum(a, row); });
+}
+
+TEST(KernelChecker, ReluSignedZeroAndSpecials) {
+  KernelChecker checker(110);
+  Tensor a({9}, {0.0f, -0.0f, 1.5f, -1.5f, 1e30f, -1e30f, 1e-38f, -1e-38f,
+                 3.0f});
+  checker.Check("Relu specials", [&] { return Relu(a); });
+  checker.Check("LeakyRelu specials", [&] { return LeakyRelu(a, 0.1f); });
+}
+
+// ---------------------------------------------------------------------------
+// Transpose
+// ---------------------------------------------------------------------------
+
+TEST(KernelChecker, TransposeShapeSweep) {
+  KernelChecker checker(111);
+  // Exact op: results must match the reference bit-for-bit (rtol/atol 0).
+  checker.set_rtol(0.0f).set_atol(0.0f);
+  for (const auto& mn :
+       {std::vector<int64_t>{1, 1}, std::vector<int64_t>{1, 17},
+        std::vector<int64_t>{17, 1}, std::vector<int64_t>{7, 5},
+        std::vector<int64_t>{8, 8}, std::vector<int64_t>{9, 23},
+        std::vector<int64_t>{16, 40}, std::vector<int64_t>{33, 65},
+        std::vector<int64_t>{100, 64}}) {
+    Tensor a = checker.Gaussian({mn[0], mn[1]});
+    checker.Check("Transpose " + ShapeStr({mn[0], mn[1]}),
+                  [&] { return Transpose(a); });
+  }
+}
+
+}  // namespace
+}  // namespace rtgcn

@@ -15,7 +15,9 @@
 #include "core/loss.h"
 #include "core/rtgcn.h"
 #include "graph/adjacency.h"
+#include "kernel_checker.h"
 #include "tensor/init.h"
+#include "tensor/kernels/kernels.h"
 #include "tensor/ops.h"
 
 namespace rtgcn {
@@ -256,6 +258,75 @@ TEST(ParallelEquivalenceTest, FullModelGradCheckAtEveryThreadCount) {
         << "threads=" << t;
   }
   SetNumThreads(0);
+}
+
+// The determinism contract holds per kernel backend: results may differ
+// BETWEEN backends (FMA contraction, vectorized exp — the kernel_checker
+// covers cross-backend agreement with tolerances), but within one backend
+// they must be bit-identical at every thread count. Shapes are chosen so
+// ParallelFor chunk boundaries land mid-panel and mid-vector.
+TEST(ParallelEquivalenceTest, KernelBackendsTimesThreadCounts) {
+  Rng rng(12);
+  const Tensor a = RandomGaussian({67, 53}, 0, 1, &rng);
+  const Tensor b = RandomGaussian({53, 41}, 0, 1, &rng);
+  const Tensor e = RandomUniform({67, 53}, 0.5f, 1.5f, &rng);
+  const Tensor batched = RandomGaussian({5, 19, 23}, 0, 1, &rng);
+  const Tensor batched_b = RandomGaussian({5, 23, 17}, 0, 1, &rng);
+  const Tensor logits = RandomGaussian({43, 37}, 0, 4, &rng);
+  for (const kernels::KernelSet* ks : kernels::AllKernels()) {
+    if (!ks->supported()) {
+      GTEST_LOG_(INFO) << "backend '" << ks->name << "' unsupported; skipped";
+      continue;
+    }
+    ScopedKernelBackend scope(ks == &kernels::Avx2()
+                                  ? kernels::Backend::kAvx2
+                                  : kernels::Backend::kReference);
+    const std::string tag = std::string(" [") + ks->name + "]";
+    ExpectOpBitIdentical([&] { return MatMul(a, b); }, "MatMul" + tag);
+    ExpectOpBitIdentical([&] { return BatchMatMul(batched, batched_b); },
+                         "BatchMatMul" + tag);
+    ExpectOpBitIdentical([&] { return Softmax(logits, 1); }, "Softmax" + tag);
+    ExpectOpBitIdentical([&] { return Transpose(a); }, "Transpose" + tag);
+    ExpectOpBitIdentical([&] { return Add(a, e); }, "Add" + tag);
+    ExpectOpBitIdentical([&] { return Div(a, e); }, "Div" + tag);
+    ExpectOpBitIdentical([&] { return Relu(a); }, "Relu" + tag);
+    ExpectOpBitIdentical([&] { return LeakyRelu(a, 0.2f); },
+                         "LeakyRelu" + tag);
+  }
+}
+
+// Full model forward/backward stays bitwise thread-count-independent under
+// each backend too (the training loop runs whatever auto selects).
+TEST(ParallelEquivalenceTest, FullModelPerKernelBackend) {
+  for (const kernels::KernelSet* ks : kernels::AllKernels()) {
+    if (!ks->supported()) continue;
+    ScopedKernelBackend scope(ks == &kernels::Avx2()
+                                  ? kernels::Backend::kAvx2
+                                  : kernels::Backend::kReference);
+    ExpectBitIdenticalAcrossThreadCounts(
+        [&] {
+          Rng rng(321);
+          const graph::RelationTensor rel = RandomRelations(24, 4, 100, &rng);
+          core::RtGcnConfig cfg;
+          cfg.strategy = core::Strategy::kWeight;
+          cfg.window = 6;
+          cfg.num_features = 4;
+          cfg.relational_filters = 5;
+          cfg.temporal_stride = 2;
+          cfg.dropout = 0.0f;
+          core::RtGcnModel model(rel, cfg, &rng);
+          const Tensor x = RandomUniform({6, 24, 4}, 0.9f, 1.1f, &rng);
+          const Tensor y = RandomGaussian({24}, 0, 0.02f, &rng);
+          Rng fwd(5);
+          auto scores = model.Forward(ag::Constant(x), &fwd);
+          auto loss = core::CombinedLoss(scores, y, 0.1f);
+          ag::Backward(loss);
+          std::vector<Tensor> out{scores->value, loss->value};
+          for (const auto& p : model.Parameters()) out.push_back(p->grad);
+          return out;
+        },
+        std::string("RT-GCN fwd+bwd [") + ks->name + "]");
+  }
 }
 
 // Property sweep: random shapes and seeds through the most heavily

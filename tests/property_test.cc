@@ -4,14 +4,19 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <functional>
+#include <limits>
 #include <tuple>
+#include <vector>
 
 #include "autograd/gradcheck.h"
 #include "autograd/ops.h"
 #include "core/loss.h"
 #include "graph/adjacency.h"
+#include "kernel_checker.h"
 #include "rank/metrics.h"
 #include "tensor/init.h"
+#include "tensor/kernels/kernels.h"
 #include "tensor/ops.h"
 
 namespace rtgcn {
@@ -88,6 +93,104 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values<int64_t>(1, 3, 8),
                        ::testing::Values<int64_t>(2, 7, 16),
                        ::testing::Values<uint64_t>(1, 99)));
+
+// ---------------------------------------------------------------------------
+// Softmax numerical stability, on every registered kernel backend
+// ---------------------------------------------------------------------------
+
+// Runs `body` once per backend in kernels::AllKernels() whose supported()
+// predicate passes, with that backend forced for the duration.
+void ForEachSupportedBackend(
+    const std::function<void(const char* name)>& body) {
+  for (const kernels::KernelSet* ks : kernels::AllKernels()) {
+    if (!ks->supported()) continue;
+    ScopedKernelBackend scope(ks == &kernels::Avx2()
+                                  ? kernels::Backend::kAvx2
+                                  : kernels::Backend::kReference);
+    body(ks->name);
+  }
+}
+
+// Every row of a softmax result must be finite, non-negative and sum to 1 —
+// even when the logits would overflow a naive exp.
+void ExpectValidDistributionRows(const Tensor& sm, const char* backend) {
+  const int64_t rows = sm.shape()[0], cols = sm.shape()[1];
+  const float* p = sm.data();
+  for (int64_t i = 0; i < rows; ++i) {
+    float sum = 0.0f;
+    for (int64_t j = 0; j < cols; ++j) {
+      const float v = p[i * cols + j];
+      ASSERT_TRUE(std::isfinite(v))
+          << backend << ": row " << i << " col " << j << " = " << v;
+      ASSERT_GE(v, 0.0f) << backend << ": row " << i << " col " << j;
+      sum += v;
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-4f) << backend << ": row " << i;
+  }
+}
+
+class SoftmaxStabilityProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SoftmaxStabilityProperty, LargeMagnitudeLogitsStayFinite) {
+  Rng rng(GetParam());
+  // Magnitudes up to ~1e4: exp would overflow/underflow without the
+  // max-subtraction; cols=17 leaves a vector tail lane on SIMD backends.
+  Tensor big = RandomUniform({6, 17}, 2000.0f, 10000.0f, &rng);
+  Tensor small = RandomUniform({6, 17}, -10000.0f, -2000.0f, &rng);
+  Tensor mixed = RandomGaussian({6, 17}, 0.0f, 3000.0f, &rng);
+  ForEachSupportedBackend([&](const char* name) {
+    ExpectValidDistributionRows(Softmax(big, -1), name);
+    ExpectValidDistributionRows(Softmax(small, -1), name);
+    ExpectValidDistributionRows(Softmax(mixed, -1), name);
+  });
+}
+
+TEST_P(SoftmaxStabilityProperty, EqualLogitsGiveUniform) {
+  Rng rng(GetParam());
+  const float level = static_cast<float>(rng.Uniform(-5000.0, 5000.0));
+  for (int64_t cols : {1, 8, 13}) {
+    Tensor a = Tensor::Full({4, cols}, level);
+    ForEachSupportedBackend([&](const char* name) {
+      Tensor sm = Softmax(a, -1);
+      ExpectValidDistributionRows(sm, name);
+      const float* p = sm.data();
+      for (int64_t i = 0; i < sm.numel(); ++i) {
+        EXPECT_NEAR(p[i], 1.0f / static_cast<float>(cols), 1e-5f)
+            << name << " cols=" << cols;
+      }
+    });
+  }
+}
+
+TEST_P(SoftmaxStabilityProperty, NegInfLogitsGetZeroMass) {
+  Rng rng(GetParam());
+  // -inf marks masked-out entries (the attention-mask convention). Rows
+  // keep at least one finite logit; all--inf rows are undefined (0/0) on
+  // every backend, so they are not part of the contract.
+  Tensor a = RandomGaussian({5, 12}, 0.0f, 2.0f, &rng);
+  const float ninf = -std::numeric_limits<float>::infinity();
+  float* pa = a.data();
+  std::vector<int64_t> masked;
+  for (int64_t i = 0; i < 5; ++i) {
+    for (int64_t j = 0; j < 12; ++j) {
+      if (j != i && rng.Bernoulli(0.4)) {  // column i stays finite
+        pa[i * 12 + j] = ninf;
+        masked.push_back(i * 12 + j);
+      }
+    }
+  }
+  ForEachSupportedBackend([&](const char* name) {
+    Tensor sm = Softmax(a, -1);
+    ExpectValidDistributionRows(sm, name);
+    const float* p = sm.data();
+    for (int64_t idx : masked) {
+      EXPECT_EQ(p[idx], 0.0f) << name << ": flat index " << idx;
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SoftmaxStabilityProperty,
+                         ::testing::Values<uint64_t>(7, 21, 1234));
 
 // ---------------------------------------------------------------------------
 // Autograd: gradcheck across composite expressions and seeds

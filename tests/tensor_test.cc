@@ -2,7 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <vector>
+
+#include "kernel_checker.h"
 #include "tensor/init.h"
+#include "tensor/kernels/kernels.h"
 #include "tensor/ops.h"
 
 namespace rtgcn {
@@ -208,6 +213,40 @@ TEST(OpsTest, TransposeRoundTrip) {
   EXPECT_EQ(t.shape(), (Shape{3, 2}));
   EXPECT_FLOAT_EQ(t.at({0, 1}), 4.0f);
   EXPECT_TRUE(AllClose(Transpose(t), a));
+}
+
+// Regression for the tiled transpose kernels: the output is written
+// column-strided (out[j*m + i]), so a tiling bug shows up exactly on
+// non-square shapes where row and column strides differ. Pin every backend
+// to the naive loop, bit-for-bit.
+TEST(OpsTest, TransposeNonSquareMatchesNaivePerBackend) {
+  Rng rng(17);
+  for (const auto& mn :
+       {std::vector<int64_t>{3, 11}, std::vector<int64_t>{11, 3},
+        std::vector<int64_t>{9, 24}, std::vector<int64_t>{24, 9},
+        std::vector<int64_t>{1, 13}, std::vector<int64_t>{13, 1},
+        std::vector<int64_t>{40, 23}}) {
+    const int64_t m = mn[0], n = mn[1];
+    Tensor a = RandomGaussian({m, n}, 0, 1, &rng);
+    Tensor naive({n, m});
+    for (int64_t i = 0; i < m; ++i) {
+      for (int64_t j = 0; j < n; ++j) {
+        naive.data()[j * m + i] = a.data()[i * n + j];
+      }
+    }
+    for (const kernels::KernelSet* ks : kernels::AllKernels()) {
+      if (!ks->supported()) continue;
+      ScopedKernelBackend scope(ks == &kernels::Avx2()
+                                    ? kernels::Backend::kAvx2
+                                    : kernels::Backend::kReference);
+      Tensor t = Transpose(a);
+      ASSERT_EQ(t.shape(), (Shape{n, m})) << ks->name;
+      EXPECT_EQ(std::memcmp(t.data(), naive.data(), sizeof(float) * t.numel()),
+                0)
+          << ks->name << " transpose [" << m << "," << n
+          << "] differs from naive loop";
+    }
+  }
 }
 
 TEST(OpsTest, PermuteMatchesTransposeFor2d) {
