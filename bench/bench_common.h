@@ -14,6 +14,7 @@
 #include "common/flags.h"
 #include "common/strings.h"
 #include "common/thread_pool.h"
+#include "graph/sparse.h"
 #include "harness/table.h"
 #include "market/market.h"
 #include "tensor/kernels/kernels.h"
@@ -21,11 +22,33 @@
 namespace rtgcn::bench {
 
 /// Parses argv and applies the global execution flags every bench binary
-/// shares (--num_threads N overrides the RTGCN_NUM_THREADS env var).
+/// shares (--num_threads N overrides the RTGCN_NUM_THREADS env var,
+/// --graph_backend NAME overrides RTGCN_GRAPH_BACKEND).
 inline Flags ParseBenchFlags(int argc, char** argv) {
   Flags flags = Flags::Parse(argc, argv).ValueOrDie();
   InitNumThreadsFromFlags(flags);
+  graph::InitGraphBackendFromFlags(flags);
   return flags;
+}
+
+/// Parses a --scale value: a numeric size multiplier, or the token "full"
+/// for the paper-sized universes (scale 7 reaches NASDAQ 854 / NYSE 1405 /
+/// CSI 242 — the sparse graph backend keeps full-universe runs O(E)).
+inline double ParseScaleToken(const std::string& token) {
+  if (token == "full") return 7.0;
+  char* end = nullptr;
+  const double v = std::strtod(token.c_str(), &end);
+  if (end == token.c_str() || *end != '\0' || v <= 0) {
+    std::fprintf(stderr, "bad --scale '%s' (positive number or \"full\")\n",
+                 token.c_str());
+    std::exit(2);
+  }
+  return v;
+}
+
+/// --scale for legacy Flags binaries (accepts "full" too).
+inline double ScaleFromFlags(const Flags& flags) {
+  return ParseScaleToken(flags.GetString("scale", "1"));
 }
 
 /// Market specs for a "NASDAQ,NYSE,CSI"-style list at a size multiplier.
@@ -44,32 +67,35 @@ inline std::vector<market::MarketSpec> ParseMarkets(const std::string& csv,
 /// and applies --scale (default 1.0).
 inline std::vector<market::MarketSpec> MarketsFromFlags(const Flags& flags) {
   return ParseMarkets(flags.GetString("markets", "NASDAQ,NYSE,CSI"),
-                      flags.GetDouble("scale", 1.0));
+                      ScaleFromFlags(flags));
 }
 
 /// Flags every bench binary shares, for FlagSet-based drivers. Register the
 /// relevant groups, Parse, then call Apply() once.
 struct BenchFlags {
   int num_threads = 0;  ///< 0 = RTGCN_NUM_THREADS env var / hardware
-  std::string kernel = "auto";  ///< tensor kernel backend
+  std::string kernel = "auto";         ///< tensor kernel backend
+  std::string graph_backend = "auto";  ///< relation-graph propagation backend
   std::string markets = "NASDAQ,NYSE,CSI";
-  double scale = 1.0;
+  std::string scale = "1";  ///< size multiplier, or "full" (paper N)
 
   std::string checkpoint_dir;  ///< empty = checkpointing off
   int64_t checkpoint_every = 1;
   int64_t checkpoint_keep = 3;
   bool resume = true;
 
-  /// Execution flags take effect (thread-pool size, kernel backend).
+  /// Execution flags take effect (thread-pool size, kernel and graph
+  /// backends).
   void Apply() const {
     if (num_threads >= 1) SetNumThreads(num_threads);
-    // The value set is enforced at Parse time (RegisterChoice), so this
+    // The value sets are enforced at Parse time (RegisterChoice), so these
     // cannot fail on anything RegisterBenchFlags accepted.
     kernels::SetBackendByName(kernel).Abort();
+    graph::SetGraphBackendByName(graph_backend).Abort();
   }
 
   std::vector<market::MarketSpec> Markets() const {
-    return ParseMarkets(markets, scale);
+    return ParseMarkets(markets, ParseScaleToken(scale));
   }
 
   void ApplyCheckpoints(harness::TrainOptions* train) const {
@@ -86,9 +112,13 @@ inline void RegisterBenchFlags(FlagSet* fs, BenchFlags* bf) {
                "tensor worker threads (0 = RTGCN_NUM_THREADS env / auto)");
   fs->RegisterChoice("kernel", &bf->kernel, {"reference", "avx2", "auto"},
                      "tensor kernel backend (overrides RTGCN_KERNEL)");
+  fs->RegisterChoice(
+      "graph_backend", &bf->graph_backend, {"dense", "sparse", "auto"},
+      "relation-graph propagation backend (overrides RTGCN_GRAPH_BACKEND)");
   fs->Register("markets", &bf->markets,
                "comma-separated markets to run (NASDAQ,NYSE,CSI)");
-  fs->Register("scale", &bf->scale, "market size multiplier");
+  fs->Register("scale", &bf->scale,
+               "market size multiplier, or \"full\" for paper-sized N");
 }
 
 /// Registers the crash-safe checkpointing flags (sweep binaries that train).

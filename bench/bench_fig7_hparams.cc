@@ -48,7 +48,7 @@ int Run(int argc, char** argv) {
   // Default to NASDAQ only: the full 3-market sweep triples the runtime;
   // pass --markets NASDAQ,NYSE,CSI to reproduce all nine panels.
   std::vector<market::MarketSpec> specs;
-  const double scale = flags.GetDouble("scale", 1.0);
+  const double scale = ScaleFromFlags(flags);
   for (const std::string& name :
        Split(flags.GetString("markets", "NASDAQ"), ',')) {
     if (name == "NASDAQ") specs.push_back(market::NasdaqSpec(scale));

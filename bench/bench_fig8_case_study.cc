@@ -26,7 +26,7 @@ int Run(int argc, char** argv) {
   const int64_t epochs = flags.GetInt("epochs", 8);
   const int64_t num_days = flags.GetInt("days", 22);
 
-  market::MarketSpec spec = market::NasdaqSpec(flags.GetDouble("scale", 1.0));
+  market::MarketSpec spec = market::NasdaqSpec(ScaleFromFlags(flags));
   market::MarketData data = market::BuildMarket(spec);
   market::WindowDataset dataset = data.MakeDataset(15, 4);
   market::DatasetSplit split = SplitByDay(dataset, spec.test_boundary());

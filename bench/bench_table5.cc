@@ -17,7 +17,7 @@ int Run(int argc, char** argv) {
   auto flags = ParseBenchFlags(argc, argv);
   const int64_t reps = flags.GetInt("reps", 2);
   const int64_t epochs = flags.GetInt("epochs", 8);
-  const double scale = flags.GetDouble("scale", 1.0);
+  const double scale = ScaleFromFlags(flags);
 
   for (market::MarketSpec spec :
        {market::NasdaqSpec(scale), market::NyseSpec(scale)}) {

@@ -7,7 +7,8 @@
 namespace rtgcn::baselines {
 
 RsrPredictor::Net::Net(const graph::RelationTensor& relations,
-                       int64_t num_features, int64_t hidden, Rng* rng)
+                       RsrVariant variant, int64_t num_features,
+                       int64_t hidden, Rng* rng)
     : lstm(num_features, hidden, rng), scorer(2 * hidden, 1, rng) {
   RegisterModule(&lstm);
   RegisterModule(&scorer);
@@ -17,6 +18,13 @@ RsrPredictor::Net::Net(const graph::RelationTensor& relations,
   relation_b = RegisterParameter("relation_b", Tensor::Zeros({1}));
   sim_proj = RegisterParameter(
       "sim_proj", XavierUniform({hidden, hidden}, hidden, hidden, rng));
+  if (variant == RsrVariant::kExplicit &&
+      graph::ActiveGraphBackend() == graph::GraphBackend::kSparse) {
+    // Explicit strength is a per-edge function of the relation types, so
+    // the whole aggregation stays O(E); no dense mask is ever built.
+    row_csr = graph::CsrGraph::RowNormalized(relations);
+    return;
+  }
   mask = relations.DenseMask();
   const int64_t n = relations.num_stocks();
   degree_inv = Tensor({n, 1});
@@ -34,7 +42,7 @@ RsrPredictor::RsrPredictor(const graph::RelationTensor& relations,
       variant_(variant),
       alpha_(alpha),
       init_rng_(seed),
-      net_(relations, num_features, hidden, &init_rng_) {}
+      net_(relations, variant, num_features, hidden, &init_rng_) {}
 
 ag::VarPtr RsrPredictor::Forward(const Tensor& features, Rng* /*rng*/) {
   const int64_t n = features.dim(1);
@@ -43,6 +51,15 @@ ag::VarPtr RsrPredictor::Forward(const Tensor& features, Rng* /*rng*/) {
   ag::VarPtr e = net_.lstm.ForwardLast(ag::Constant(features));  // [N, H]
 
   // Step 2: relational strength matrix on related pairs.
+  if (variant_ == RsrVariant::kExplicit && net_.row_csr) {
+    // Sparse backend: ē = D^{-1} (S ⊙ M) e as a fused edge-weight SpMM —
+    // the row-normalized CSR has no self loops, matching the dense mask's
+    // zero diagonal.
+    ag::VarPtr rel = graph::SparseEdgeWeightPropagate(
+        net_.row_csr, net_.relation_w, net_.relation_b, e);
+    ag::VarPtr joint = ag::ConcatOp({e, rel}, 1);  // [N, 2H]
+    return ag::Reshape(net_.scorer.Forward(joint), {n});
+  }
   ag::VarPtr strength;
   if (variant_ == RsrVariant::kExplicit) {
     strength = graph::RelationEdgeWeights(*relations_, net_.relation_w,

@@ -13,6 +13,7 @@
 #include <string>
 
 #include "graph/relation_tensor.h"
+#include "graph/sparse.h"
 #include "harness/gradient_predictor.h"
 #include "nn/linear.h"
 #include "nn/rnn.h"
@@ -39,8 +40,8 @@ class RsrPredictor : public harness::GradientPredictor {
 
  private:
   struct Net : nn::Module {
-    Net(const graph::RelationTensor& relations, int64_t num_features,
-        int64_t hidden, Rng* rng);
+    Net(const graph::RelationTensor& relations, RsrVariant variant,
+        int64_t num_features, int64_t hidden, Rng* rng);
 
     nn::Lstm lstm;
     nn::Linear scorer;          // on [e ‖ ē]
@@ -49,6 +50,10 @@ class RsrPredictor : public harness::GradientPredictor {
     ag::VarPtr sim_proj;        // [H, H] implicit similarity bilinear form
     Tensor mask;                // binary relation mask (no self loops)
     Tensor degree_inv;          // [N, 1] 1/deg for neighbor averaging
+    // RSR_E on the sparse backend: 1/deg row-normalized CSR replaces the
+    // dense mask entirely (RSR_I's bilinear similarity is inherently dense
+    // on all related pairs, so it keeps the mask on every backend).
+    graph::CsrPtr row_csr;
   };
 
   const graph::RelationTensor* relations_;

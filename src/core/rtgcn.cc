@@ -27,7 +27,14 @@ RtGcnLayer::RtGcnLayer(const graph::RelationTensor& relations,
       in_features_(in_features),
       out_features_(out_features) {
   if (config_.use_relational) {
-    norm_adjacency_ = ag::Constant(graph::NormalizedAdjacency(relations));
+    // The propagation structure honors the --graph_backend selection made
+    // at construction time: sparse keeps Â in CSR form (O(E) memory), the
+    // dense path materializes the [N, N] matrix.
+    if (graph::ActiveGraphBackend() == graph::GraphBackend::kSparse) {
+      csr_ = graph::CsrGraph::NormalizedAdjacency(relations);
+    } else {
+      norm_adjacency_ = ag::Constant(graph::NormalizedAdjacency(relations));
+    }
     theta_ = RegisterParameter(
         "theta", XavierUniform({in_features, out_features}, in_features,
                                out_features, rng));
@@ -63,6 +70,26 @@ const Tensor& RtGcnLayer::last_propagation() const {
     last_propagation_ = rtgcn::Mean(last_propagation_stack_, 0);
     last_propagation_stack_ = Tensor();
   }
+  if (csr_ && last_edge_values_.defined()) {
+    // Sparse backend: scatter the saved per-entry values into a dense
+    // [N, N] only when someone asks, averaging over time first for the
+    // time-sensitive [T, nnz] stack.
+    if (last_edge_values_.ndim() == 2) {
+      const int64_t t_len = last_edge_values_.dim(0);
+      const int64_t nnz = last_edge_values_.dim(1);
+      std::vector<float> avg(static_cast<size_t>(nnz), 0.0f);
+      const float* pv = last_edge_values_.data();
+      for (int64_t t = 0; t < t_len; ++t) {
+        for (int64_t e = 0; e < nnz; ++e) avg[e] += pv[t * nnz + e];
+      }
+      const float inv = 1.0f / static_cast<float>(t_len);
+      for (int64_t e = 0; e < nnz; ++e) avg[e] *= inv;
+      last_propagation_ = csr_->Densify(avg.data());
+    } else {
+      last_propagation_ = csr_->Densify(last_edge_values_.data());
+    }
+    last_edge_values_ = Tensor();
+  }
   return last_propagation_;
 }
 
@@ -79,40 +106,73 @@ ag::VarPtr RtGcnLayer::RelationalConv(const ag::VarPtr& x) const {
   }
 
   VarPtr propagated;
-  switch (config_.strategy) {
-    case Strategy::kUniform: {
-      // Z(t) = Â X(t): fold time into the feature axis so one N×N matmul
-      // covers all time-steps.
-      VarPtr xn = ag::Reshape(ag::Permute(x, {1, 0, 2}), {n, t_len * d});
-      VarPtr y = ag::MatMul(norm_adjacency_, xn);
-      propagated = ag::Permute(ag::Reshape(y, {n, t_len, d}), {1, 0, 2});
-      last_propagation_ = norm_adjacency_->value;
-      break;
+  if (csr_) {
+    // Sparse backend: the same three strategies over CSR entries — never
+    // materializes an [N, N] matrix. Per-entry propagation values are
+    // saved and densified lazily in last_propagation().
+    switch (config_.strategy) {
+      case Strategy::kUniform: {
+        VarPtr xn = ag::Reshape(ag::Permute(x, {1, 0, 2}), {n, t_len * d});
+        VarPtr y = graph::SparsePropagate(csr_, xn);
+        propagated = ag::Permute(ag::Reshape(y, {n, t_len, d}), {1, 0, 2});
+        if (!last_edge_values_.defined() && !last_propagation_.defined()) {
+          last_edge_values_ = Tensor({csr_->num_entries()},
+                                     std::vector<float>(csr_->coeff()));
+        }
+        break;
+      }
+      case Strategy::kWeight: {
+        VarPtr xn = ag::Reshape(ag::Permute(x, {1, 0, 2}), {n, t_len * d});
+        VarPtr y = graph::SparseEdgeWeightPropagate(
+            csr_, relation_w_, relation_b_, xn, &last_edge_values_);
+        last_propagation_ = Tensor();
+        propagated = ag::Permute(ag::Reshape(y, {n, t_len, d}), {1, 0, 2});
+        break;
+      }
+      case Strategy::kTimeSensitive: {
+        propagated = graph::SparseTimeSensitivePropagate(
+            csr_, relation_w_, relation_b_, x, &last_edge_values_);
+        last_propagation_ = Tensor();
+        break;
+      }
     }
-    case Strategy::kWeight: {
-      // P = Â ⊙ S with S_ij = A_ij^T w + b on edges (Eq. 4); all G_R share P.
-      VarPtr s = graph::RelationEdgeWeights(*relations_, relation_w_,
-                                            relation_b_);
-      VarPtr p = ag::Mul(norm_adjacency_, s);
-      last_propagation_ = p->value;
-      VarPtr xn = ag::Reshape(ag::Permute(x, {1, 0, 2}), {n, t_len * d});
-      VarPtr y = ag::MatMul(p, xn);
-      propagated = ag::Permute(ag::Reshape(y, {n, t_len, d}), {1, 0, 2});
-      break;
-    }
-    case Strategy::kTimeSensitive: {
-      // P(t) = Â ⊙ (X(t) X(t)^T / sqrt(d)) ⊙ S: a distinct weighted
-      // adjacency per time-step (Eq. 5).
-      VarPtr s = graph::RelationEdgeWeights(*relations_, relation_w_,
-                                            relation_b_);
-      VarPtr base = ag::Mul(norm_adjacency_, s);          // [N, N]
-      VarPtr xt = ag::Permute(x, {0, 2, 1});              // [T, D, N]
-      VarPtr corr = ag::BatchMatMul(x, xt);               // [T, N, N]
-      corr = ag::MulScalar(corr, 1.0f / std::sqrt(static_cast<float>(d)));
-      VarPtr p = ag::Mul(corr, base);                     // broadcast [N,N]
-      last_propagation_stack_ = p->value;  // shallow copy; averaged lazily
-      propagated = ag::BatchMatMul(p, x);                 // [T, N, D]
-      break;
+  } else {
+    switch (config_.strategy) {
+      case Strategy::kUniform: {
+        // Z(t) = Â X(t): fold time into the feature axis so one N×N matmul
+        // covers all time-steps.
+        VarPtr xn = ag::Reshape(ag::Permute(x, {1, 0, 2}), {n, t_len * d});
+        VarPtr y = ag::MatMul(norm_adjacency_, xn);
+        propagated = ag::Permute(ag::Reshape(y, {n, t_len, d}), {1, 0, 2});
+        last_propagation_ = norm_adjacency_->value;
+        break;
+      }
+      case Strategy::kWeight: {
+        // P = Â ⊙ S with S_ij = A_ij^T w + b on edges (Eq. 4); all G_R
+        // share P.
+        VarPtr s = graph::RelationEdgeWeights(*relations_, relation_w_,
+                                              relation_b_);
+        VarPtr p = ag::Mul(norm_adjacency_, s);
+        last_propagation_ = p->value;
+        VarPtr xn = ag::Reshape(ag::Permute(x, {1, 0, 2}), {n, t_len * d});
+        VarPtr y = ag::MatMul(p, xn);
+        propagated = ag::Permute(ag::Reshape(y, {n, t_len, d}), {1, 0, 2});
+        break;
+      }
+      case Strategy::kTimeSensitive: {
+        // P(t) = Â ⊙ (X(t) X(t)^T / sqrt(d)) ⊙ S: a distinct weighted
+        // adjacency per time-step (Eq. 5).
+        VarPtr s = graph::RelationEdgeWeights(*relations_, relation_w_,
+                                              relation_b_);
+        VarPtr base = ag::Mul(norm_adjacency_, s);          // [N, N]
+        VarPtr xt = ag::Permute(x, {0, 2, 1});              // [T, D, N]
+        VarPtr corr = ag::BatchMatMul(x, xt);               // [T, N, N]
+        corr = ag::MulScalar(corr, 1.0f / std::sqrt(static_cast<float>(d)));
+        VarPtr p = ag::Mul(corr, base);                     // broadcast [N,N]
+        last_propagation_stack_ = p->value;  // shallow copy; averaged lazily
+        propagated = ag::BatchMatMul(p, x);                 // [T, N, D]
+        break;
+      }
     }
   }
   VarPtr flat = ag::Reshape(propagated, {t_len * n, d});

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "graph/relation_tensor.h"
+#include "graph/sparse.h"
 #include "nn/linear.h"
 #include "nn/module.h"
 #include "nn/temporal_conv.h"
@@ -78,15 +79,19 @@ class RtGcnLayer : public nn::Module {
   int64_t in_features_;
   int64_t out_features_;
 
-  ag::VarPtr norm_adjacency_;  // constant Â
+  ag::VarPtr norm_adjacency_;  // dense backend: constant Â [N, N]
+  graph::CsrPtr csr_;          // sparse backend: Â in CSR form, O(E)
   ag::VarPtr theta_;           // relational filters Θ [in, out]
   ag::VarPtr relation_w_;      // per-type weights w [K] (W/T strategies)
   ag::VarPtr relation_b_;      // bias b [1]           (W/T strategies)
   std::unique_ptr<nn::TemporalConvBlock> temporal_;
   mutable Tensor last_propagation_;
-  // Pending per-time-step propagation stack [T, N, N] (time-sensitive
+  // Pending per-time-step propagation stack [T, N, N] (dense time-sensitive
   // strategy); reduced to last_propagation_ on demand.
   mutable Tensor last_propagation_stack_;
+  // Sparse backends stash per-entry propagation values instead ([nnz] or
+  // [T, nnz]); densified on demand.
+  mutable Tensor last_edge_values_;
 };
 
 /// \brief Full ranking model: stacked RT-GCN layers + pooling + FC scorer.

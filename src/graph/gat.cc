@@ -6,6 +6,17 @@
 
 namespace rtgcn::graph {
 
+void GatLayer::InitParameters(Rng* rng) {
+  weight_ = RegisterParameter(
+      "weight",
+      XavierUniform({in_features_, out_features_}, in_features_,
+                    out_features_, rng));
+  a_src_ = RegisterParameter(
+      "a_src", XavierUniform({out_features_, 1}, out_features_, 1, rng));
+  a_dst_ = RegisterParameter(
+      "a_dst", XavierUniform({out_features_, 1}, out_features_, 1, rng));
+}
+
 GatLayer::GatLayer(Tensor edge_mask, int64_t in_features, int64_t out_features,
                    Rng* rng, float leaky_slope)
     : in_features_(in_features),
@@ -17,27 +28,50 @@ GatLayer::GatLayer(Tensor edge_mask, int64_t in_features, int64_t out_features,
   mask_ = edge_mask.Clone();
   float* pm = mask_.data();
   for (int64_t i = 0; i < n; ++i) pm[i * n + i] = 1.0f;  // self loops
-  weight_ = RegisterParameter(
-      "weight",
-      XavierUniform({in_features, out_features}, in_features, out_features,
-                    rng));
-  a_src_ = RegisterParameter(
-      "a_src", XavierUniform({out_features, 1}, out_features, 1, rng));
-  a_dst_ = RegisterParameter(
-      "a_dst", XavierUniform({out_features, 1}, out_features, 1, rng));
+  InitParameters(rng);
+}
+
+GatLayer::GatLayer(const RelationTensor& relations, int64_t in_features,
+                   int64_t out_features, Rng* rng, float leaky_slope)
+    : in_features_(in_features),
+      out_features_(out_features),
+      leaky_slope_(leaky_slope) {
+  if (ActiveGraphBackend() == GraphBackend::kSparse) {
+    csr_ = CsrGraph::UniformMask(relations, /*add_self_loops=*/true);
+  } else {
+    const int64_t n = relations.num_stocks();
+    mask_ = relations.DenseMask();
+    float* pm = mask_.data();
+    for (int64_t i = 0; i < n; ++i) pm[i * n + i] = 1.0f;
+  }
+  InitParameters(rng);
 }
 
 ag::VarPtr GatLayer::Forward(const ag::VarPtr& x) const {
   RTGCN_CHECK_EQ(x->value.ndim(), 2);
   RTGCN_CHECK_EQ(x->value.dim(1), in_features_);
   ag::VarPtr h = ag::MatMul(x, weight_);  // [N, out]
+  ag::VarPtr src = ag::MatMul(h, a_src_);  // [N, 1]
+  if (csr_) {
+    ag::VarPtr dst = ag::MatMul(h, a_dst_);  // [N, 1]
+    last_attention_ = Tensor();
+    return SparseGatAttention(csr_, src, dst, h, leaky_slope_,
+                              &last_alpha_entries_);
+  }
   // e_ij = LeakyReLU(src_i + dst_j): outer sum via broadcasting.
-  ag::VarPtr src = ag::MatMul(h, a_src_);                  // [N, 1]
-  ag::VarPtr dst = ag::Transpose(ag::MatMul(h, a_dst_));   // [1, N]
+  ag::VarPtr dst = ag::Transpose(ag::MatMul(h, a_dst_));  // [1, N]
   ag::VarPtr e = ag::LeakyRelu(ag::Add(src, dst), leaky_slope_);
   ag::VarPtr alpha = MaskedRowSoftmax(e, mask_);
   last_attention_ = alpha->value;
   return ag::MatMul(alpha, h);
+}
+
+const Tensor& GatLayer::last_attention() const {
+  if (csr_ && last_alpha_entries_.defined()) {
+    last_attention_ = csr_->Densify(last_alpha_entries_.data());
+    last_alpha_entries_ = Tensor();
+  }
+  return last_attention_;
 }
 
 }  // namespace rtgcn::graph

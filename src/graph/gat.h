@@ -2,6 +2,7 @@
 #ifndef RTGCN_GRAPH_GAT_H_
 #define RTGCN_GRAPH_GAT_H_
 
+#include "graph/sparse.h"
 #include "nn/module.h"
 #include "tensor/tensor.h"
 
@@ -14,17 +15,31 @@ namespace rtgcn::graph {
 class GatLayer : public nn::Module {
  public:
   /// `edge_mask` is a binary [N, N] adjacency; self loops are added here.
+  /// Always runs the dense path (callers who hand us a dense mask already
+  /// paid for it).
   GatLayer(Tensor edge_mask, int64_t in_features, int64_t out_features,
            Rng* rng, float leaky_slope = 0.2f);
+
+  /// Builds the attention support from the relation structure, honoring the
+  /// active --graph_backend: sparse uses a fused per-row softmax over CSR
+  /// entries, dense falls back to the mask construction above. Self loops
+  /// are added either way.
+  GatLayer(const RelationTensor& relations, int64_t in_features,
+           int64_t out_features, Rng* rng, float leaky_slope = 0.2f);
 
   /// x: [N, in] -> [N, out].
   ag::VarPtr Forward(const ag::VarPtr& x) const;
 
   /// Attention matrix from the most recent Forward call ([N, N], detached).
-  const Tensor& last_attention() const { return last_attention_; }
+  /// On the sparse backend the dense matrix is materialized lazily here, so
+  /// training steps never pay O(N²) for the diagnostic.
+  const Tensor& last_attention() const;
 
  private:
-  Tensor mask_;  // binary with self loops
+  void InitParameters(Rng* rng);
+
+  Tensor mask_;    // dense backend: binary with self loops
+  CsrPtr csr_;     // sparse backend: mask with self loops, coefficients 1
   int64_t in_features_;
   int64_t out_features_;
   float leaky_slope_;
@@ -32,6 +47,7 @@ class GatLayer : public nn::Module {
   ag::VarPtr a_src_;   // [out, 1]
   ag::VarPtr a_dst_;   // [out, 1]
   mutable Tensor last_attention_;
+  mutable Tensor last_alpha_entries_;  // sparse: [nnz], densified on demand
 };
 
 }  // namespace rtgcn::graph

@@ -31,6 +31,14 @@ bool RelationTensor::HasEdge(int64_t i, int64_t j) const {
   return edges_.count(Key(i, j)) > 0;
 }
 
+bool RelationTensor::HasRelation(int64_t i, int64_t j, int64_t type) const {
+  if (i == j) return false;
+  auto it = edges_.find(Key(i, j));
+  if (it == edges_.end()) return false;
+  return std::find(it->second.begin(), it->second.end(),
+                   static_cast<int32_t>(type)) != it->second.end();
+}
+
 std::vector<int32_t> RelationTensor::Types(int64_t i, int64_t j) const {
   if (i == j) return {};
   auto it = edges_.find(Key(i, j));
@@ -109,13 +117,18 @@ std::vector<RelationTensor::Edge> RelationTensor::EdgeList() const {
 
 RelationTensor RelationTensor::FilterTypes(int64_t type_begin,
                                            int64_t type_end) const {
-  RelationTensor out(num_stocks_, num_types_);
+  type_begin = std::max<int64_t>(type_begin, 0);
+  type_end = std::min(type_end, num_types_);
+  // Compact the surviving range to [0, type_end - type_begin): the view
+  // must not report relation types that can never occur, or models built
+  // on it (Table VI ablation) train dead per-type weights.
+  RelationTensor out(num_stocks_, std::max<int64_t>(type_end - type_begin, 0));
   for (const auto& [key, types] : edges_) {
     const int64_t i = key / num_stocks_;
     const int64_t j = key % num_stocks_;
     for (int32_t t : types) {
       if (t >= type_begin && t < type_end) {
-        out.AddRelation(i, j, t).Abort();
+        out.AddRelation(i, j, t - type_begin).Abort();
       }
     }
   }

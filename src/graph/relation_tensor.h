@@ -33,6 +33,9 @@ class RelationTensor {
 
   bool HasEdge(int64_t i, int64_t j) const;
 
+  /// True when relation `type` already exists on edge (i, j).
+  bool HasRelation(int64_t i, int64_t j, int64_t type) const;
+
   /// Relation-type indices on edge (i, j); empty when no edge.
   std::vector<int32_t> Types(int64_t i, int64_t j) const;
 
@@ -67,6 +70,10 @@ class RelationTensor {
 
   /// Keeps only relation types in [type_begin, type_end); used for the
   /// wiki-vs-industry ablation (Table VI). Edges left with no types vanish.
+  /// Surviving types are compacted: type t becomes t - type_begin and the
+  /// result reports num_relation_types() == type_end - type_begin, so
+  /// models built on the view size their per-type weight vectors to the
+  /// types that can actually occur (no dead `w` entries).
   RelationTensor FilterTypes(int64_t type_begin, int64_t type_end) const;
 
  private:

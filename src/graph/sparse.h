@@ -1,0 +1,192 @@
+// Sparse CSR relation-graph propagation (the --graph_backend sparse path).
+//
+// The paper stores relations as a multi-hot tensor A ∈ {0,1}^{N×N×K}
+// (§III-A) but reports ~0.3% wiki-relation density, so every dense
+// propagation matrix ([N, N] mask, normalized adjacency, edge-weight
+// expansion, attention scores) wastes O(N²) memory and FLOPs. CsrGraph is
+// an immutable compressed-sparse-row snapshot of a RelationTensor:
+//
+//   row_ptr [N+1]   segment boundaries — row i owns entries
+//                   [row_ptr[i], row_ptr[i+1])
+//   col     [nnz]   neighbor index per directed entry, sorted within a row
+//   row_of  [nnz]   owning row per entry (for entry-parallel loops)
+//   coeff   [nnz]   precomputed propagation coefficient (D̃^{-1/2} Ã D̃^{-1/2}
+//                   for the symmetric norm, 1/deg for row-mean, 1 for none)
+//   rev     [nnz]   index of the opposite directed entry (transpose access;
+//                   self loops map to themselves)
+//   type_ptr/types  flat per-entry relation-type lists (self loops have
+//                   none), sorted ascending like RelationTensor::EdgeList
+//
+// Determinism contract (matches the dense kernels): every op parallelizes
+// over row segments with ParallelFor — each row is written by exactly one
+// chunk and accumulated serially in entry order — and every reduction onto
+// shared parameters (w/b gradients) goes through ParallelReduce's fixed
+// left fold. Results are bit-identical at any thread count.
+#ifndef RTGCN_GRAPH_SPARSE_H_
+#define RTGCN_GRAPH_SPARSE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "autograd/variable.h"
+#include "common/status.h"
+#include "graph/relation_tensor.h"
+
+namespace rtgcn {
+class Flags;
+}
+
+namespace rtgcn::graph {
+
+/// \brief Immutable CSR view of a RelationTensor with precomputed
+/// normalization coefficients. Build once, share via shared_ptr.
+class CsrGraph {
+ public:
+  /// Coefficient stored per directed entry.
+  enum class Norm {
+    kSymmetric,  ///< D̃^{-1/2} (A + I) D̃^{-1/2} (Eq. 2); pair with self loops
+    kRowMean,    ///< 1 / deg(i) — RSR-style neighbor averaging
+    kNone,       ///< 1 — raw mask (GAT computes its own attention weights)
+  };
+
+  static std::shared_ptr<const CsrGraph> Build(const RelationTensor& rel,
+                                               Norm norm,
+                                               bool add_self_loops);
+
+  /// Â with self loops — the Uniform-strategy propagation matrix. Isolated
+  /// nodes reduce to an identity row, exactly like the dense builder.
+  static std::shared_ptr<const CsrGraph> NormalizedAdjacency(
+      const RelationTensor& rel) {
+    return Build(rel, Norm::kSymmetric, /*add_self_loops=*/true);
+  }
+
+  /// 1/deg row averaging without self loops (RSR explicit aggregation).
+  static std::shared_ptr<const CsrGraph> RowNormalized(
+      const RelationTensor& rel) {
+    return Build(rel, Norm::kRowMean, /*add_self_loops=*/false);
+  }
+
+  /// Unweighted mask (coefficients all 1), e.g. as a GAT attention support.
+  static std::shared_ptr<const CsrGraph> UniformMask(const RelationTensor& rel,
+                                                     bool add_self_loops) {
+    return Build(rel, Norm::kNone, add_self_loops);
+  }
+
+  int64_t num_nodes() const { return n_; }
+  int64_t num_relation_types() const { return num_types_; }
+  /// Directed entries including self loops (nnz).
+  int64_t num_entries() const { return static_cast<int64_t>(col_.size()); }
+  int64_t num_undirected_edges() const { return num_undirected_edges_; }
+  bool has_self_loops() const { return self_loops_; }
+
+  /// Heap bytes held by the CSR arrays — the O(E) number BENCH_scale.json
+  /// compares against the O(N²) dense-mask footprint.
+  size_t ApproxBytes() const;
+
+  const std::vector<int64_t>& row_ptr() const { return row_ptr_; }
+  const std::vector<int32_t>& col() const { return col_; }
+  const std::vector<int32_t>& row_of() const { return row_of_; }
+  const std::vector<float>& coeff() const { return coeff_; }
+  const std::vector<int32_t>& reverse_entry() const { return rev_; }
+  const std::vector<int64_t>& type_ptr() const { return type_ptr_; }
+  const std::vector<int32_t>& types() const { return types_; }
+
+  bool IsSelf(int64_t e) const { return col_[e] == row_of_[e]; }
+
+  /// Dense [N, N] of the stored coefficients (diagnostics/tests only).
+  Tensor DensifyCoeff() const;
+
+  /// Dense [N, N] scatter of one value per directed entry
+  /// (`entry_values[nnz]`) — used to lazily materialize the propagation /
+  /// attention diagnostics the dense path exposes for free.
+  Tensor Densify(const float* entry_values) const;
+
+ private:
+  CsrGraph() = default;
+
+  int64_t n_ = 0;
+  int64_t num_types_ = 0;
+  int64_t num_undirected_edges_ = 0;
+  bool self_loops_ = false;
+  std::vector<int64_t> row_ptr_;
+  std::vector<int32_t> col_;
+  std::vector<int32_t> row_of_;
+  std::vector<float> coeff_;
+  std::vector<int32_t> rev_;
+  std::vector<int64_t> type_ptr_;
+  std::vector<int32_t> types_;
+};
+
+using CsrPtr = std::shared_ptr<const CsrGraph>;
+
+// ---------------------------------------------------------------------------
+// Differentiable sparse propagation ops. Each is the exact sparse analogue
+// of a dense path in adjacency.cc / core/rtgcn.cc (equivalence enforced by
+// tests/sparse_graph_test.cc): same math, O(E) instead of O(N²).
+// ---------------------------------------------------------------------------
+
+/// y = Â x for x [N, F] using the precomputed coefficients (Uniform
+/// strategy, Eq. 1–2). Gradient flows to x through the transpose (via the
+/// reverse-entry index).
+ag::VarPtr SparsePropagate(const CsrPtr& g, const ag::VarPtr& x);
+
+/// Eq. 4 edge-weight propagation: per entry s_e = Σ_{t ∈ types(e)} w_t + b
+/// (self loops keep s = 1), p_e = coeff_e · s_e, y = P x for x [N, F].
+/// Gradients flow to w [K], b [1] and x. When `save_edge_values` is
+/// non-null it receives the [nnz] tensor of p_e (densify with
+/// CsrGraph::Densify for diagnostics).
+ag::VarPtr SparseEdgeWeightPropagate(const CsrPtr& g, const ag::VarPtr& w,
+                                     const ag::VarPtr& b, const ag::VarPtr& x,
+                                     Tensor* save_edge_values = nullptr);
+
+/// Time-sensitive strategy for x [T, N, D]: p_{t,e} = coeff_e · s_e ·
+/// (x_{t,i} · x_{t,j}) / √D, y_t = P_t x_t. Gradients flow to w, b and x
+/// (including the correlation term). `save_edge_values` receives [T, nnz].
+ag::VarPtr SparseTimeSensitivePropagate(const CsrPtr& g, const ag::VarPtr& w,
+                                        const ag::VarPtr& b,
+                                        const ag::VarPtr& x,
+                                        Tensor* save_edge_values = nullptr);
+
+/// Fused sparse GAT attention: z_e = LeakyReLU(src_i + dst_j, slope) over
+/// the graph's entries, α = per-row softmax of z, y_i = Σ_e α_e h_j.
+/// Rows with no entries produce zeros (the dense all-masked-row behavior).
+/// src/dst are [N, 1] per-node score halves, h is [N, F]. `save_alpha`
+/// receives the [nnz] attention weights.
+ag::VarPtr SparseGatAttention(const CsrPtr& g, const ag::VarPtr& src,
+                              const ag::VarPtr& dst, const ag::VarPtr& h,
+                              float leaky_slope,
+                              Tensor* save_alpha = nullptr);
+
+// ---------------------------------------------------------------------------
+// Backend dispatch (mirror of tensor/kernels dispatch): resolution order is
+// SetGraphBackend / --graph_backend flag > RTGCN_GRAPH_BACKEND env > auto.
+// "auto" resolves to sparse — the backends are equivalence-tested and the
+// sparse path is O(E). The dense path stays selectable for debugging and as
+// the reference in CI.
+// ---------------------------------------------------------------------------
+
+enum class GraphBackend { kDense = 0, kSparse = 1 };
+
+const char* GraphBackendName(GraphBackend backend);
+
+/// "dense" | "sparse" | "auto" (auto/empty → sparse).
+Result<GraphBackend> ResolveGraphBackend(const std::string& name);
+
+/// Currently selected backend (lazily initialized from the environment).
+GraphBackend ActiveGraphBackend();
+
+void SetGraphBackend(GraphBackend backend);
+Status SetGraphBackendByName(const std::string& name);
+
+/// Applies a `--graph_backend NAME` flag when present.
+void InitGraphBackendFromFlags(const Flags& flags);
+
+/// Drops the cached selection so the next ActiveGraphBackend() re-reads
+/// RTGCN_GRAPH_BACKEND (tests only).
+void ReinitGraphBackendFromEnvForTest();
+
+}  // namespace rtgcn::graph
+
+#endif  // RTGCN_GRAPH_SPARSE_H_

@@ -24,7 +24,10 @@ RelationData GenerateRelations(const StockUniverse& universe,
 
   // Wiki relations: sparse directional facts. Sources are biased towards
   // large-cap companies (big customers/owners influence small suppliers).
-  if (config.num_wiki_types > 0) {
+  // A single-stock universe has no valid (src, dst) pair at all, so wiki
+  // generation is skipped entirely (the old (dst + 1) % n fixup mapped back
+  // onto src and aborted the process on the self-relation check).
+  if (config.num_wiki_types > 0 && n >= 2) {
     std::vector<double> cap_weights(n);
     for (int64_t i = 0; i < n; ++i) {
       cap_weights[i] = universe.stock(i).market_cap;
@@ -34,11 +37,15 @@ RelationData GenerateRelations(const StockUniverse& universe,
     for (int64_t l = 0; l < num_links; ++l) {
       const int64_t src = static_cast<int64_t>(rng->Categorical(cap_weights));
       int64_t dst = static_cast<int64_t>(rng->UniformInt(n));
-      if (dst == src) dst = (dst + 1) % n;
+      while (dst == src) dst = static_cast<int64_t>(rng->UniformInt(n));
       const int32_t type = static_cast<int32_t>(
           num_industries + rng->UniformInt(config.num_wiki_types));
+      // Record the link only when it is a new (pair, type) fact —
+      // AddRelation dedups, and wiki_links must not overstate the edge
+      // count the simulator and Table III report.
+      const bool is_new = !data.relations.HasRelation(src, dst, type);
       data.relations.AddRelation(src, dst, type).Abort();
-      data.wiki_links.push_back({src, dst, type});
+      if (is_new) data.wiki_links.push_back({src, dst, type});
     }
   }
   return data;

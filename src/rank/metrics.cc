@@ -19,14 +19,17 @@ std::vector<int64_t> RankDescending(const Tensor& scores) {
 
 std::vector<int64_t> TopK(const Tensor& scores, int64_t k) {
   auto order = RankDescending(scores);
-  k = std::min<int64_t>(k, static_cast<int64_t>(order.size()));
-  order.resize(k);
+  // Clamp into [0, N]: a negative k must not reach resize() (it would be
+  // converted to a huge size_t), and k > N just returns everything.
+  k = std::clamp<int64_t>(k, 0, static_cast<int64_t>(order.size()));
+  order.resize(static_cast<size_t>(k));
   return order;
 }
 
 double ReciprocalRankTop1(const Tensor& scores, const Tensor& labels) {
   RTGCN_CHECK_EQ(scores.numel(), labels.numel());
   const auto predicted = RankDescending(scores);
+  if (predicted.empty()) return 0.0;  // no stocks → no rank to score
   const int64_t pick = predicted.front();
   // Rank of `pick` in the true return ordering (1-based).
   const float* pl = labels.data();
@@ -40,7 +43,7 @@ double ReciprocalRankTop1(const Tensor& scores, const Tensor& labels) {
 double TopKReturn(const Tensor& scores, const Tensor& labels, int64_t k) {
   RTGCN_CHECK_EQ(scores.numel(), labels.numel());
   const auto picks = TopK(scores, k);
-  RTGCN_CHECK(!picks.empty());
+  if (picks.empty()) return 0.0;  // k <= 0 or no stocks → zero return
   double acc = 0;
   const float* pl = labels.data();
   for (int64_t i : picks) acc += pl[i];

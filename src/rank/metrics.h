@@ -11,17 +11,20 @@ namespace rtgcn::rank {
 /// Indices of `scores` sorted descending (ties broken by lower index).
 std::vector<int64_t> RankDescending(const Tensor& scores);
 
-/// Indices of the k highest-scoring stocks.
+/// Indices of the k highest-scoring stocks. k is clamped into [0, N], so
+/// k <= 0 yields an empty pick list and k > N returns all stocks.
 std::vector<int64_t> TopK(const Tensor& scores, int64_t k);
 
 /// Reciprocal rank of the predicted top-1 stock within the ground-truth
 /// return ordering. Averaged over days this is the paper's MRR ("the MRR
-/// result of the top-1 stock in a ranking list").
+/// result of the top-1 stock in a ranking list"). An empty score tensor
+/// has no top-1 pick and scores 0.
 double ReciprocalRankTop1(const Tensor& scores, const Tensor& labels);
 
 /// Mean realized return of the predicted top-k stocks — one day's IRR
 /// contribution under the buy-at-t / sell-at-t+1 strategy (§V-B1), assuming
-/// capital is split equally across the k picks.
+/// capital is split equally across the k picks. Degenerate inputs (k <= 0
+/// or an empty universe) select nothing and return 0.
 double TopKReturn(const Tensor& scores, const Tensor& labels, int64_t k);
 
 }  // namespace rtgcn::rank

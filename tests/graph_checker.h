@@ -1,0 +1,136 @@
+// Graph-backend equivalence test harness.
+//
+// The sparse CSR propagation path (--graph_backend sparse) must agree with
+// the dense reference path on the same inputs: forward scores and every
+// gradient. The checker runs a tensor-vector-producing functor once under
+// the dense backend (reference) and once under the sparse backend, then
+// compares the outputs pairwise with per-check epsilon control. The functor
+// must build its graph structures inside the call — model constructors
+// snapshot ActiveGraphBackend at build time.
+//
+// Backends are allowed to differ in float detail (the sparse path folds
+// per-entry products in CSR order, the dense path runs N-wide matmul rows),
+// so comparison is |a-b| <= atol + rtol*|expected| per element — bit
+// equality across thread counts WITHIN one backend is asserted separately
+// by parallel_equivalence_test.cc.
+#ifndef RTGCN_TESTS_GRAPH_CHECKER_H_
+#define RTGCN_TESTS_GRAPH_CHECKER_H_
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "graph/sparse.h"
+#include "tensor/init.h"
+#include "tensor/tensor.h"
+
+namespace rtgcn {
+
+/// \brief Restores the previously active graph backend on scope exit.
+class ScopedGraphBackend {
+ public:
+  explicit ScopedGraphBackend(graph::GraphBackend backend)
+      : prev_(graph::ActiveGraphBackend()) {
+    graph::SetGraphBackend(backend);
+  }
+  ~ScopedGraphBackend() { graph::SetGraphBackend(prev_); }
+
+  ScopedGraphBackend(const ScopedGraphBackend&) = delete;
+  ScopedGraphBackend& operator=(const ScopedGraphBackend&) = delete;
+
+ private:
+  graph::GraphBackend prev_;
+};
+
+/// \brief Runs an op under the dense backend (reference) and the sparse
+/// backend and compares every output tensor.
+class GraphChecker {
+ public:
+  explicit GraphChecker(uint64_t seed = 42) : rng_(seed) {}
+
+  /// Comparison tolerances for subsequent Check/ExpectClose calls. Defaults
+  /// suit single propagation ops; full-model sweeps loosen rtol because
+  /// accumulation-order differences compound through layers.
+  GraphChecker& set_rtol(float rtol) {
+    rtol_ = rtol;
+    return *this;
+  }
+  GraphChecker& set_atol(float atol) {
+    atol_ = atol;
+    return *this;
+  }
+
+  /// Seeded input generators. Draw all inputs before Check and capture them
+  /// in the functor so both backends see identical bytes.
+  Tensor Gaussian(const Shape& shape, float mean = 0.0f, float stddev = 1.0f) {
+    return RandomGaussian(shape, mean, stddev, &rng_);
+  }
+  Tensor Uniform(const Shape& shape, float lo, float hi) {
+    return RandomUniform(shape, lo, hi, &rng_);
+  }
+  Rng* rng() { return &rng_; }
+
+  /// Runs `op` with the dense backend forced, then with the sparse backend
+  /// forced, and expects the returned tensors to match pairwise within the
+  /// current tolerances. `what` labels failures.
+  void Check(const std::string& what,
+             const std::function<std::vector<Tensor>()>& op) {
+    std::vector<Tensor> expected;
+    {
+      ScopedGraphBackend scope(graph::GraphBackend::kDense);
+      expected = op();
+    }
+    std::vector<Tensor> actual;
+    {
+      ScopedGraphBackend scope(graph::GraphBackend::kSparse);
+      actual = op();
+    }
+    ASSERT_EQ(expected.size(), actual.size()) << what;
+    for (size_t i = 0; i < expected.size(); ++i) {
+      ExpectClose(expected[i], actual[i],
+                  what + " output " + std::to_string(i) + " [sparse]");
+    }
+  }
+
+  /// Elementwise |a-b| <= atol + rtol*|expected| comparison with indexed
+  /// failure reporting (first kMaxReported offenders).
+  void ExpectClose(const Tensor& expected, const Tensor& actual,
+                   const std::string& context) const {
+    ASSERT_TRUE(expected.defined() && actual.defined()) << context;
+    ASSERT_EQ(expected.shape(), actual.shape()) << context;
+    const float* pe = expected.data();
+    const float* pa = actual.data();
+    int64_t mismatches = 0;
+    constexpr int64_t kMaxReported = 8;
+    for (int64_t i = 0; i < expected.numel(); ++i) {
+      const float e = pe[i];
+      const float a = pa[i];
+      if (e == a) continue;                          // covers +/-inf agreement
+      if (std::isnan(e) && std::isnan(a)) continue;  // same undefined result
+      const float err = std::fabs(a - e);
+      const float bound = atol_ + rtol_ * std::fabs(e);
+      if (std::isfinite(err) && err <= bound) continue;
+      if (++mismatches <= kMaxReported) {
+        ADD_FAILURE() << context << ": element " << i << " expected " << e
+                      << " got " << a << " (|diff| " << err << " > bound "
+                      << bound << ")";
+      }
+    }
+    EXPECT_EQ(mismatches, 0) << context << ": " << mismatches << " of "
+                             << expected.numel() << " elements out of bounds";
+  }
+
+ private:
+  Rng rng_;
+  float rtol_ = 1e-5f;
+  float atol_ = 1e-6f;
+};
+
+}  // namespace rtgcn
+
+#endif  // RTGCN_TESTS_GRAPH_CHECKER_H_

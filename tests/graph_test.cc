@@ -82,6 +82,31 @@ TEST(RelationTensorTest, FilterTypesDropsEmptyEdges) {
   EXPECT_EQ(only2.num_edges(), 1);
 }
 
+// Regression: the filtered view used to keep the full original type count
+// and the original (un-shifted) type indices, so Table VI ablation models
+// sized their per-type weights to types that could never occur.
+TEST(RelationTensorTest, FilterTypesCompactsTypeIndices) {
+  RelationTensor rel = MakeTriangle();
+  RelationTensor high = rel.FilterTypes(1, 3);  // keeps types {1, 2}
+  EXPECT_EQ(high.num_relation_types(), 2);
+  EXPECT_EQ(high.Types(0, 1), (std::vector<int32_t>{1}));  // was type 2
+  EXPECT_EQ(high.Types(1, 2), (std::vector<int32_t>{0}));  // was type 1
+  EXPECT_FALSE(high.HasEdge(0, 2));  // only had type 0
+
+  RelationTensor low = rel.FilterTypes(0, 2);
+  EXPECT_EQ(low.num_relation_types(), 2);
+  EXPECT_EQ(low.Types(0, 1), (std::vector<int32_t>{0}));  // identity remap
+}
+
+TEST(RelationTensorTest, HasRelationChecksSpecificType) {
+  RelationTensor rel = MakeTriangle();
+  EXPECT_TRUE(rel.HasRelation(0, 1, 0));
+  EXPECT_TRUE(rel.HasRelation(1, 0, 2));  // symmetric
+  EXPECT_FALSE(rel.HasRelation(0, 1, 1));
+  EXPECT_FALSE(rel.HasRelation(0, 3, 0));
+  EXPECT_FALSE(rel.HasRelation(1, 1, 0));
+}
+
 TEST(RelationTensorTest, EdgeListDeterministicOrder) {
   auto edges = MakeTriangle().EdgeList();
   ASSERT_EQ(edges.size(), 3u);

@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <set>
+#include <tuple>
 
 #include "market/market.h"
 #include "tensor/ops.h"
@@ -72,14 +75,57 @@ TEST(RelationGeneratorTest, SubsetViews) {
   RelationData data = GenerateRelations(u, cfg, &rng);
   auto industry = data.IndustryOnly();
   auto wiki = data.WikiOnly();
-  // Industry view keeps no wiki types and vice versa.
+  // Each view reports exactly its own (compacted) type range — no dead
+  // types from the other family survive in num_relation_types().
+  EXPECT_EQ(industry.num_relation_types(), 5);
+  EXPECT_EQ(wiki.num_relation_types(), 2);
   for (const auto& e : industry.EdgeList()) {
     for (int32_t t : e.types) EXPECT_LT(t, 5);
   }
+  // Wiki types are remapped down to [0, num_wiki_types).
   for (const auto& e : wiki.EdgeList()) {
-    for (int32_t t : e.types) EXPECT_GE(t, 5);
+    for (int32_t t : e.types) EXPECT_LT(t, 2);
   }
   EXPECT_GT(industry.num_edges(), wiki.num_edges());  // Table III ratios
+}
+
+// Regression: an N=1 universe used to abort the process — the self-link
+// fixup `dst = (dst + 1) % n` maps back onto src, tripping AddRelation's
+// self-relation check. Wiki generation must simply be skipped (there is no
+// valid pair to link).
+TEST(RelationGeneratorTest, SingleStockUniverseDoesNotAbort) {
+  Rng rng(11);
+  StockUniverse u = StockUniverse::Generate(1, 1, &rng);
+  RelationConfig cfg;
+  cfg.num_wiki_types = 4;
+  cfg.wiki_links_per_stock = 8.0;  // forces link draws if not skipped
+  RelationData data = GenerateRelations(u, cfg, &rng);
+  EXPECT_EQ(data.relations.num_edges(), 0);
+  EXPECT_TRUE(data.wiki_links.empty());
+}
+
+// Regression: wiki_links used to receive one entry per draw even when
+// AddRelation deduped the (src, dst, type) fact, overstating the reported
+// wiki-link count. Every recorded link must be a distinct fact.
+TEST(RelationGeneratorTest, WikiLinksAreDeduplicated) {
+  Rng rng(12);
+  // Small universe + many draws per stock → collisions are guaranteed.
+  StockUniverse u = StockUniverse::Generate(6, 2, &rng);
+  RelationConfig cfg;
+  cfg.num_wiki_types = 2;
+  cfg.wiki_links_per_stock = 20.0;
+  RelationData data = GenerateRelations(u, cfg, &rng);
+  std::set<std::tuple<int64_t, int64_t, int32_t>> facts;
+  for (const auto& link : data.wiki_links) {
+    const int64_t a = std::min(link.source, link.target);
+    const int64_t b = std::max(link.source, link.target);
+    EXPECT_TRUE(facts.emplace(a, b, link.type).second)
+        << "duplicate wiki link " << a << "-" << b << " type " << link.type;
+    EXPECT_TRUE(data.relations.HasRelation(link.source, link.target,
+                                           link.type));
+  }
+  EXPECT_EQ(static_cast<int64_t>(facts.size()),
+            static_cast<int64_t>(data.wiki_links.size()));
 }
 
 // ---------------------------------------------------------------------------

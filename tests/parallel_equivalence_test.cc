@@ -15,6 +15,8 @@
 #include "core/loss.h"
 #include "core/rtgcn.h"
 #include "graph/adjacency.h"
+#include "graph/sparse.h"
+#include "graph_checker.h"
 #include "kernel_checker.h"
 #include "tensor/init.h"
 #include "tensor/kernels/kernels.h"
@@ -326,6 +328,104 @@ TEST(ParallelEquivalenceTest, FullModelPerKernelBackend) {
           return out;
         },
         std::string("RT-GCN fwd+bwd [") + ks->name + "]");
+  }
+}
+
+// The sparse CSR propagation ops segment-partition rows across the pool
+// with serial per-row accumulation and reduce parameter gradients through
+// ParallelReduce's fixed left fold, so forward AND backward must be
+// byte-for-byte thread-count independent.
+TEST(ParallelEquivalenceTest, SparseGraphOpsBitIdenticalAcrossThreadCounts) {
+  Rng rng(13);
+  const graph::RelationTensor rel = RandomRelations(70, 4, 400, &rng);
+  const graph::CsrPtr norm = graph::CsrGraph::NormalizedAdjacency(rel);
+  const graph::CsrPtr mask = graph::CsrGraph::UniformMask(rel, true);
+  const Tensor x0 = RandomGaussian({70, 9}, 0, 1, &rng);
+  const Tensor cot = RandomGaussian({70, 9}, 0, 1, &rng);
+  const Tensor xt0 = RandomUniform({5, 70, 6}, 0.9f, 1.1f, &rng);
+  const Tensor cott = RandomGaussian({5, 70, 6}, 0, 1, &rng);
+  const Tensor w0 = RandomGaussian({4}, 1.0f, 0.1f, &rng);
+  const Tensor src0 = RandomGaussian({70, 1}, 0, 1, &rng);
+  const Tensor dst0 = RandomGaussian({70, 1}, 0, 1, &rng);
+
+  ExpectBitIdenticalAcrossThreadCounts(
+      [&] {
+        auto x = ag::MakeVariable(x0.Clone(), /*requires_grad=*/true);
+        auto y = graph::SparsePropagate(norm, x);
+        ag::Backward(ag::SumAll(ag::Mul(y, ag::Constant(cot))));
+        return std::vector<Tensor>{y->value, x->grad};
+      },
+      "SparsePropagate fwd+bwd");
+
+  ExpectBitIdenticalAcrossThreadCounts(
+      [&] {
+        auto w = ag::MakeVariable(w0.Clone(), /*requires_grad=*/true);
+        auto b = ag::MakeVariable(Tensor::Zeros({1}), /*requires_grad=*/true);
+        auto x = ag::MakeVariable(x0.Clone(), /*requires_grad=*/true);
+        auto y = graph::SparseEdgeWeightPropagate(norm, w, b, x);
+        ag::Backward(ag::SumAll(ag::Mul(y, ag::Constant(cot))));
+        return std::vector<Tensor>{y->value, w->grad, b->grad, x->grad};
+      },
+      "SparseEdgeWeightPropagate fwd+bwd");
+
+  ExpectBitIdenticalAcrossThreadCounts(
+      [&] {
+        auto w = ag::MakeVariable(w0.Clone(), /*requires_grad=*/true);
+        auto b = ag::MakeVariable(Tensor::Zeros({1}), /*requires_grad=*/true);
+        auto x = ag::MakeVariable(xt0.Clone(), /*requires_grad=*/true);
+        auto y = graph::SparseTimeSensitivePropagate(norm, w, b, x);
+        ag::Backward(ag::SumAll(ag::Mul(y, ag::Constant(cott))));
+        return std::vector<Tensor>{y->value, w->grad, b->grad, x->grad};
+      },
+      "SparseTimeSensitivePropagate fwd+bwd");
+
+  ExpectBitIdenticalAcrossThreadCounts(
+      [&] {
+        auto src = ag::MakeVariable(src0.Clone(), /*requires_grad=*/true);
+        auto dst = ag::MakeVariable(dst0.Clone(), /*requires_grad=*/true);
+        auto h = ag::MakeVariable(x0.Clone(), /*requires_grad=*/true);
+        auto y = graph::SparseGatAttention(mask, src, dst, h, 0.2f);
+        ag::Backward(ag::SumAll(ag::Mul(y, ag::Constant(cot))));
+        return std::vector<Tensor>{y->value, src->grad, dst->grad, h->grad};
+      },
+      "SparseGatAttention fwd+bwd");
+}
+
+// The determinism contract also holds per GRAPH backend: dense and sparse
+// may differ from each other within checker tolerances (sparse_graph_test
+// covers that), but each must be bitwise thread-count independent through
+// the full model, for all three propagation strategies.
+TEST(ParallelEquivalenceTest, GraphBackendsTimesThreadCounts) {
+  for (graph::GraphBackend gb :
+       {graph::GraphBackend::kDense, graph::GraphBackend::kSparse}) {
+    ScopedGraphBackend scope(gb);
+    for (core::Strategy s : {core::Strategy::kUniform, core::Strategy::kWeight,
+                             core::Strategy::kTimeSensitive}) {
+      ExpectBitIdenticalAcrossThreadCounts(
+          [&] {
+            Rng rng(456);
+            const graph::RelationTensor rel = RandomRelations(26, 4, 110, &rng);
+            core::RtGcnConfig cfg;
+            cfg.strategy = s;
+            cfg.window = 7;
+            cfg.num_features = 4;
+            cfg.relational_filters = 5;
+            cfg.temporal_stride = 2;
+            cfg.dropout = 0.1f;
+            core::RtGcnModel model(rel, cfg, &rng);
+            const Tensor x = RandomUniform({7, 26, 4}, 0.9f, 1.1f, &rng);
+            const Tensor y = RandomGaussian({26}, 0, 0.02f, &rng);
+            Rng fwd(9);
+            auto scores = model.Forward(ag::Constant(x), &fwd);
+            auto loss = core::CombinedLoss(scores, y, 0.1f);
+            ag::Backward(loss);
+            std::vector<Tensor> out{scores->value, loss->value};
+            for (const auto& p : model.Parameters()) out.push_back(p->grad);
+            return out;
+          },
+          std::string("RT-GCN (") + core::StrategyName(s) + ") [" +
+              graph::GraphBackendName(gb) + "]");
+    }
   }
 }
 

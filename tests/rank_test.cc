@@ -36,6 +36,28 @@ TEST(MetricsTest, TopKReturnAveragesRealizedReturns) {
   EXPECT_NEAR(TopKReturn(scores, labels, 2), 0.15, 1e-6);
 }
 
+// Regression: degenerate inputs used to hit UB (front() on an empty rank
+// vector, negative k into resize()) or a hard RTGCN_CHECK crash.
+TEST(MetricsTest, TopKNegativeAndZeroKAreEmpty) {
+  Tensor scores({3}, {1, 2, 3});
+  EXPECT_TRUE(TopK(scores, 0).empty());
+  EXPECT_TRUE(TopK(scores, -5).empty());
+}
+
+TEST(MetricsTest, ReciprocalRankEmptyScoresIsZero) {
+  Tensor empty({0}, std::vector<float>{});
+  EXPECT_DOUBLE_EQ(ReciprocalRankTop1(empty, empty), 0.0);
+}
+
+TEST(MetricsTest, TopKReturnDegenerateInputsAreZero) {
+  Tensor scores({3}, {1, 2, 3});
+  Tensor labels({3}, {0.1f, 0.2f, 0.3f});
+  EXPECT_DOUBLE_EQ(TopKReturn(scores, labels, 0), 0.0);
+  EXPECT_DOUBLE_EQ(TopKReturn(scores, labels, -1), 0.0);
+  Tensor empty({0}, std::vector<float>{});
+  EXPECT_DOUBLE_EQ(TopKReturn(empty, empty, 5), 0.0);
+}
+
 TEST(BacktesterTest, AccumulatesIrrAndCurves) {
   Backtester bt({1, 2});
   Tensor labels({3}, {0.1f, 0.0f, -0.1f});

@@ -1,15 +1,23 @@
-// Captures the kernel-dispatch benchmark numbers into BENCH_kernels.json.
+// Captures benchmark numbers into committed JSON reports.
 //
-// Two modes:
-//  - generate (default): times square matmul at --sizes under every
+// Three modes:
+//  - --mode kernels (default): times square matmul at --sizes under every
 //    supported kernel backend plus a Figure-5-style synthetic RT-GCN train
-//    step, and writes a JSON report with per-backend GFLOPs / step times
-//    and the avx2-over-reference speedups. The reference numbers ARE the
-//    baseline — each run re-measures both backends on the same machine, so
-//    the speedup column never compares across hosts.
+//    step, and writes BENCH_kernels.json with per-backend GFLOPs / step
+//    times and the avx2-over-reference speedups. The reference numbers ARE
+//    the baseline — each run re-measures both backends on the same machine,
+//    so the speedup column never compares across hosts.
+//  - --mode scale: universe-size scaling curves for the graph backends.
+//    For each N in --scale_sizes (default 500,1405,10000 — paper NYSE is
+//    1405) it builds synthetic relations at ~0.3% pair density (Table III's
+//    wiki-relation ratio), reports CSR memory vs the dense [N, N] mask, CSR
+//    build time, and one full train step per graph backend. The dense step
+//    is skipped above N = 2000 where the [N, N] matrices stop fitting a
+//    sane budget — the whole point of the sparse path. Writes
+//    BENCH_scale.json.
 //  - --check FILE: parses FILE with the minimal JSON reader below and
-//    validates the required keys; exit 0 on a well-formed report. CI runs
-//    this as the bench smoke.
+//    validates the required keys of either report kind; exit 0 on a
+//    well-formed report. CI runs this as the bench smoke.
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
@@ -28,6 +36,7 @@
 #include "core/loss.h"
 #include "core/rtgcn.h"
 #include "graph/adjacency.h"
+#include "graph/sparse.h"
 #include "tensor/init.h"
 #include "tensor/kernels/kernels.h"
 #include "tensor/ops.h"
@@ -137,18 +146,23 @@ std::string FmtD(double v) {
   return buf;
 }
 
+bool ParseSizes(const std::string& csv, std::vector<int64_t>* out) {
+  for (const std::string& tok : Split(csv, ',')) {
+    const int64_t n = std::strtoll(tok.c_str(), nullptr, 10);
+    if (n <= 0) {
+      std::fprintf(stderr, "bench_to_json: bad sizes entry '%s'\n",
+                   tok.c_str());
+      return false;
+    }
+    out->push_back(n);
+  }
+  return true;
+}
+
 int Generate(const std::string& out_path, const std::string& sizes_csv,
              int repeats) {
   std::vector<int64_t> sizes;
-  for (const std::string& tok : Split(sizes_csv, ',')) {
-    const int64_t n = std::strtoll(tok.c_str(), nullptr, 10);
-    if (n <= 0) {
-      std::fprintf(stderr, "bench_to_json: bad --sizes entry '%s'\n",
-                   tok.c_str());
-      return 1;
-    }
-    sizes.push_back(n);
-  }
+  if (!ParseSizes(sizes_csv, &sizes)) return 1;
   // Single-threaded so the numbers measure the kernels, not the pool.
   SetNumThreads(1);
   const bool avx2 = kernels::CpuSupportsAvx2();
@@ -215,6 +229,129 @@ int Generate(const std::string& out_path, const std::string& sizes_csv,
     first = false;
   }
   js << "\n  }\n";
+  js << "}\n";
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "bench_to_json: cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  out << js.str();
+  std::fprintf(stderr, "bench_to_json: wrote %s\n", out_path.c_str());
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// --mode scale: universe-size scaling of the graph backends
+// ---------------------------------------------------------------------------
+
+struct ScaleSample {
+  int64_t n = 0;
+  int64_t undirected_edges = 0;
+  int64_t csr_entries = 0;
+  size_t csr_bytes = 0;
+  size_t dense_mask_bytes = 0;
+  double build_ms = 0;
+  double sparse_step_ms = 0;
+  double dense_step_ms = -1;  // < 0: skipped (dense [N, N] out of budget)
+};
+
+// One full train step (forward + backward + Adam) of the time-sensitive
+// RT-GCN under the given graph backend. The loss is the pure O(N)
+// regression term: PairwiseRankingLoss materializes an [N, N] broadcast,
+// which would dominate — and defeat — the O(E) scaling measurement at
+// N = 10,000.
+double TimeScaleStep(const graph::RelationTensor& rel,
+                     graph::GraphBackend backend, int repeats) {
+  graph::SetGraphBackend(backend);
+  Rng rng(11);
+  const int64_t n = rel.num_stocks();
+  const int64_t window = 8, features = 4;
+  core::RtGcnConfig cfg;
+  cfg.strategy = core::Strategy::kTimeSensitive;
+  cfg.window = window;
+  cfg.num_features = features;
+  cfg.relational_filters = 16;
+  core::RtGcnModel model(rel, cfg, &rng);
+  ag::Adam opt(model.Parameters(), 1e-3f);
+  const Tensor x = RandomUniform({window, n, features}, 0.9f, 1.1f, &rng);
+  const Tensor y = RandomGaussian({n}, 0, 0.02f, &rng);
+  return 1e3 * BestSecondsPer(
+                   [&] {
+                     opt.ZeroGrad();
+                     auto scores = model.Forward(ag::Constant(x), &rng);
+                     ag::Backward(core::RegressionLoss(scores, y));
+                     opt.Step();
+                   },
+                   repeats);
+}
+
+int GenerateScale(const std::string& out_path, const std::string& sizes_csv,
+                  int repeats) {
+  std::vector<int64_t> sizes;
+  if (!ParseSizes(sizes_csv, &sizes)) return 1;
+  constexpr double kDensity = 0.003;  // Table III wiki relation ratio
+  constexpr int64_t kDenseLimit = 2000;
+  const graph::GraphBackend prev = graph::ActiveGraphBackend();
+
+  std::vector<ScaleSample> rows;
+  for (int64_t n : sizes) {
+    Rng rng(static_cast<uint64_t>(42 + n));
+    const int64_t target =
+        static_cast<int64_t>(kDensity * static_cast<double>(n) * (n - 1) / 2);
+    const graph::RelationTensor rel =
+        SyntheticRelations(n, 5, target, &rng);
+    ScaleSample s;
+    s.n = n;
+    s.undirected_edges = rel.num_edges();
+    s.build_ms = 1e3 * BestSecondsPer(
+                           [&] { graph::CsrGraph::NormalizedAdjacency(rel); },
+                           repeats);
+    const graph::CsrPtr g = graph::CsrGraph::NormalizedAdjacency(rel);
+    s.csr_entries = g->num_entries();
+    s.csr_bytes = g->ApproxBytes();
+    s.dense_mask_bytes = static_cast<size_t>(n) * n * sizeof(float);
+    s.sparse_step_ms = TimeScaleStep(rel, graph::GraphBackend::kSparse,
+                                     repeats);
+    if (n <= kDenseLimit) {
+      s.dense_step_ms = TimeScaleStep(rel, graph::GraphBackend::kDense,
+                                      repeats);
+    }
+    std::fprintf(stderr,
+                 "  scale n=%lld edges=%lld csr=%zuB dense_mask=%zuB "
+                 "build=%.2fms sparse_step=%.2fms dense_step=%s\n",
+                 static_cast<long long>(s.n),
+                 static_cast<long long>(s.undirected_edges), s.csr_bytes,
+                 s.dense_mask_bytes, s.build_ms, s.sparse_step_ms,
+                 s.dense_step_ms >= 0 ? FmtD(s.dense_step_ms).c_str()
+                                      : "skipped");
+    rows.push_back(s);
+  }
+  graph::SetGraphBackend(prev);
+
+  std::ostringstream js;
+  js << "{\n";
+  js << "  \"bench\": \"scale\",\n";
+  js << "  \"density\": " << FmtD(kDensity) << ",\n";
+  js << "  \"dense_step_limit_n\": " << kDenseLimit << ",\n";
+  js << "  \"rows\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const ScaleSample& s = rows[i];
+    js << "    {\"n\": " << s.n << ", \"edges\": " << s.undirected_edges
+       << ", \"csr_entries\": " << s.csr_entries
+       << ", \"csr_bytes\": " << s.csr_bytes
+       << ", \"dense_mask_bytes\": " << s.dense_mask_bytes
+       << ", \"build_ms\": " << FmtD(s.build_ms)
+       << ", \"sparse_step_ms\": " << FmtD(s.sparse_step_ms)
+       << ", \"dense_step_ms\": ";
+    if (s.dense_step_ms >= 0) {
+      js << FmtD(s.dense_step_ms);
+    } else {
+      js << "null";
+    }
+    js << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  js << "  ]\n";
   js << "}\n";
 
   std::ofstream out(out_path);
@@ -376,10 +513,16 @@ int Check(const std::string& path) {
                  path.c_str());
     return 1;
   }
+  const auto& keys = checker.top_keys();
+  const bool is_scale =
+      std::find(keys.begin(), keys.end(), "rows") != keys.end();
+  const std::vector<const char*> required =
+      is_scale ? std::vector<const char*>{"bench", "density",
+                                          "dense_step_limit_n", "rows"}
+               : std::vector<const char*>{"bench", "cpu_supports_avx2",
+                                          "matmul", "train_step", "speedup"};
   int missing = 0;
-  for (const char* key :
-       {"bench", "cpu_supports_avx2", "matmul", "train_step", "speedup"}) {
-    const auto& keys = checker.top_keys();
+  for (const char* key : required) {
     if (std::find(keys.begin(), keys.end(), key) == keys.end()) {
       std::fprintf(stderr, "bench_to_json: %s missing required key \"%s\"\n",
                    path.c_str(), key);
@@ -392,13 +535,21 @@ int Check(const std::string& path) {
 }
 
 int Main(int argc, char** argv) {
-  std::string out = "BENCH_kernels.json";
+  std::string mode = "kernels";
+  std::string out;
   std::string sizes = "128,256,512";
+  std::string scale_sizes = "500,1405,10000";
   std::string check;
   int repeats = 3;
-  FlagSet fs("Measure kernel-backend matmul/train-step performance to JSON.");
-  fs.Register("out", &out, "output JSON path");
+  FlagSet fs(
+      "Measure kernel-backend (--mode kernels) or graph-backend scaling "
+      "(--mode scale) performance to JSON.");
+  fs.RegisterChoice("mode", &mode, {"kernels", "scale"}, "report kind");
+  fs.Register("out", &out,
+              "output JSON path (default BENCH_<mode>.json)");
   fs.Register("sizes", &sizes, "comma-separated square matmul sizes");
+  fs.Register("scale_sizes", &scale_sizes,
+              "comma-separated universe sizes N for --mode scale");
   fs.Register("repeats", &repeats, "timing repeats (best-of)");
   fs.Register("check", &check,
               "validate an existing report instead of generating");
@@ -409,6 +560,10 @@ int Main(int argc, char** argv) {
   }
   status.Abort();
   if (!check.empty()) return Check(check);
+  if (out.empty()) {
+    out = mode == "scale" ? "BENCH_scale.json" : "BENCH_kernels.json";
+  }
+  if (mode == "scale") return GenerateScale(out, scale_sizes, repeats);
   return Generate(out, sizes, repeats);
 }
 
