@@ -1,9 +1,11 @@
-// Closed-loop load generator for the serving subsystem (ISSUE 4 acceptance
-// bench): N client threads issue blocking Score() queries against an
-// in-process InferenceServer, first with micro-batching disabled
-// (--max_batch 1) and then with the configured batch size, against the
-// same exported checkpoint. Reports per-config QPS, latency percentiles
-// and the executed batch-size histogram from serve::Metrics, plus the
+// Load generator for the serving subsystem, two modes:
+//
+// --mode batch (default; ISSUE 4 acceptance bench): N closed-loop client
+// threads issue blocking Score() queries against an in-process
+// InferenceServer, first with micro-batching disabled (--max_batch 1) and
+// then with the configured batch size, against the same exported
+// checkpoint. Reports per-config QPS, latency percentiles and the
+// executed batch-size histogram from serve::Metrics, plus the
 // batched-over-unbatched throughput ratio.
 //
 //   ./bench_serve [--clients 8] [--requests 400] [--max_batch 32]
@@ -16,20 +18,46 @@
 // shared phase of `--phase` consecutive requests per day, so concurrent
 // same-day queries are coalescible into one forward — the access pattern
 // of a ranking dashboard where everyone asks about "today".
+//
+// --mode overload (ISSUE 8 acceptance bench, BENCH_serve_robust.json):
+// drives the full socket stack (SocketServer + serve::Client) with paced
+// open-loop load. First a closed-loop calibration measures the server's
+// capacity, then each --multipliers entry offers that multiple of
+// capacity with per-request deadlines and no client retries, recording
+// goodput (OK replies/sec), fast-fail BUSY/shed counts, and client-side
+// latency percentiles. The run ends with the serving accounting
+// invariant (requests == ok + error + expired + shed) — a violation
+// fails the bench. --chaos additionally installs a seeded fault injector
+// on the reply path (delays, drops, truncations, resets), which the
+// invariant must survive; CI smokes this configuration.
+//
+//   ./bench_serve --mode overload [--clients 8] [--overload_seconds 3]
+//                 [--multipliers 1,2,4,10] [--deadline_ms 50]
+//                 [--max_queue 256] [--admission reject|block]
+//                 [--chaos 0] [--chaos_seed 1234] [--json out.json]
+#include <algorithm>
 #include <atomic>
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "baselines/rtgcn_predictor.h"
 #include "common/flags.h"
+#include "common/strings.h"
 #include "common/thread_pool.h"
 #include "harness/checkpoint.h"
 #include "market/market.h"
+#include "serve/admission.h"
+#include "serve/chaos.h"
+#include "serve/client.h"
 #include "serve/registry.h"
 #include "serve/server.h"
+#include "serve/socket_server.h"
 
 namespace {
 
@@ -98,9 +126,123 @@ void PrintConfig(const char* label, const serve::Metrics& metrics,
   std::printf("\n");
 }
 
+// ---------------------------------------------------------------------------
+// Overload mode.
+// ---------------------------------------------------------------------------
+
+double PercentileUs(std::vector<double> v, double p) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  const double idx = p * static_cast<double>(v.size() - 1);
+  const size_t lo = static_cast<size_t>(idx);
+  const size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return v[lo] + (v[hi] - v[lo]) * frac;
+}
+
+// One offered-load level: what we asked for, what came back, how fast.
+struct OverloadPoint {
+  double multiplier = 0;
+  double offered_qps = 0;    ///< target request rate
+  double achieved_qps = 0;   ///< requests actually issued per second
+  double goodput_qps = 0;    ///< OK replies per second
+  uint64_t ok = 0;
+  uint64_t busy = 0;         ///< BUSY replies (shed / connection cap)
+  uint64_t deadline = 0;     ///< deadline-exceeded replies + lost replies
+  uint64_t error = 0;        ///< everything else
+  double p50_us = 0, p95_us = 0, p99_us = 0;  ///< OK replies, client-side
+};
+
+// Offers `target_qps` across `threads` paced open-loop workers for
+// `seconds`, each its own serve::Client with retries disabled — an
+// overloaded server must answer (BUSY, shed, deadline) fast, not be
+// flattered by client-side retry absorption.
+OverloadPoint OfferLoad(int port, const std::vector<int64_t>& days,
+                        int64_t num_stocks, int64_t threads,
+                        double target_qps, double seconds,
+                        int64_t deadline_ms) {
+  OverloadPoint point;
+  point.offered_qps = target_qps;
+  std::atomic<uint64_t> ok{0}, busy{0}, deadline{0}, error{0}, issued{0};
+  std::vector<std::vector<double>> latencies(static_cast<size_t>(threads));
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(threads));
+  for (int64_t w = 0; w < threads; ++w) {
+    workers.emplace_back([&, w] {
+      serve::Client::Options copts;
+      copts.port = port;
+      copts.max_attempts = 1;
+      copts.retry_busy = false;
+      // Bound reads well past the request deadline so a dropped reply
+      // (chaos) stalls the pacer briefly, not for the default 5s.
+      copts.recv_timeout_ms = std::max<int64_t>(4 * deadline_ms, 250);
+      copts.seed = 7000 + static_cast<uint64_t>(w);
+      serve::Client client(copts);
+      auto& lat = latencies[static_cast<size_t>(w)];
+      const double period_us =
+          1e6 * static_cast<double>(threads) / target_qps;
+      const auto end = start + std::chrono::duration_cast<
+                                   std::chrono::steady_clock::duration>(
+                                   std::chrono::duration<double>(seconds));
+      for (int64_t i = 0;; ++i) {
+        const auto slot =
+            start + std::chrono::microseconds(static_cast<int64_t>(
+                        period_us * static_cast<double>(i)));
+        // Bound on wall-clock, not the schedule: under saturation the
+        // schedule falls behind real time (closed-loop degeneration) and
+        // would otherwise never end.
+        if (slot >= end || std::chrono::steady_clock::now() >= end) break;
+        std::this_thread::sleep_until(slot);
+        const int64_t day =
+            days[static_cast<size_t>((i / 64) %
+                                     static_cast<int64_t>(days.size()))];
+        const int64_t stock = (w * 131 + i) % num_stocks;
+        issued.fetch_add(1, std::memory_order_relaxed);
+        const auto t0 = std::chrono::steady_clock::now();
+        auto result = client.Score(day, stock, deadline_ms);
+        const double us =
+            std::chrono::duration<double, std::micro>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+        if (result.ok()) {
+          ok.fetch_add(1, std::memory_order_relaxed);
+          lat.push_back(us);
+        } else if (result.status().code() == StatusCode::kUnavailable) {
+          busy.fetch_add(1, std::memory_order_relaxed);
+        } else if (result.status().code() ==
+                   StatusCode::kDeadlineExceeded) {
+          deadline.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          error.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  std::vector<double> all;
+  for (auto& lat : latencies) {
+    all.insert(all.end(), lat.begin(), lat.end());
+  }
+  point.ok = ok.load();
+  point.busy = busy.load();
+  point.deadline = deadline.load();
+  point.error = error.load();
+  point.achieved_qps = static_cast<double>(issued.load()) / elapsed;
+  point.goodput_qps = static_cast<double>(point.ok) / elapsed;
+  point.p50_us = PercentileUs(all, 0.50);
+  point.p95_us = PercentileUs(all, 0.95);
+  point.p99_us = PercentileUs(all, 0.99);
+  return point;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  std::string mode = "batch";
   int64_t clients = 8;
   int64_t requests = 400;
   int64_t max_batch = 32;
@@ -109,6 +251,14 @@ int main(int argc, char** argv) {
   bool cache = false;
   int64_t train_epochs = 2;
   int num_threads = 0;
+  std::string multipliers = "1,2,4,10";
+  double overload_seconds = 3.0;
+  int64_t deadline_ms = 50;
+  int64_t max_queue = 256;
+  std::string admission = "reject";
+  bool chaos = false;
+  int64_t chaos_seed = 1234;
+  std::string json;
 
   // A small market keeps the bench fast, but the universe must be big
   // enough that the forward pass dominates per-request overhead —
@@ -119,8 +269,11 @@ int main(int argc, char** argv) {
   spec.test_days = 40;
   core::RtGcnConfig config;
 
-  FlagSet fs("Closed-loop serving load generator: batched vs unbatched QPS "
-             "against the same exported checkpoint.");
+  FlagSet fs("Serving load generator: batched-vs-unbatched QPS (--mode "
+             "batch) or overload robustness through the socket stack "
+             "(--mode overload).");
+  fs.RegisterChoice("mode", &mode, {"batch", "overload"},
+                    "batch comparison or overload/chaos robustness");
   fs.Register("clients", &clients, "closed-loop client threads");
   fs.Register("requests", &requests, "blocking Score() calls per client");
   fs.Register("max_batch", &max_batch,
@@ -136,6 +289,21 @@ int main(int argc, char** argv) {
               "training epochs for the exported model");
   fs.Register("num_threads", &num_threads,
               "tensor worker threads (0 = auto)");
+  fs.Register("multipliers", &multipliers,
+              "overload: comma-separated capacity multiples to offer");
+  fs.Register("overload_seconds", &overload_seconds,
+              "overload: seconds per offered-load level");
+  fs.Register("deadline_ms", &deadline_ms,
+              "overload: per-request DEADLINE");
+  fs.Register("max_queue", &max_queue,
+              "overload: server pending-request bound");
+  fs.RegisterChoice("admission", &admission, {"reject", "block"},
+                    "overload: full-queue policy");
+  fs.Register("chaos", &chaos,
+              "overload: inject reply faults (delay/drop/truncate/reset)");
+  fs.Register("chaos_seed", &chaos_seed, "overload: fault-injector seed");
+  fs.Register("json", &json,
+              "overload: write the results as JSON to this path");
   const Status flag_status = fs.Parse(argc, argv);
   if (fs.help_requested()) {
     std::printf("%s", fs.Usage(argv[0]).c_str());
@@ -164,6 +332,141 @@ int main(int argc, char** argv) {
     model->Fit(dataset, dataset.Days(dataset.first_day(), spec.test_boundary() - 1),
                train);
     model->ExportSnapshot(manager.CheckpointPath(1)).Abort();
+  }
+
+  if (mode == "overload") {
+    serve::Metrics metrics;
+    serve::ModelRegistry registry(
+        {dir, /*reload_interval_ms=*/0},
+        [make_predictor] { return serve::WrapPredictor(make_predictor()); },
+        &metrics);
+    registry.Start().Abort();
+    serve::InferenceServer::Options opts;
+    opts.max_batch = max_batch;
+    opts.batch_timeout_us = batch_timeout_us;
+    opts.enable_cache = cache;
+    opts.max_queue = max_queue;
+    if (!serve::ParseAdmissionPolicy(admission, &opts.admission)) {
+      std::fprintf(stderr, "unknown --admission %s\n", admission.c_str());
+      return 1;
+    }
+    serve::InferenceServer server(&dataset, &registry, opts, &metrics);
+    server.Start().Abort();
+
+    serve::ChaosInjector::Options copts;
+    copts.seed = static_cast<uint64_t>(chaos_seed);
+    if (chaos) {
+      copts.delay_prob = 0.05;
+      copts.drop_prob = 0.02;
+      copts.truncate_prob = 0.02;
+      copts.reset_prob = 0.02;
+      copts.delay_ms_max = 5;
+    }
+    serve::ChaosInjector injector(copts);
+    serve::SocketServer front(&server, &metrics, {/*port=*/0});
+    if (chaos) front.SetChaos(&injector);
+    front.Start().Abort();
+
+    server.Rank(days.front()).status().Abort();  // warm-up
+
+    // Capacity: a short closed-loop burst (an offered rate no server
+    // reaches degenerates into closed-loop). Everything after is offered
+    // as a multiple of this.
+    const OverloadPoint calib =
+        OfferLoad(front.port(), days, dataset.num_stocks(), clients,
+                  /*target_qps=*/1e9, /*seconds=*/1.0, deadline_ms);
+    const double capacity = std::max(calib.goodput_qps, 1.0);
+    std::printf("bench_serve overload: capacity %.0f qps (%lld clients, "
+                "deadline %lldms, queue %lld, admission %s, chaos %s)\n",
+                capacity, static_cast<long long>(clients),
+                static_cast<long long>(deadline_ms),
+                static_cast<long long>(max_queue), admission.c_str(),
+                chaos ? "on" : "off");
+
+    std::vector<OverloadPoint> points;
+    for (const std::string& m : Split(multipliers, ',')) {
+      if (m.empty()) continue;
+      const double multiplier = std::stod(m);
+      OverloadPoint point =
+          OfferLoad(front.port(), days, dataset.num_stocks(), clients,
+                    multiplier * capacity, overload_seconds, deadline_ms);
+      point.multiplier = multiplier;
+      points.push_back(point);
+      std::printf("  x%-5.1f offered %8.0f  achieved %8.0f  goodput %8.0f  "
+                  "ok %6" PRIu64 "  busy %6" PRIu64 "  deadline %5" PRIu64
+                  "  err %4" PRIu64 "  p50 %6.0fus  p99 %7.0fus\n",
+                  point.multiplier, point.offered_qps, point.achieved_qps,
+                  point.goodput_qps, point.ok, point.busy, point.deadline,
+                  point.error, point.p50_us, point.p99_us);
+    }
+
+    front.Stop();
+    server.Stop();
+    registry.Stop();
+
+    // The serving accounting invariant must survive overload and chaos.
+    const int64_t srv_requests = metrics.requests.load();
+    const int64_t accounted = metrics.responses_ok.load() +
+                              metrics.responses_error.load() +
+                              metrics.expired.load() + metrics.shed.load();
+    std::printf("accounting: requests %lld == ok %lld + err %lld + expired "
+                "%lld + shed %lld (%s); busy_rejected %lld\n",
+                static_cast<long long>(srv_requests),
+                static_cast<long long>(metrics.responses_ok.load()),
+                static_cast<long long>(metrics.responses_error.load()),
+                static_cast<long long>(metrics.expired.load()),
+                static_cast<long long>(metrics.shed.load()),
+                srv_requests == accounted ? "OK" : "VIOLATED",
+                static_cast<long long>(metrics.busy_rejected.load()));
+    if (chaos) {
+      std::printf("chaos: %" PRIu64 " plans, %" PRIu64 " delays, %" PRIu64
+                  " drops, %" PRIu64 " truncates, %" PRIu64 " resets\n",
+                  injector.plans(), injector.delays(), injector.drops(),
+                  injector.truncates(), injector.resets());
+    }
+
+    if (!json.empty()) {
+      std::ofstream out(json);
+      out << "{\n  \"bench\": \"serve_robust\",\n";
+      out << "  \"config\": {\"clients\": " << clients
+          << ", \"deadline_ms\": " << deadline_ms
+          << ", \"max_queue\": " << max_queue << ", \"admission\": \""
+          << admission << "\", \"max_batch\": " << max_batch
+          << ", \"stocks\": " << dataset.num_stocks()
+          << ", \"overload_seconds\": " << overload_seconds
+          << ", \"chaos\": " << (chaos ? "true" : "false")
+          << ", \"chaos_seed\": " << chaos_seed << "},\n";
+      out << "  \"capacity_qps\": " << capacity << ",\n";
+      out << "  \"overload\": [\n";
+      for (size_t i = 0; i < points.size(); ++i) {
+        const OverloadPoint& p = points[i];
+        out << "    {\"multiplier\": " << p.multiplier
+            << ", \"offered_qps\": " << p.offered_qps
+            << ", \"achieved_qps\": " << p.achieved_qps
+            << ", \"goodput_qps\": " << p.goodput_qps << ", \"ok\": " << p.ok
+            << ", \"busy\": " << p.busy << ", \"deadline\": " << p.deadline
+            << ", \"error\": " << p.error << ", \"p50_us\": " << p.p50_us
+            << ", \"p95_us\": " << p.p95_us << ", \"p99_us\": " << p.p99_us
+            << "}" << (i + 1 < points.size() ? "," : "") << "\n";
+      }
+      out << "  ],\n";
+      out << "  \"accounting\": {\"requests\": " << srv_requests
+          << ", \"responses_ok\": " << metrics.responses_ok.load()
+          << ", \"responses_error\": " << metrics.responses_error.load()
+          << ", \"expired\": " << metrics.expired.load()
+          << ", \"shed\": " << metrics.shed.load()
+          << ", \"busy_rejected\": " << metrics.busy_rejected.load()
+          << ", \"holds\": "
+          << (srv_requests == accounted ? "true" : "false") << "},\n";
+      out << "  \"chaos_faults\": {\"plans\": " << injector.plans()
+          << ", \"delays\": " << injector.delays()
+          << ", \"drops\": " << injector.drops()
+          << ", \"truncates\": " << injector.truncates()
+          << ", \"resets\": " << injector.resets() << "}\n";
+      out << "}\n";
+      std::printf("wrote %s\n", json.c_str());
+    }
+    return srv_requests == accounted ? 0 : 1;
   }
 
   std::printf("bench_serve: %lld clients x %lld reqs, %lld stocks, "

@@ -1,104 +1,84 @@
-// Serving quickstart, client side: a minimal line-protocol client for
-// serve_server.
+// Serving quickstart, client side: serve::Client against serve_server.
 //
 //   ./serve_client --day 270 --stock 3            SCORE one stock
 //   ./serve_client --day 270 --k 5                RANK top-5 of the day
+//   ./serve_client --day 270 --k 5 --deadline_ms 20   shed if not served in 20ms
+//   ./serve_client --health 1                     one-line health summary
 //   ./serve_client --stats 1                      dump server metrics
 //   ./serve_client --day 270 --k 5 --repeat 100   re-issue the query
 //
-// Every reply line starts with "OK <model_version> ..." so a caller can
-// tell which published checkpoint produced the answer.
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
+// serve::Client handles the overload protocol for you: BUSY replies and
+// connection failures retry with exponential backoff plus jitter (bounded
+// by --attempts), DRAINING surfaces immediately, and every read/write is
+// under a timeout so the client never hangs on a wedged server. Replies
+// flagged STALE were served from cached scores while the server was
+// DEGRADED.
 #include <cstdio>
-#include <cstring>
 #include <string>
 
 #include "common/flags.h"
 #include "common/logging.h"
-
-namespace {
-
-int Connect(int port) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  RTGCN_CHECK(fd >= 0) << "socket() failed";
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(static_cast<uint16_t>(port));
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  RTGCN_CHECK(::connect(fd, reinterpret_cast<sockaddr*>(&addr),
-                        sizeof(addr)) == 0)
-      << "cannot connect to 127.0.0.1:" << port
-      << " — is serve_server running?";
-  return fd;
-}
-
-void SendLine(int fd, const std::string& line) {
-  const std::string wire = line + "\n";
-  size_t off = 0;
-  while (off < wire.size()) {
-    const ssize_t n = ::write(fd, wire.data() + off, wire.size() - off);
-    RTGCN_CHECK(n > 0) << "write failed";
-    off += static_cast<size_t>(n);
-  }
-}
-
-// Reads one '\n'-terminated line (the protocol is strictly one reply line
-// per request, except STATS which streams until "END").
-std::string ReadLine(int fd, std::string* buffer) {
-  for (;;) {
-    const size_t pos = buffer->find('\n');
-    if (pos != std::string::npos) {
-      std::string line = buffer->substr(0, pos);
-      buffer->erase(0, pos + 1);
-      return line;
-    }
-    char chunk[512];
-    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
-    RTGCN_CHECK(n > 0) << "server closed the connection";
-    buffer->append(chunk, static_cast<size_t>(n));
-  }
-}
-
-}  // namespace
+#include "serve/client.h"
 
 int main(int argc, char** argv) {
   using namespace rtgcn;
   auto flags = Flags::Parse(argc, argv).ValueOrDie();
-  const int port = static_cast<int>(flags.GetInt("port", 7070));
+  serve::Client::Options options;
+  options.port = static_cast<int>(flags.GetInt("port", 7070));
+  options.max_attempts = static_cast<int>(flags.GetInt("attempts", 4));
+  options.recv_timeout_ms = flags.GetInt("recv_timeout_ms", 5000);
   const int64_t day = flags.GetInt("day", -1);
   const int64_t stock = flags.GetInt("stock", -1);
   const int64_t k = flags.GetInt("k", 5);
   const int64_t repeat = flags.GetInt("repeat", 1);
+  const int64_t deadline_ms = flags.GetInt("deadline_ms", 0);
   const bool stats = flags.GetBool("stats", false);
+  const bool health = flags.GetBool("health", false);
 
-  const int fd = Connect(port);
-  std::string buffer;
+  serve::Client client(options);
 
+  if (health) {
+    auto reply = client.Health();
+    RTGCN_CHECK(reply.ok()) << reply.status().ToString();
+    std::printf("%s\n", reply.ValueOrDie().c_str());
+    return 0;
+  }
   if (stats) {
-    SendLine(fd, "STATS");
-    for (;;) {
-      const std::string line = ReadLine(fd, &buffer);
-      if (line == "END") break;
-      std::printf("%s\n", line.c_str());
-    }
-  } else {
-    RTGCN_CHECK(day >= 0) << "pass --day (and optionally --stock or --k)";
-    std::string request;
+    auto reply = client.Stats();
+    RTGCN_CHECK(reply.ok()) << reply.status().ToString();
+    std::printf("%s", reply.ValueOrDie().c_str());
+    return 0;
+  }
+
+  RTGCN_CHECK(day >= 0) << "pass --day (and optionally --stock or --k)";
+  for (int64_t i = 0; i < repeat; ++i) {
     if (stock >= 0) {
-      request = "SCORE " + std::to_string(day) + " " + std::to_string(stock);
+      auto reply = client.Score(day, stock, deadline_ms);
+      RTGCN_CHECK(reply.ok()) << reply.status().ToString();
+      const auto& r = reply.ValueOrDie();
+      std::printf("version=%lld score=%.9g rank=%lld/%lld%s\n",
+                  static_cast<long long>(r.model_version),
+                  static_cast<double>(r.score),
+                  static_cast<long long>(r.rank),
+                  static_cast<long long>(r.num_stocks),
+                  r.stale ? " STALE" : "");
     } else {
-      request = "RANK " + std::to_string(day) + " " + std::to_string(k);
-    }
-    for (int64_t i = 0; i < repeat; ++i) {
-      SendLine(fd, request);
-      std::printf("%s\n", ReadLine(fd, &buffer).c_str());
+      auto reply = client.Rank(day, k, deadline_ms);
+      RTGCN_CHECK(reply.ok()) << reply.status().ToString();
+      const auto& r = reply.ValueOrDie();
+      std::printf("version=%lld top:%s",
+                  static_cast<long long>(r.model_version),
+                  r.stale ? " (STALE)" : "");
+      for (const auto& e : r.top) {
+        std::printf(" %lld:%.9g", static_cast<long long>(e.stock),
+                    static_cast<double>(e.score));
+      }
+      std::printf("\n");
     }
   }
-  SendLine(fd, "QUIT");
-  ::close(fd);
+  if (client.retries() > 0) {
+    std::fprintf(stderr, "(retried %llu times)\n",
+                 static_cast<unsigned long long>(client.retries()));
+  }
   return 0;
 }

@@ -7,6 +7,9 @@
 //                  [--reload_interval_ms 1000] [--cache 1]
 //                  [--stocks 60] [--window 15] [--train_epochs 4]
 //                  [--serve_seconds 0] [--num_threads N]
+//                  [--max_queue 1024] [--admission reject|block]
+//                  [--max_connections 256] [--max_line_bytes 65536]
+//                  [--send_timeout_ms 5000]
 //
 // While it runs, retrain in another terminal and export into the same
 // --checkpoint_dir (see README "Serving"): the registry promotes the new
@@ -15,12 +18,14 @@
 
 #include <cstdio>
 #include <memory>
+#include <string>
 
 #include "baselines/rtgcn_predictor.h"
 #include "common/flags.h"
 #include "common/thread_pool.h"
 #include "harness/checkpoint.h"
 #include "market/market.h"
+#include "serve/admission.h"
 #include "serve/registry.h"
 #include "serve/server.h"
 #include "serve/socket_server.h"
@@ -45,6 +50,12 @@ int main(int argc, char** argv) {
   int64_t serve_seconds = 0;
   int64_t stats_every_s = 10;
   int num_threads = 0;
+  int64_t max_queue = 1024;
+  std::string admission = "reject";
+  int64_t admission_timeout_ms = 50;
+  int64_t max_connections = 256;
+  int64_t max_line_bytes = 65536;
+  int64_t send_timeout_ms = 5000;
 
   FlagSet fs("Line-protocol ranking server with hot checkpoint reload over "
              "a simulated market.");
@@ -67,6 +78,18 @@ int main(int argc, char** argv) {
               "print metrics every N seconds (0 = never)");
   fs.Register("num_threads", &num_threads,
               "tensor worker threads (0 = auto)");
+  fs.Register("max_queue", &max_queue,
+              "pending-request bound; excess arrivals are shed");
+  fs.RegisterChoice("admission", &admission, {"reject", "block"},
+                    "full-queue policy: reject fast (BUSY) or block briefly");
+  fs.Register("admission_timeout_ms", &admission_timeout_ms,
+              "wait bound for --admission block");
+  fs.Register("max_connections", &max_connections,
+              "concurrent connection cap (excess get BUSY and close)");
+  fs.Register("max_line_bytes", &max_line_bytes,
+              "request-line length cap");
+  fs.Register("send_timeout_ms", &send_timeout_ms,
+              "per-write reply timeout against slow readers");
   const Status flag_status = fs.Parse(argc, argv);
   if (fs.help_requested()) {
     std::printf("%s", fs.Usage(argv[0]).c_str());
@@ -110,10 +133,20 @@ int main(int argc, char** argv) {
   opts.max_batch = max_batch;
   opts.batch_timeout_us = batch_timeout_us;
   opts.enable_cache = cache;
+  opts.max_queue = max_queue;
+  if (!serve::ParseAdmissionPolicy(admission, &opts.admission)) {
+    std::fprintf(stderr, "unknown --admission %s\n", admission.c_str());
+    return 1;
+  }
+  opts.admission_timeout_ms = admission_timeout_ms;
   serve::InferenceServer server(&dataset, &registry, opts, &metrics);
   server.Start().Abort();
 
-  serve::SocketServer front(&server, &metrics, {port});
+  serve::SocketServer::Options fopts{port};
+  fopts.max_connections = max_connections;
+  fopts.max_line_bytes = max_line_bytes;
+  fopts.send_timeout_ms = send_timeout_ms;
+  serve::SocketServer front(&server, &metrics, fopts);
   front.Start().Abort();
   std::printf("serving %s on 127.0.0.1:%d  (version %lld, days %lld..%lld, "
               "%lld stocks)\n",

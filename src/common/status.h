@@ -24,6 +24,8 @@ enum class StatusCode {
   kIoError,
   kNotImplemented,
   kInternal,
+  kUnavailable,        ///< transient overload/drain; safe to retry with backoff
+  kDeadlineExceeded,   ///< the caller's deadline passed before completion
 };
 
 /// \brief Lightweight error-carrying status, modeled on arrow::Status.
@@ -63,6 +65,14 @@ class Status {
   static Status Internal(Args&&... args) {
     return Make(StatusCode::kInternal, std::forward<Args>(args)...);
   }
+  template <typename... Args>
+  static Status Unavailable(Args&&... args) {
+    return Make(StatusCode::kUnavailable, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status DeadlineExceeded(Args&&... args) {
+    return Make(StatusCode::kDeadlineExceeded, std::forward<Args>(args)...);
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -99,6 +109,8 @@ class Status {
       case StatusCode::kIoError: return "IO error";
       case StatusCode::kNotImplemented: return "Not implemented";
       case StatusCode::kInternal: return "Internal";
+      case StatusCode::kUnavailable: return "Unavailable";
+      case StatusCode::kDeadlineExceeded: return "Deadline exceeded";
     }
     return "Unknown";
   }

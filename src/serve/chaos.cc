@@ -1,0 +1,141 @@
+#include "serve/chaos.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+
+namespace rtgcn::serve {
+
+ChaosInjector::ChaosInjector(Options options)
+    : options_(options), rng_(options.seed) {
+  options_.delay_ms_max = std::max<int64_t>(options_.delay_ms_max, 1);
+}
+
+ChaosInjector::ReplyPlan ChaosInjector::PlanReply(size_t reply_bytes) {
+  plans_.fetch_add(1, std::memory_order_relaxed);
+  double u;
+  uint64_t draw_delay, draw_trunc;
+  {
+    // Fixed number of draws per plan, so the stream stays aligned across
+    // fault kinds and a seed replays the same plan sequence.
+    std::lock_guard<std::mutex> lock(mu_);
+    u = rng_.Uniform();
+    draw_delay = rng_.NextU64();
+    draw_trunc = rng_.NextU64();
+  }
+  ReplyPlan plan;
+  double edge = options_.delay_prob;
+  if (u < edge) {
+    plan.fault = ReplyFault::kDelay;
+    plan.delay_ms = 1 + static_cast<int64_t>(
+                            draw_delay %
+                            static_cast<uint64_t>(options_.delay_ms_max));
+    delays_.fetch_add(1, std::memory_order_relaxed);
+    return plan;
+  }
+  edge += options_.drop_prob;
+  if (u < edge) {
+    plan.fault = ReplyFault::kDrop;
+    drops_.fetch_add(1, std::memory_order_relaxed);
+    return plan;
+  }
+  edge += options_.truncate_prob;
+  if (u < edge) {
+    plan.fault = ReplyFault::kTruncate;
+    plan.truncate_at =
+        reply_bytes > 0 ? static_cast<size_t>(draw_trunc % reply_bytes) : 0;
+    truncates_.fetch_add(1, std::memory_order_relaxed);
+    return plan;
+  }
+  edge += options_.reset_prob;
+  if (u < edge) {
+    plan.fault = ReplyFault::kReset;
+    resets_.fetch_add(1, std::memory_order_relaxed);
+    return plan;
+  }
+  return plan;
+}
+
+RawClient::RawClient(int port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) return;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+RawClient::~RawClient() { Close(); }
+
+bool RawClient::Send(std::string_view bytes) {
+  if (fd_ < 0) return false;
+  size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + off, bytes.size() - off,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+std::string RawClient::ReadLine(int64_t timeout_ms) {
+  if (fd_ < 0) return "";
+  const auto give_up = std::chrono::steady_clock::now() +
+                       std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    const size_t pos = buffer_.find('\n');
+    if (pos != std::string::npos) {
+      std::string line = buffer_.substr(0, pos);
+      buffer_.erase(0, pos + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        give_up - std::chrono::steady_clock::now());
+    if (left.count() <= 0) return "";
+    pollfd pfd{fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, static_cast<int>(left.count()));
+    if (ready < 0 && errno == EINTR) continue;
+    if (ready <= 0) return "";
+    char chunk[512];
+    const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return "";
+    }
+    buffer_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+void RawClient::CloseSend() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+void RawClient::Reset() {
+  if (fd_ < 0) return;
+  linger lg{1, 0};
+  ::setsockopt(fd_, SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
+  ::close(fd_);
+  fd_ = -1;
+}
+
+void RawClient::Close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+}  // namespace rtgcn::serve

@@ -1,0 +1,274 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <thread>
+
+#include "common/strings.h"
+
+namespace rtgcn::serve {
+
+namespace {
+
+void SetSocketTimeout(int fd, int optname, int64_t ms) {
+  if (ms <= 0) return;
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(ms / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((ms % 1000) * 1000);
+  ::setsockopt(fd, SOL_SOCKET, optname, &tv, sizeof(tv));
+}
+
+}  // namespace
+
+Client::Client(Options options, Metrics* metrics)
+    : options_(options), metrics_(metrics), rng_(options.seed) {
+  options_.max_attempts = std::max(options_.max_attempts, 1);
+  options_.backoff_initial_ms = std::max<int64_t>(options_.backoff_initial_ms, 1);
+  options_.backoff_max_ms =
+      std::max(options_.backoff_max_ms, options_.backoff_initial_ms);
+}
+
+Client::~Client() { Close(); }
+
+void Client::Close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  buffer_.clear();
+}
+
+Status Client::EnsureConnected() {
+  if (fd_ >= 0) return Status::OK();
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::IoError("socket: ", std::strerror(errno));
+  // Non-blocking connect bounded by connect_timeout_ms — a dead or
+  // overwhelmed listener fails the attempt instead of hanging the caller.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc != 0 && errno == EINPROGRESS) {
+    pollfd pfd{fd, POLLOUT, 0};
+    const int ready = ::poll(
+        &pfd, 1,
+        static_cast<int>(std::max<int64_t>(options_.connect_timeout_ms, 1)));
+    if (ready <= 0) {
+      ::close(fd);
+      return Status::Unavailable("connect to 127.0.0.1:", options_.port,
+                                 " timed out");
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+    rc = (err == 0) ? 0 : -1;
+    errno = err;
+  }
+  if (rc != 0) {
+    const std::string detail = std::strerror(errno);
+    ::close(fd);
+    return Status::Unavailable("connect to 127.0.0.1:", options_.port, ": ",
+                               detail);
+  }
+  ::fcntl(fd, F_SETFL, flags);
+  SetSocketTimeout(fd, SO_RCVTIMEO, options_.recv_timeout_ms);
+  SetSocketTimeout(fd, SO_SNDTIMEO, options_.send_timeout_ms);
+  fd_ = fd;
+  buffer_.clear();
+  return Status::OK();
+}
+
+Status Client::SendLine(const std::string& line) {
+  const std::string wire = line + "\n";
+  size_t off = 0;
+  while (off < wire.size()) {
+    const ssize_t n =
+        ::send(fd_, wire.data() + off, wire.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return Status::IoError("send: ", std::strerror(errno));
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<std::string> Client::ReadLine() {
+  for (;;) {
+    const size_t pos = buffer_.find('\n');
+    if (pos != std::string::npos) {
+      std::string line = buffer_.substr(0, pos);
+      buffer_.erase(0, pos + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    char chunk[4096];
+    const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n == 0) return Status::IoError("server closed the connection");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::DeadlineExceeded("no reply within ",
+                                        options_.recv_timeout_ms, "ms");
+      }
+      return Status::IoError("read: ", std::strerror(errno));
+    }
+    buffer_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+void Client::Backoff(int attempt) {
+  // Exponential backoff, capped, with multiplicative jitter in [0.5, 1.0]
+  // so a fleet of retrying clients decorrelates instead of thundering
+  // back in lockstep.
+  int64_t backoff = options_.backoff_initial_ms;
+  for (int i = 1; i < attempt && backoff < options_.backoff_max_ms; ++i) {
+    backoff *= 2;
+  }
+  backoff = std::min(backoff, options_.backoff_max_ms);
+  const double jitter = 0.5 + 0.5 * rng_.Uniform();
+  std::this_thread::sleep_for(std::chrono::milliseconds(
+      std::max<int64_t>(1, static_cast<int64_t>(backoff * jitter))));
+}
+
+Result<std::string> Client::RoundTrip(const std::string& line) {
+  Status last = Status::Unavailable("no attempt made");
+  for (int attempt = 1; attempt <= options_.max_attempts; ++attempt) {
+    if (attempt > 1) {
+      ++retries_;
+      if (metrics_) {
+        metrics_->client_retries.fetch_add(1, std::memory_order_relaxed);
+      }
+      Backoff(attempt - 1);
+    }
+    const Status connected = EnsureConnected();
+    if (!connected.ok()) {
+      last = connected;
+      continue;
+    }
+    const Status sent = SendLine(line);
+    if (!sent.ok()) {
+      Close();
+      last = sent;
+      continue;
+    }
+    auto reply = ReadLine();
+    if (!reply.ok()) {
+      // Lost or timed-out reply: the connection's request/response framing
+      // is now ambiguous, so reconnect before retrying.
+      Close();
+      last = reply.status();
+      continue;
+    }
+    const std::string& r = reply.ValueOrDie();
+    if (StartsWith(r, "BUSY")) {
+      last = Status::Unavailable(r);
+      if (!options_.retry_busy) return last;
+      continue;  // the connection itself is fine — back off and retry
+    }
+    if (StartsWith(r, "DRAINING")) {
+      return Status::Unavailable("draining: server is stopping");
+    }
+    return r;
+  }
+  return Status(last.code(), last.message() + " (after " +
+                                 std::to_string(options_.max_attempts) +
+                                 " attempts)");
+}
+
+Result<std::string> Client::Health() { return RoundTrip("HEALTH"); }
+
+Result<std::string> Client::Stats() {
+  auto first = RoundTrip("STATS");
+  if (!first.ok()) return first.status();
+  std::string text;
+  std::string line = first.MoveValueOrDie();
+  while (line != "END") {
+    text += line;
+    text += '\n';
+    auto next = ReadLine();
+    if (!next.ok()) {
+      Close();
+      return next.status();
+    }
+    line = next.MoveValueOrDie();
+  }
+  return text;
+}
+
+Result<Client::ScoreResult> Client::Score(int64_t day, int64_t stock,
+                                          int64_t deadline_ms) {
+  std::ostringstream req;
+  req << "SCORE " << day << ' ' << stock;
+  if (deadline_ms > 0) req << " DEADLINE " << deadline_ms;
+  auto reply = RoundTrip(req.str());
+  if (!reply.ok()) return reply.status();
+  const std::string& r = reply.ValueOrDie();
+  if (StartsWith(r, "ERR deadline exceeded")) {
+    return Status::DeadlineExceeded(r);
+  }
+  if (StartsWith(r, "ERR")) return Status::Internal(r);
+  std::istringstream in(r);
+  std::string ok, flag;
+  ScoreResult result;
+  in >> ok >> result.model_version >> result.score >> result.rank >>
+      result.num_stocks;
+  if (!in || ok != "OK") {
+    return Status::Internal("malformed SCORE reply: ", r);
+  }
+  if (in >> flag) result.stale = (flag == "STALE");
+  return result;
+}
+
+Result<Client::RankResult> Client::Rank(int64_t day, int64_t k,
+                                        int64_t deadline_ms) {
+  std::ostringstream req;
+  req << "RANK " << day << ' ' << k;
+  if (deadline_ms > 0) req << " DEADLINE " << deadline_ms;
+  auto reply = RoundTrip(req.str());
+  if (!reply.ok()) return reply.status();
+  const std::string& r = reply.ValueOrDie();
+  if (StartsWith(r, "ERR deadline exceeded")) {
+    return Status::DeadlineExceeded(r);
+  }
+  if (StartsWith(r, "ERR")) return Status::Internal(r);
+  std::istringstream in(r);
+  std::string ok;
+  RankResult result;
+  int64_t count = 0;
+  in >> ok >> result.model_version >> count;
+  if (!in || ok != "OK" || count < 0) {
+    return Status::Internal("malformed RANK reply: ", r);
+  }
+  result.top.reserve(static_cast<size_t>(count));
+  for (int64_t i = 0; i < count; ++i) {
+    std::string entry;
+    if (!(in >> entry)) return Status::Internal("truncated RANK reply: ", r);
+    const size_t colon = entry.find(':');
+    if (colon == std::string::npos) {
+      return Status::Internal("malformed RANK entry: ", entry);
+    }
+    RankEntry e;
+    e.stock = std::strtoll(entry.substr(0, colon).c_str(), nullptr, 10);
+    e.score = std::strtof(entry.c_str() + colon + 1, nullptr);
+    result.top.push_back(e);
+  }
+  std::string flag;
+  if (in >> flag) result.stale = (flag == "STALE");
+  return result;
+}
+
+}  // namespace rtgcn::serve

@@ -11,6 +11,15 @@ Metrics::Metrics()
     : requests(*registry.GetCounter("serve.requests")),
       responses_ok(*registry.GetCounter("serve.responses_ok")),
       responses_error(*registry.GetCounter("serve.responses_error")),
+      shed(*registry.GetCounter("serve.shed")),
+      expired(*registry.GetCounter("serve.expired")),
+      busy_rejected(*registry.GetCounter("serve.busy_rejected")),
+      stale_served(*registry.GetCounter("serve.stale_served")),
+      oversized_lines(*registry.GetCounter("serve.oversized_lines")),
+      send_errors(*registry.GetCounter("serve.send_errors")),
+      client_retries(*registry.GetCounter("serve.client_retries")),
+      degraded_seconds(*registry.GetGauge("serve.degraded_seconds")),
+      conns_active(*registry.GetGauge("serve.conns_active")),
       batches(*registry.GetCounter("serve.batches")),
       forwards(*registry.GetCounter("serve.forwards")),
       cache_hits(*registry.GetCounter("serve.cache_hits")),
@@ -56,6 +65,15 @@ std::string Metrics::DumpText() const {
   count("serve.requests", requests.Value());
   count("serve.responses_ok", responses_ok.Value());
   count("serve.responses_error", responses_error.Value());
+  count("serve.shed", shed.Value());
+  count("serve.expired", expired.Value());
+  count("serve.busy_rejected", busy_rejected.Value());
+  count("serve.stale_served", stale_served.Value());
+  count("serve.oversized_lines", oversized_lines.Value());
+  count("serve.send_errors", send_errors.Value());
+  count("serve.client_retries", client_retries.Value());
+  line("serve.degraded_seconds", degraded_seconds.Value());
+  line("serve.conns_active", conns_active.Value());
   count("serve.batches", batches.Value());
   count("serve.forwards", forwards.Value());
   count("serve.cache_hits", cache_hits.Value());

@@ -100,10 +100,26 @@ struct Metrics {
   /// The backing registry; STATS and DumpText render from it.
   obs::Registry registry;
 
-  // Request lifecycle.
+  // Request lifecycle. Every request that reaches Submit ends in exactly
+  // one of responses_ok / responses_error / expired / shed, so
+  //   requests == responses_ok + responses_error + expired + shed
+  // holds whenever the queue is drained — the chaos suite's accounting
+  // invariant. busy_rejected counts socket-level rejections that never
+  // reach Submit (they are not part of `requests`).
   obs::Counter& requests;        ///< enqueued queries
   obs::Counter& responses_ok;    ///< answered successfully
   obs::Counter& responses_error; ///< answered with an error
+
+  // Overload safety.
+  obs::Counter& shed;            ///< refused at admission (queue full / drain)
+  obs::Counter& expired;         ///< deadline passed while queued
+  obs::Counter& busy_rejected;   ///< connections refused at the conn cap
+  obs::Counter& stale_served;    ///< replies served from stale scores
+  obs::Counter& oversized_lines; ///< protocol lines over the length cap
+  obs::Counter& send_errors;     ///< reply writes that failed/timed out
+  obs::Counter& client_retries;  ///< serve::Client retry attempts
+  obs::Gauge& degraded_seconds;  ///< cumulative seconds in DEGRADED
+  obs::Gauge& conns_active;      ///< open protocol connections
 
   // Micro-batcher.
   obs::Counter& batches;         ///< batches executed

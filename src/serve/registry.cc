@@ -52,6 +52,15 @@ int64_t ModelRegistry::CurrentVersion() const {
   return snap ? snap->version() : -1;
 }
 
+void ModelRegistry::Unpublish() {
+  std::lock_guard<std::mutex> publish(current_mu_);
+  if (current_) {
+    RTGCN_LOG(Warning) << "serve: unpublishing version "
+                       << current_->version();
+  }
+  current_.reset();
+}
+
 bool ModelRegistry::PollOnce() {
   std::lock_guard<std::mutex> lock(reload_mu_);
   auto epochs = manager_.ListCheckpoints();
@@ -69,6 +78,7 @@ bool ModelRegistry::PollOnce() {
         std::lock_guard<std::mutex> publish(current_mu_);
         current_ = snap.MoveValueOrDie();
       }
+      consecutive_failures_.store(0, std::memory_order_relaxed);
       if (metrics_) {
         metrics_->reload_success.fetch_add(1, std::memory_order_relaxed);
       }
@@ -76,6 +86,7 @@ bool ModelRegistry::PollOnce() {
                       << " as version " << *it;
       return true;
     }
+    consecutive_failures_.fetch_add(1, std::memory_order_relaxed);
     if (metrics_) {
       metrics_->reload_failure.fetch_add(1, std::memory_order_relaxed);
     }

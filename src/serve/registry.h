@@ -64,6 +64,21 @@ class ModelRegistry {
   /// Version of the current snapshot, -1 when none is published.
   int64_t CurrentVersion() const;
 
+  /// Emergency ops control: withdraws the published snapshot so queries
+  /// fall back to the inference server's stale-score cache (flagged STALE)
+  /// instead of a model an operator wants pulled. With a live poll loop
+  /// the newest loadable checkpoint on disk is re-promoted at the next
+  /// poll — remove the files first to keep the model down.
+  void Unpublish();
+
+  /// Reload failures since the last successful promotion. Feeds the
+  /// serving health state machine: crossing the server's
+  /// degraded_failure_threshold flips health to DEGRADED (the previous
+  /// snapshot keeps serving, flagged STALE).
+  int64_t consecutive_reload_failures() const {
+    return consecutive_failures_.load(std::memory_order_relaxed);
+  }
+
   /// Scans the directory once and promotes the newest loadable checkpoint
   /// whose epoch exceeds the served version, skipping (and counting)
   /// unloadable candidates. Returns true when a new snapshot was published.
@@ -87,6 +102,8 @@ class ModelRegistry {
   // ThreadSanitizer and CI runs this code under TSan.)
   mutable std::mutex current_mu_;
   std::shared_ptr<const ModelSnapshot> current_;
+
+  std::atomic<int64_t> consecutive_failures_{0};
 
   mutable std::mutex reload_mu_;        ///< serializes concurrent PollOnce
   std::mutex poll_mu_;                  ///< guards the poll thread lifecycle

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <sstream>
 #include <utility>
 
 #include "common/logging.h"
@@ -20,17 +21,34 @@ uint64_t CacheKey(int64_t version, int64_t day) {
          static_cast<uint64_t>(day);
 }
 
+constexpr auto kNoDeadline = std::chrono::steady_clock::time_point::max();
+
 }  // namespace
+
+const char* HealthStateName(HealthState state) {
+  switch (state) {
+    case HealthState::kServing: return "SERVING";
+    case HealthState::kDegraded: return "DEGRADED";
+    case HealthState::kDraining: return "DRAINING";
+  }
+  return "UNKNOWN";
+}
 
 InferenceServer::InferenceServer(const market::WindowDataset* data,
                                  ModelRegistry* registry, Options options,
                                  Metrics* metrics)
-    : data_(data), registry_(registry), options_(options), metrics_(metrics) {
+    : data_(data),
+      registry_(registry),
+      options_(options),
+      metrics_(metrics),
+      admission_({std::max<int64_t>(options.max_queue, 1), options.admission,
+                  options.admission_timeout_ms, "requests"}) {
   RTGCN_CHECK(data_ != nullptr);
   RTGCN_CHECK(registry_ != nullptr);
   options_.max_batch = std::max<int64_t>(options_.max_batch, 1);
   options_.batch_timeout_us = std::max<int64_t>(options_.batch_timeout_us, 0);
   options_.cache_capacity = std::max<int64_t>(options_.cache_capacity, 1);
+  options_.max_queue = std::max<int64_t>(options_.max_queue, 1);
 }
 
 InferenceServer::~InferenceServer() { Stop(); }
@@ -39,49 +57,62 @@ Status InferenceServer::Start() {
   std::lock_guard<std::mutex> lock(queue_mu_);
   if (running_) return Status::OK();
   running_ = true;
-  stop_ = false;
+  draining_ = false;
+  admission_.Reopen();
   batcher_ = std::thread([this] { BatchLoop(); });
   return Status::OK();
 }
 
 void InferenceServer::Stop() {
-  std::vector<Pending> orphans;
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
     if (!running_) return;
-    stop_ = true;
-    orphans.assign(std::make_move_iterator(queue_.begin()),
-                   std::make_move_iterator(queue_.end()));
-    queue_.clear();
+    draining_ = true;
   }
+  // Fail waiters at the admission gate (and all later arrivals) with a
+  // "draining" status, then let the batcher flush what was already
+  // admitted: a drain completes queued work instead of orphaning it.
+  admission_.CloseForDrain();
   queue_cv_.notify_all();
   if (batcher_.joinable()) batcher_.join();
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
     running_ = false;
   }
-  for (Pending& p : orphans) {
-    p.promise.set_value(Status::Internal("server stopped"));
-    if (metrics_) {
-      metrics_->responses_error.fetch_add(1, std::memory_order_relaxed);
-    }
-  }
 }
 
-Result<InferenceServer::Scored> InferenceServer::Submit(int64_t day) {
+Result<InferenceServer::Scored> InferenceServer::Submit(
+    int64_t day, const RequestOptions& request) {
   if (metrics_) metrics_->requests.fetch_add(1, std::memory_order_relaxed);
+  const auto now = std::chrono::steady_clock::now();
+  const auto deadline =
+      request.deadline_ms > 0
+          ? now + std::chrono::milliseconds(request.deadline_ms)
+          : kNoDeadline;
+  // Admission first: a full queue answers in bounded time (reject-fast or
+  // block-with-timeout) instead of growing without limit.
+  const Status admitted = admission_.Admit(deadline);
+  if (!admitted.ok()) {
+    if (metrics_) {
+      (admitted.code() == StatusCode::kDeadlineExceeded ? metrics_->expired
+                                                        : metrics_->shed)
+          .fetch_add(1, std::memory_order_relaxed);
+    }
+    return admitted;
+  }
   std::future<Result<Scored>> future;
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
-    if (!running_ || stop_) {
-      if (metrics_) {
-        metrics_->responses_error.fetch_add(1, std::memory_order_relaxed);
-      }
-      return Status::Internal("inference server is not running");
+    if (!running_ || draining_) {
+      admission_.Release();
+      if (metrics_) metrics_->shed.fetch_add(1, std::memory_order_relaxed);
+      return Status::Unavailable(running_ ? "draining: server is stopping"
+                                          : "draining: server is not running");
     }
     Pending pending;
     pending.day = day;
-    pending.enqueue = std::chrono::steady_clock::now();
+    pending.enqueue = now;
+    pending.deadline = deadline;
     pending.enqueue_us = obs::NowMicros();
     future = pending.promise.get_future();
     queue_.push_back(std::move(pending));
@@ -90,20 +121,22 @@ Result<InferenceServer::Scored> InferenceServer::Submit(int64_t day) {
   return future.get();
 }
 
-Result<InferenceServer::RankReply> InferenceServer::Rank(int64_t day) {
+Result<InferenceServer::RankReply> InferenceServer::Rank(
+    int64_t day, RequestOptions request) {
   obs::Span span("serve.rank", "serve");
-  auto scored = Submit(day);
+  auto scored = Submit(day, request);
   if (!scored.ok()) return scored.status();
   const Scored& s = scored.ValueOrDie();
   RankReply reply;
   reply.model_version = s.version;
   reply.day = day;
   reply.scores = s.day->scores;
+  reply.stale = s.stale;
   return reply;
 }
 
-Result<InferenceServer::ScoreReply> InferenceServer::Score(int64_t day,
-                                                           int64_t stock) {
+Result<InferenceServer::ScoreReply> InferenceServer::Score(
+    int64_t day, int64_t stock, RequestOptions request) {
   obs::Span span("serve.score", "serve");
   if (stock < 0 || stock >= data_->num_stocks()) {
     if (metrics_) {
@@ -113,7 +146,7 @@ Result<InferenceServer::ScoreReply> InferenceServer::Score(int64_t day,
     return Status::InvalidArgument("stock ", stock, " out of range [0, ",
                                    data_->num_stocks(), ")");
   }
-  auto scored = Submit(day);
+  auto scored = Submit(day, request);
   if (!scored.ok()) return scored.status();
   const Scored& s = scored.ValueOrDie();
   ScoreReply reply;
@@ -121,33 +154,98 @@ Result<InferenceServer::ScoreReply> InferenceServer::Score(int64_t day,
   reply.score = s.day->scores[static_cast<size_t>(stock)];
   reply.rank = s.day->ranks[static_cast<size_t>(stock)];
   reply.num_stocks = data_->num_stocks();
+  reply.stale = s.stale;
   return reply;
+}
+
+HealthState InferenceServer::HealthLocked(bool draining) {
+  HealthState state;
+  if (draining) {
+    state = HealthState::kDraining;
+  } else if (registry_->Current() == nullptr) {
+    state = HealthState::kDegraded;
+  } else if (options_.degraded_failure_threshold > 0 &&
+             registry_->consecutive_reload_failures() >=
+                 options_.degraded_failure_threshold) {
+    state = HealthState::kDegraded;
+  } else {
+    state = HealthState::kServing;
+  }
+  // Degraded-seconds accounting: attribute the time since the previous
+  // evaluation to the state it was spent in.
+  std::lock_guard<std::mutex> lock(health_mu_);
+  const uint64_t now_us = obs::NowMicros();
+  if (last_health_us_ != 0 && was_degraded_) {
+    degraded_secs_ +=
+        static_cast<double>(obs::ElapsedMicrosSince(last_health_us_)) * 1e-6;
+  }
+  last_health_us_ = now_us;
+  was_degraded_ = (state == HealthState::kDegraded);
+  if (metrics_) metrics_->degraded_seconds.Set(degraded_secs_);
+  return state;
+}
+
+HealthState InferenceServer::Health() {
+  bool draining;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    draining = !running_ || draining_;
+  }
+  return HealthLocked(draining);
+}
+
+std::string InferenceServer::HealthLine() {
+  size_t depth;
+  bool draining;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    draining = !running_ || draining_;
+    depth = queue_.size();
+  }
+  const HealthState state = HealthLocked(draining);
+  std::ostringstream out;
+  out << HealthStateName(state) << " version=" << registry_->CurrentVersion()
+      << " reload_failures=" << registry_->consecutive_reload_failures()
+      << " queue=" << depth;
+  return out.str();
 }
 
 void InferenceServer::BatchLoop() {
   std::unique_lock<std::mutex> lock(queue_mu_);
   while (true) {
-    queue_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-    if (stop_) break;
+    queue_cv_.wait(lock, [this] { return draining_ || !queue_.empty(); });
+    if (draining_ && queue_.empty()) break;
     // Micro-batch window: flush at max_batch requests or batch_timeout_us
-    // after the batch's first request, whichever comes first.
-    if (options_.batch_timeout_us > 0 &&
+    // after the batch's first request — but wake no later than the
+    // earliest request deadline, so an expiring request is shed promptly
+    // instead of after the full window. A drain flushes immediately.
+    if (options_.batch_timeout_us > 0 && !draining_ &&
         static_cast<int64_t>(queue_.size()) < options_.max_batch) {
-      const auto deadline =
-          queue_.front().enqueue +
-          std::chrono::microseconds(options_.batch_timeout_us);
-      queue_cv_.wait_until(lock, deadline, [this] {
-        return stop_ ||
+      auto wake = queue_.front().enqueue +
+                  std::chrono::microseconds(options_.batch_timeout_us);
+      for (const Pending& p : queue_) wake = std::min(wake, p.deadline);
+      queue_cv_.wait_until(lock, wake, [this] {
+        return draining_ ||
                static_cast<int64_t>(queue_.size()) >= options_.max_batch;
       });
-      if (stop_) break;
     }
+    // Shed everything whose deadline passed while queued, then take the
+    // batch from what remains.
+    std::vector<Pending> dead;
     std::vector<Pending> batch;
     {
       obs::Span assemble("serve.assemble", "serve");
-      const int64_t take =
-          std::min<int64_t>(options_.max_batch,
-                            static_cast<int64_t>(queue_.size()));
+      const auto now = std::chrono::steady_clock::now();
+      for (auto it = queue_.begin(); it != queue_.end();) {
+        if (it->deadline <= now) {
+          dead.push_back(std::move(*it));
+          it = queue_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      const int64_t take = std::min<int64_t>(
+          options_.max_batch, static_cast<int64_t>(queue_.size()));
       batch.reserve(static_cast<size_t>(take));
       for (int64_t i = 0; i < take; ++i) {
         batch.push_back(std::move(queue_.front()));
@@ -155,7 +253,15 @@ void InferenceServer::BatchLoop() {
       }
     }
     lock.unlock();
-    ExecuteBatch(std::move(batch));
+    for (Pending& p : dead) {
+      admission_.Release();
+      if (metrics_) metrics_->expired.fetch_add(1, std::memory_order_relaxed);
+      p.promise.set_value(Status::DeadlineExceeded(
+          "deadline exceeded after ", obs::ElapsedMicrosSince(p.enqueue_us),
+          "us in queue"));
+    }
+    for (size_t i = 0; i < batch.size(); ++i) admission_.Release();
+    if (!batch.empty()) ExecuteBatch(std::move(batch));
     lock.lock();
   }
 }
@@ -213,6 +319,30 @@ InferenceServer::ScoresFor(const ModelSnapshot& snapshot, int64_t day) {
   return std::shared_ptr<const DayScores>(std::move(entry));
 }
 
+InferenceServer::Scored InferenceServer::LastScoresFor(int64_t day) {
+  std::lock_guard<std::mutex> lock(stale_mu_);
+  auto it = last_by_day_.find(day);
+  if (it == last_by_day_.end()) return Scored{};
+  Scored stale = it->second;
+  stale.stale = true;
+  return stale;
+}
+
+void InferenceServer::RememberScores(
+    int64_t day, int64_t version, std::shared_ptr<const DayScores> entry) {
+  std::lock_guard<std::mutex> lock(stale_mu_);
+  auto [it, inserted] = last_by_day_.try_emplace(day);
+  it->second = Scored{version, std::move(entry), false};
+  if (inserted) {
+    stale_fifo_.push_back(day);
+    while (static_cast<int64_t>(stale_fifo_.size()) >
+           options_.cache_capacity) {
+      last_by_day_.erase(stale_fifo_.front());
+      stale_fifo_.pop_front();
+    }
+  }
+}
+
 void InferenceServer::ExecuteBatch(std::vector<Pending> batch) {
   obs::Span span("serve.batch", "serve");
   if (metrics_) {
@@ -222,6 +352,7 @@ void InferenceServer::ExecuteBatch(std::vector<Pending> batch) {
   // Pin exactly one published snapshot for the whole batch: every response
   // it produces maps to this version.
   const std::shared_ptr<const ModelSnapshot> snapshot = registry_->Current();
+  const bool degraded = (Health() == HealthState::kDegraded);
   // Days scored within this batch (coalesces same-day requests even when
   // the cross-batch cache is disabled).
   std::unordered_map<int64_t, Result<std::shared_ptr<const DayScores>>>
@@ -229,14 +360,24 @@ void InferenceServer::ExecuteBatch(std::vector<Pending> batch) {
   for (Pending& p : batch) {
     Result<Scored> result = Status::Internal("unset");
     if (!snapshot) {
-      result = Status::NotFound("no model version published yet");
+      // Graceful degradation: with no published model, fall back to the
+      // last scores ever computed for this day (flagged stale) instead of
+      // erroring; only a day never scored before fails.
+      Scored stale = LastScoresFor(p.day);
+      if (stale.day) {
+        result = std::move(stale);
+      } else {
+        result = Status::NotFound("no model version published yet");
+      }
     } else {
       auto it = by_day.find(p.day);
       if (it == by_day.end()) {
         it = by_day.emplace(p.day, ScoresFor(*snapshot, p.day)).first;
       }
       if (it->second.ok()) {
-        result = Scored{snapshot->version(), it->second.ValueOrDie()};
+        result = Scored{snapshot->version(), it->second.ValueOrDie(),
+                        degraded};
+        RememberScores(p.day, snapshot->version(), it->second.ValueOrDie());
       } else {
         result = it->second.status();
       }
@@ -248,6 +389,9 @@ void InferenceServer::ExecuteBatch(std::vector<Pending> batch) {
       metrics_->latency.Record(obs::ElapsedMicrosSince(p.enqueue_us));
       (ok ? metrics_->responses_ok : metrics_->responses_error)
           .fetch_add(1, std::memory_order_relaxed);
+      if (ok && result.ValueOrDie().stale) {
+        metrics_->stale_served.fetch_add(1, std::memory_order_relaxed);
+      }
     }
     obs::Span reply("serve.reply", "serve");
     p.promise.set_value(std::move(result));

@@ -13,6 +13,21 @@
 // Every batch pins exactly one registry snapshot for its whole execution,
 // so each response carries the version of exactly one published model —
 // hot reloads never produce a response mixing two versions.
+//
+// Overload safety (DESIGN.md §13):
+//  * the pending queue is bounded by an AdmissionController — a full
+//    server sheds new work with Unavailable (BUSY on the wire) instead of
+//    queueing without limit;
+//  * a request may carry a deadline; if it expires before its batch runs
+//    it is shed with DeadlineExceeded and counted in Metrics::expired;
+//  * Stop() drains: in-flight and queued batches complete, new requests
+//    fail with a "draining" status (DRAINING on the wire);
+//  * Health() reports SERVING / DEGRADED / DRAINING. The server is
+//    DEGRADED when the registry has no published snapshot or its reload
+//    failures cross degraded_failure_threshold; degraded replies serve
+//    real (but possibly outdated) scores flagged `stale` instead of
+//    erroring, falling back to the last scores ever computed for a day
+//    when no snapshot is published at all.
 #ifndef RTGCN_SERVE_SERVER_H_
 #define RTGCN_SERVE_SERVER_H_
 
@@ -23,16 +38,27 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
 #include "market/dataset.h"
+#include "serve/admission.h"
 #include "serve/metrics.h"
 #include "serve/registry.h"
 
 namespace rtgcn::serve {
+
+/// Health state machine of a serving process (HEALTH wire command).
+enum class HealthState {
+  kServing,   ///< a snapshot is published and reloads are healthy
+  kDegraded,  ///< no snapshot, or reload failures crossed the threshold
+  kDraining,  ///< Stop() ran (or Start() never did): no new work admitted
+};
+
+const char* HealthStateName(HealthState state);
 
 /// \brief Micro-batching inference server over one WindowDataset.
 class InferenceServer {
@@ -42,6 +68,19 @@ class InferenceServer {
     int64_t batch_timeout_us = 200;///< ... or this long after the first one
     bool enable_cache = true;      ///< per-(version, day) score cache
     int64_t cache_capacity = 256;  ///< cached (version, day) entries (FIFO)
+
+    // Overload safety.
+    int64_t max_queue = 1024;      ///< pending-request bound (admission)
+    AdmissionPolicy admission = AdmissionPolicy::kRejectFast;
+    int64_t admission_timeout_ms = 50;  ///< kBlockWithTimeout wait bound
+    /// Consecutive reload failures before health flips to DEGRADED and
+    /// replies are flagged stale; <= 0 disables the failure trigger.
+    int64_t degraded_failure_threshold = 3;
+  };
+
+  /// Per-request options (the wire protocol's optional DEADLINE suffix).
+  struct RequestOptions {
+    int64_t deadline_ms = 0;  ///< shed if not executing within this; 0 = none
   };
 
   /// All-stock scores for one day, plus the model version that produced
@@ -50,6 +89,7 @@ class InferenceServer {
     int64_t model_version = -1;
     int64_t day = -1;
     std::vector<float> scores;  ///< [N], index = stock id
+    bool stale = false;         ///< served while DEGRADED (see Options)
   };
 
   /// One stock's score and its rank (0 = best) among that day's scores.
@@ -58,6 +98,7 @@ class InferenceServer {
     float score = 0;
     int64_t rank = -1;
     int64_t num_stocks = 0;
+    bool stale = false;
   };
 
   /// `data` and `registry` must outlive the server; `metrics` may be null.
@@ -71,14 +112,28 @@ class InferenceServer {
   /// Starts the batcher thread. Idempotent.
   Status Start();
 
-  /// Stops the batcher; queued requests are failed with an error status.
+  /// Drains and stops the batcher: queued and in-flight batches complete,
+  /// requests arriving after Stop() fail with a "draining" Unavailable.
   void Stop();
 
   /// Blocking: scores for every stock on prediction day `day`.
-  Result<RankReply> Rank(int64_t day);
+  Result<RankReply> Rank(int64_t day, RequestOptions request);
+  Result<RankReply> Rank(int64_t day) { return Rank(day, RequestOptions()); }
 
   /// Blocking: score and rank of `stock` on prediction day `day`.
-  Result<ScoreReply> Score(int64_t day, int64_t stock);
+  Result<ScoreReply> Score(int64_t day, int64_t stock,
+                           RequestOptions request);
+  Result<ScoreReply> Score(int64_t day, int64_t stock) {
+    return Score(day, stock, RequestOptions());
+  }
+
+  /// Current health; evaluating it also advances the degraded-seconds
+  /// accounting in Metrics.
+  HealthState Health();
+
+  /// One-line health summary for the HEALTH wire command, e.g.
+  /// "SERVING version=3 reload_failures=0 queue=0".
+  std::string HealthLine();
 
   const market::WindowDataset& data() const { return *data_; }
   const Options& options() const { return options_; }
@@ -93,31 +148,41 @@ class InferenceServer {
   struct Scored {
     int64_t version = -1;
     std::shared_ptr<const DayScores> day;
+    bool stale = false;
   };
   struct Pending {
     int64_t day;
     std::chrono::steady_clock::time_point enqueue;  // batch-window deadline
+    std::chrono::steady_clock::time_point deadline; // max() when none
     uint64_t enqueue_us = 0;  // obs::NowMicros at enqueue, for latency
     std::promise<Result<Scored>> promise;
   };
 
-  Result<Scored> Submit(int64_t day);
+  Result<Scored> Submit(int64_t day, const RequestOptions& request);
   void BatchLoop();
   void ExecuteBatch(std::vector<Pending> batch);
   // Scores `day` under `snapshot`, via the cache when enabled.
   Result<std::shared_ptr<const DayScores>> ScoresFor(
       const ModelSnapshot& snapshot, int64_t day);
+  // Last scores ever computed for `day`, any version; nullptr when never
+  // scored. The DEGRADED fallback when no snapshot is published.
+  Scored LastScoresFor(int64_t day);
+  void RememberScores(int64_t day, int64_t version,
+                      std::shared_ptr<const DayScores> entry);
+  HealthState HealthLocked(bool draining);
 
   const market::WindowDataset* data_;
   ModelRegistry* registry_;
   Options options_;
   Metrics* metrics_;
 
+  AdmissionController admission_;
+
   std::mutex queue_mu_;
   std::condition_variable queue_cv_;
   std::deque<Pending> queue_;
   bool running_ = false;
-  bool stop_ = false;
+  bool draining_ = false;
   std::thread batcher_;
 
   // (version, day) -> scores; FIFO-evicted at cache_capacity. Guarded by
@@ -126,6 +191,19 @@ class InferenceServer {
   std::mutex cache_mu_;
   std::unordered_map<uint64_t, std::shared_ptr<const DayScores>> cache_;
   std::deque<uint64_t> cache_fifo_;
+
+  // day -> newest scores computed for it (any version); the stale-serving
+  // fallback. Bounded like the cache, FIFO over first-seen days.
+  std::mutex stale_mu_;
+  std::unordered_map<int64_t, Scored> last_by_day_;
+  std::deque<int64_t> stale_fifo_;
+
+  // Degraded-seconds accounting: wall-clock spent in kDegraded, advanced
+  // on every Health() evaluation (each batch and each HEALTH command).
+  std::mutex health_mu_;
+  uint64_t last_health_us_ = 0;
+  bool was_degraded_ = false;
+  double degraded_secs_ = 0;
 };
 
 }  // namespace rtgcn::serve

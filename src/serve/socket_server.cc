@@ -3,10 +3,12 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -39,26 +41,51 @@ bool ParseInt(const std::string& s, int64_t* out) {
   return true;
 }
 
-// Writes all of `data`, tolerating short writes; false on error.
-bool WriteAll(int fd, const std::string& data) {
-  size_t off = 0;
-  while (off < data.size()) {
-    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
-      return false;
-    }
-    off += static_cast<size_t>(n);
+// Parses an optional trailing "DEADLINE <ms>" (ms > 0) starting at
+// parts[at]; true when absent or well-formed.
+bool ParseDeadline(const std::vector<std::string>& parts, size_t at,
+                   int64_t* deadline_ms) {
+  *deadline_ms = 0;
+  if (parts.size() == at) return true;
+  if (parts.size() != at + 2 || parts[at] != "DEADLINE") return false;
+  return ParseInt(parts[at + 1], deadline_ms) && *deadline_ms > 0;
+}
+
+// Overload-safety wire mapping: shed/draining/deadline outcomes get their
+// own first tokens so clients can branch without parsing prose.
+std::string ErrorReply(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kUnavailable:
+      if (StartsWith(status.message(), "draining")) return "DRAINING";
+      return "BUSY " + status.message();
+    case StatusCode::kDeadlineExceeded:
+      return "ERR deadline exceeded: " + status.message();
+    default:
+      return "ERR " + status.ToString();
   }
-  return true;
+}
+
+// Transient accept() failures that must not kill the listener: fd
+// exhaustion (ours or system-wide), a client aborting the handshake, or
+// momentary kernel memory pressure. Everything else (EBADF/EINVAL after
+// Stop() closed the listener) ends the loop.
+bool AcceptErrnoIsTransient(int err) {
+  return err == ECONNABORTED || err == EMFILE || err == ENFILE ||
+         err == ENOBUFS || err == ENOMEM || err == EAGAIN ||
+         err == EWOULDBLOCK || err == EPROTO;
 }
 
 }  // namespace
 
 SocketServer::SocketServer(InferenceServer* server, Metrics* metrics,
                            Options options)
-    : server_(server), metrics_(metrics), options_(options) {
+    : server_(server),
+      metrics_(metrics),
+      options_(options),
+      conn_gate_({std::max<int64_t>(options.max_connections, 1),
+                  AdmissionPolicy::kRejectFast, 0, "connections"}) {
   RTGCN_CHECK(server_ != nullptr);
+  options_.max_line_bytes = std::max<int64_t>(options_.max_line_bytes, 64);
 }
 
 SocketServer::~SocketServer() { Stop(); }
@@ -94,6 +121,7 @@ Status SocketServer::Start() {
     port_ = ntohs(addr.sin_port);
   }
   stopping_ = false;
+  conn_gate_.Reopen();
   started_ = true;
   acceptor_ = std::thread([this] { AcceptLoop(); });
   RTGCN_LOG(Info) << "serve: listening on 127.0.0.1:" << port_;
@@ -113,21 +141,47 @@ void SocketServer::Stop() {
   ::close(listen_fd_);
   if (acceptor_.joinable()) acceptor_.join();
   listen_fd_ = -1;
+  // Wake every live connection; each thread closes its own fd (fd == -1
+  // marks it already closed — never shut down a recycled descriptor).
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (auto& [id, conn] : conns_) {
+      if (conn.fd >= 0) ::shutdown(conn.fd, SHUT_RDWR);
+    }
+  }
   std::vector<std::thread> threads;
   {
     std::lock_guard<std::mutex> lock(conn_mu_);
-    for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
-    threads.swap(conn_threads_);
+    threads.reserve(conns_.size());
+    for (auto& [id, conn] : conns_) threads.push_back(std::move(conn.thread));
+    conns_.clear();
+    done_ids_.clear();
   }
   for (std::thread& t : threads) {
     if (t.joinable()) t.join();
   }
+  if (metrics_) metrics_->conns_active.Set(0);
+  started_ = false;
+}
+
+void SocketServer::ReapFinishedConnections() {
+  std::vector<std::thread> finished;
   {
     std::lock_guard<std::mutex> lock(conn_mu_);
-    for (int fd : conn_fds_) ::close(fd);
-    conn_fds_.clear();
+    for (int64_t id : done_ids_) {
+      auto it = conns_.find(id);
+      if (it == conns_.end()) continue;
+      finished.push_back(std::move(it->second.thread));
+      conns_.erase(it);
+    }
+    done_ids_.clear();
+    if (metrics_) {
+      metrics_->conns_active.Set(static_cast<double>(conns_.size()));
+    }
   }
-  started_ = false;
+  for (std::thread& t : finished) {
+    if (t.joinable()) t.join();
+  }
 }
 
 void SocketServer::AcceptLoop() {
@@ -135,40 +189,150 @@ void SocketServer::AcceptLoop() {
   // Stop() does not overwrite it until after joining it.
   const int listen_fd = listen_fd_;
   while (true) {
+    // Reap connections that ended since the last accept, so fds and
+    // threads are reclaimed continuously instead of pooling until Stop().
+    ReapFinishedConnections();
     const int fd = ::accept(listen_fd, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR) continue;
+      {
+        std::lock_guard<std::mutex> lock(conn_mu_);
+        if (stopping_) return;
+      }
+      if (AcceptErrnoIsTransient(errno)) {
+        RTGCN_LOG(Warning) << "serve: accept: " << std::strerror(errno)
+                           << " — backing off and continuing";
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        continue;
+      }
       return;  // listener closed by Stop()
+    }
+    if (options_.send_timeout_ms > 0) {
+      timeval tv{};
+      tv.tv_sec = static_cast<time_t>(options_.send_timeout_ms / 1000);
+      tv.tv_usec =
+          static_cast<suseconds_t>((options_.send_timeout_ms % 1000) * 1000);
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+    }
+    if (!conn_gate_.Admit().ok()) {
+      if (metrics_) {
+        metrics_->busy_rejected.fetch_add(1, std::memory_order_relaxed);
+      }
+      SendAll(fd, "BUSY too many connections\n");  // best-effort
+      ::close(fd);
+      continue;
     }
     std::lock_guard<std::mutex> lock(conn_mu_);
     if (stopping_) {
+      conn_gate_.Release();
       ::close(fd);
       return;
     }
-    conn_fds_.push_back(fd);
-    conn_threads_.emplace_back([this, fd] { HandleConnection(fd); });
+    const int64_t id = next_conn_id_++;
+    Conn& conn = conns_[id];
+    conn.fd = fd;
+    if (metrics_) {
+      metrics_->conns_active.Set(static_cast<double>(conns_.size()));
+    }
+    conn.thread = std::thread([this, id, fd] { HandleConnection(id, fd); });
   }
 }
 
-void SocketServer::HandleConnection(int fd) {
+bool SocketServer::SendAll(int fd, std::string_view data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    // MSG_NOSIGNAL: a peer that closed its socket yields EPIPE here — a
+    // per-connection error — instead of a process-wide SIGPIPE kill.
+    const ssize_t n =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      // EAGAIN/EWOULDBLOCK: SO_SNDTIMEO expired — a slow reader whose
+      // socket buffer stayed full for the whole timeout. Drop it.
+      if (metrics_) {
+        metrics_->send_errors.fetch_add(1, std::memory_order_relaxed);
+      }
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool SocketServer::WriteReply(int fd, const std::string& reply) {
+  const std::string wire = reply + "\n";
+  if (chaos_ != nullptr) {
+    const ChaosInjector::ReplyPlan plan = chaos_->PlanReply(wire.size());
+    switch (plan.fault) {
+      case ChaosInjector::ReplyFault::kDelay:
+        std::this_thread::sleep_for(std::chrono::milliseconds(plan.delay_ms));
+        break;
+      case ChaosInjector::ReplyFault::kDrop:
+        return true;  // swallow the reply; the client's read times out
+      case ChaosInjector::ReplyFault::kTruncate:
+        SendAll(fd, std::string_view(wire).substr(0, plan.truncate_at));
+        return false;  // drop the connection mid-line
+      case ChaosInjector::ReplyFault::kReset: {
+        // RST instead of FIN: the peer sees ECONNRESET mid-reply.
+        linger lg{1, 0};
+        ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
+        return false;
+      }
+      case ChaosInjector::ReplyFault::kNone:
+        break;
+    }
+  }
+  return SendAll(fd, wire);
+}
+
+void SocketServer::HandleConnection(int64_t id, int fd) {
   std::string buffer;
   char chunk[4096];
-  while (true) {
+  bool open = true;
+  while (open) {
     const ssize_t n = ::read(fd, chunk, sizeof(chunk));
     if (n <= 0) {
       if (n < 0 && errno == EINTR) continue;
-      return;
+      break;
     }
     buffer.append(chunk, static_cast<size_t>(n));
     size_t pos;
-    while ((pos = buffer.find('\n')) != std::string::npos) {
+    while (open && (pos = buffer.find('\n')) != std::string::npos) {
       std::string line = buffer.substr(0, pos);
       buffer.erase(0, pos + 1);
       if (!line.empty() && line.back() == '\r') line.pop_back();
-      if (line == "QUIT") return;
-      if (!WriteAll(fd, HandleLine(line) + "\n")) return;
+      if (line == "QUIT") {
+        open = false;
+        break;
+      }
+      if (!WriteReply(fd, HandleLine(line))) open = false;
+    }
+    // Bounded read buffer: a line that exceeds the cap without a
+    // terminator would otherwise grow `buffer` without limit. Reject it
+    // and drop the connection — the sender is not speaking the protocol.
+    if (open &&
+        static_cast<int64_t>(buffer.size()) > options_.max_line_bytes) {
+      if (metrics_) {
+        metrics_->oversized_lines.fetch_add(1, std::memory_order_relaxed);
+      }
+      SendAll(fd, "ERR line too long\n");
+      open = false;
     }
   }
+  FinishConnection(id, fd);
+}
+
+void SocketServer::FinishConnection(int64_t id, int fd) {
+  {
+    // fd close and the fd = -1 marker are atomic with respect to Stop()'s
+    // shutdown pass, so a recycled descriptor can never be shut down.
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    ::close(fd);
+    auto it = conns_.find(id);
+    if (it != conns_.end()) it->second.fd = -1;
+    done_ids_.push_back(id);
+  }
+  conn_gate_.Release();
 }
 
 std::string SocketServer::HandleLine(const std::string& line) {
@@ -180,6 +344,7 @@ std::string SocketServer::HandleLine(const std::string& line) {
   if (parts.empty()) return "ERR empty command";
   const std::string& cmd = parts[0];
   if (cmd == "PING") return "PONG";
+  if (cmd == "HEALTH") return "OK " + server_->HealthLine();
   if (cmd == "STATS") {
     // Serving metrics first (stable field set), then whatever the rest of
     // the process published to the global registry (training, checkpoint
@@ -189,27 +354,29 @@ std::string SocketServer::HandleLine(const std::string& line) {
     return text + "END";
   }
   if (cmd == "SCORE") {
-    int64_t day = 0, stock = 0;
-    if (parts.size() != 3 || !ParseInt(parts[1], &day) ||
-        !ParseInt(parts[2], &stock)) {
-      return "ERR usage: SCORE <day> <stock>";
+    int64_t day = 0, stock = 0, deadline_ms = 0;
+    if (parts.size() < 3 || !ParseInt(parts[1], &day) ||
+        !ParseInt(parts[2], &stock) ||
+        !ParseDeadline(parts, 3, &deadline_ms)) {
+      return "ERR usage: SCORE <day> <stock> [DEADLINE <ms>]";
     }
-    auto reply = server_->Score(day, stock);
-    if (!reply.ok()) return "ERR " + reply.status().ToString();
+    auto reply = server_->Score(day, stock, {deadline_ms});
+    if (!reply.ok()) return ErrorReply(reply.status());
     const auto& r = reply.ValueOrDie();
     std::ostringstream out;
     out << "OK " << r.model_version << ' ' << FormatScore(r.score) << ' '
         << r.rank << ' ' << r.num_stocks;
+    if (r.stale) out << " STALE";
     return out.str();
   }
   if (cmd == "RANK") {
-    int64_t day = 0, k = 0;
-    if (parts.size() != 3 || !ParseInt(parts[1], &day) ||
-        !ParseInt(parts[2], &k)) {
-      return "ERR usage: RANK <day> <k>";
+    int64_t day = 0, k = 0, deadline_ms = 0;
+    if (parts.size() < 3 || !ParseInt(parts[1], &day) ||
+        !ParseInt(parts[2], &k) || !ParseDeadline(parts, 3, &deadline_ms)) {
+      return "ERR usage: RANK <day> <k> [DEADLINE <ms>]";
     }
-    auto reply = server_->Rank(day);
-    if (!reply.ok()) return "ERR " + reply.status().ToString();
+    auto reply = server_->Rank(day, {deadline_ms});
+    if (!reply.ok()) return ErrorReply(reply.status());
     const auto& r = reply.ValueOrDie();
     const int64_t n = static_cast<int64_t>(r.scores.size());
     k = std::max<int64_t>(0, std::min(k, n));
@@ -227,6 +394,7 @@ std::string SocketServer::HandleLine(const std::string& line) {
       out << ' ' << stock << ':'
           << FormatScore(r.scores[static_cast<size_t>(stock)]);
     }
+    if (r.stale) out << " STALE";
     return out.str();
   }
   return "ERR unknown command: " + cmd;

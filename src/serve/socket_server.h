@@ -1,15 +1,30 @@
 // POSIX-socket line-protocol front-end for the inference server.
 //
 // One accept thread plus one thread per connection; each connection is a
-// newline-delimited request/response stream (see DESIGN.md §9 for the wire
-// grammar):
+// newline-delimited request/response stream (see DESIGN.md §9/§13 for the
+// wire grammar):
 //
-//   PING                      -> PONG
-//   SCORE <day> <stock>       -> OK <version> <score> <rank> <num_stocks>
-//   RANK <day> <k>            -> OK <version> <k> <stock>:<score> ...
-//   STATS                     -> metrics text ..., terminated by END
-//   QUIT                      -> closes the connection
-//   anything else / failure   -> ERR <message>
+//   PING                             -> PONG
+//   SCORE <day> <stock> [DEADLINE <ms>]
+//                                    -> OK <version> <score> <rank> <n> [STALE]
+//   RANK <day> <k> [DEADLINE <ms>]   -> OK <version> <k> <stock>:<score> ...
+//                                       [STALE]
+//   HEALTH                           -> OK SERVING|DEGRADED|DRAINING ...
+//   STATS                            -> metrics text ..., terminated by END
+//   QUIT                             -> closes the connection
+//   deadline expired in queue        -> ERR deadline exceeded ...
+//   admission shed (queue full)      -> BUSY <detail>
+//   server draining / stopped        -> DRAINING
+//   anything else / failure          -> ERR <message>
+//
+// Overload safety: at most max_connections concurrent connections (excess
+// accepts answer "BUSY too many connections" and close), request lines are
+// capped at max_line_bytes (oversized senders get "ERR line too long" and
+// are disconnected), and reply writes carry a send timeout so one slow
+// reader cannot pin a handler thread forever. Connection threads and fds
+// are reaped as connections end, not accumulated until Stop(). All writes
+// use MSG_NOSIGNAL, so a client closing mid-reply surfaces as EPIPE, never
+// as a process-wide SIGPIPE.
 //
 // Scores are printed with %.9g, which round-trips binary float32 exactly —
 // a client can compare replies bit-for-bit against a local forward pass.
@@ -19,10 +34,14 @@
 #include <cstdint>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
+#include "serve/admission.h"
+#include "serve/chaos.h"
 #include "serve/metrics.h"
 #include "serve/server.h"
 
@@ -35,6 +54,9 @@ class SocketServer {
   struct Options {
     int port = 0;      ///< 0 picks an ephemeral port (see port())
     int backlog = 64;
+    int64_t max_connections = 256;   ///< excess accepts get BUSY + close
+    int64_t max_line_bytes = 65536;  ///< request-line cap (admission for bytes)
+    int64_t send_timeout_ms = 5000;  ///< per-write bound against slow readers
   };
 
   SocketServer(InferenceServer* server, Metrics* metrics, Options options);
@@ -52,27 +74,53 @@ class SocketServer {
   /// Port actually bound (resolves an ephemeral request after Start).
   int port() const { return port_; }
 
+  /// Number of currently open protocol connections.
+  int64_t active_connections() const { return conn_gate_.in_use(); }
+
+  /// Installs a fault injector consulted on every reply write. Call
+  /// before Start(); pass nullptr to disable. `chaos` must outlive the
+  /// server. Test/bench hook — never enabled in production paths.
+  void SetChaos(ChaosInjector* chaos) { chaos_ = chaos; }
+
   /// Executes one protocol line and returns the reply (without trailing
   /// newline; STATS replies are multi-line). Exposed for tests and shared
   /// with the connection handlers.
   std::string HandleLine(const std::string& line);
 
  private:
+  struct Conn {
+    int fd = -1;  ///< -1 once the owning thread closed it
+    std::thread thread;
+  };
+
   void AcceptLoop();
-  void HandleConnection(int fd);
+  void HandleConnection(int64_t id, int fd);
+  void FinishConnection(int64_t id, int fd);
+  /// Joins and erases connections whose threads have finished.
+  void ReapFinishedConnections();
+  /// Writes `data` with MSG_NOSIGNAL, tolerating short writes; false on
+  /// error or send-timeout (slow reader).
+  bool SendAll(int fd, std::string_view data);
+  /// Writes one reply line, applying the chaos plan when an injector is
+  /// installed; false when the connection must be dropped.
+  bool WriteReply(int fd, const std::string& reply);
 
   InferenceServer* server_;
   Metrics* metrics_;
   Options options_;
+  ChaosInjector* chaos_ = nullptr;
 
   int listen_fd_ = -1;
   int port_ = 0;
   std::thread acceptor_;
   bool started_ = false;
 
+  AdmissionController conn_gate_;
+
   std::mutex conn_mu_;
-  std::vector<int> conn_fds_;
-  std::vector<std::thread> conn_threads_;
+  std::unordered_map<int64_t, Conn> conns_;
+  std::vector<int64_t> done_ids_;
+  int64_t next_conn_id_ = 0;
   bool stopping_ = false;
 };
 

@@ -1,0 +1,626 @@
+// Chaos and overload-safety suite for the serving stack (DESIGN.md §13):
+//
+//  * ChaosInjector fault plans are deterministic in the seed;
+//  * AdmissionController: reject-fast vs block-with-timeout, deadline-bound
+//    waits, drain semantics;
+//  * request deadlines are shed promptly (at the deadline, not at the end
+//    of the batch window) with a distinct DeadlineExceeded status;
+//  * a full queue sheds instead of growing without bound;
+//  * Stop() drains queued work and answers later requests with "draining";
+//  * DEGRADED health (unpublished model, repeated reload failures) serves
+//    cached scores flagged STALE instead of erroring;
+//  * the end-to-end chaos scenario: concurrent retrying clients, a fault
+//    injector corrupting replies, hostile raw clients, and a corrupt
+//    checkpoint published mid-reload — the server must not crash or hang,
+//    and every request must be accounted for:
+//      requests == responses_ok + responses_error + expired + shed.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "autograd/ops.h"
+#include "common/file_util.h"
+#include "harness/checkpoint.h"
+#include "harness/gradient_predictor.h"
+#include "market/dataset.h"
+#include "nn/linear.h"
+#include "serve/admission.h"
+#include "serve/chaos.h"
+#include "serve/client.h"
+#include "serve/metrics.h"
+#include "serve/registry.h"
+#include "serve/server.h"
+#include "serve/snapshot.h"
+#include "serve/socket_server.h"
+
+namespace rtgcn::serve {
+namespace {
+
+using std::chrono::steady_clock;
+
+// ---------------------------------------------------------------------------
+// Fixture: the same tiny linear ranker serve_test.cc uses.
+// ---------------------------------------------------------------------------
+
+class LinearRanker : public harness::GradientPredictor {
+ public:
+  explicit LinearRanker(int64_t num_features, uint64_t seed = 1)
+      : rng_(seed), linear_(num_features, 1, &rng_) {}
+
+  std::string name() const override { return "LinearRanker"; }
+
+ protected:
+  nn::Module* module() override { return &linear_; }
+  ag::VarPtr Forward(const Tensor& features, Rng*) override {
+    const int64_t t_len = features.dim(0);
+    const int64_t n = features.dim(1);
+    const int64_t d = features.dim(2);
+    auto x = ag::Constant(features);
+    auto last = ag::Reshape(ag::SliceOp(x, 0, t_len - 1, t_len), {n, d});
+    return ag::Reshape(linear_.Forward(last), {n});
+  }
+  float alpha() const override { return 0.0f; }
+
+ private:
+  Rng rng_;
+  nn::Linear linear_;
+};
+
+market::WindowDataset MakePanel(int64_t days = 90, int64_t n = 10) {
+  Rng rng(17);
+  Tensor prices({days, n});
+  for (int64_t i = 0; i < n; ++i) prices.at({0, i}) = 50.0f + 2.0f * i;
+  for (int64_t t = 1; t < days; ++t) {
+    for (int64_t i = 0; i < n; ++i) {
+      const float drift = 0.002f * static_cast<float>((i % 5) - 2);
+      const float noise = static_cast<float>(rng.Gaussian(0, 0.001));
+      prices.at({t, i}) = prices.at({t - 1, i}) * (1.0f + drift + noise);
+    }
+  }
+  return market::WindowDataset(prices, /*window=*/5, /*num_features=*/2);
+}
+
+ServableFactory MakeFactory() {
+  return [] { return WrapPredictor(std::make_unique<LinearRanker>(2)); };
+}
+
+std::unique_ptr<LinearRanker> TrainAndExport(
+    const market::WindowDataset& data, const std::string& dir, int64_t epoch,
+    uint64_t seed) {
+  auto model = std::make_unique<LinearRanker>(2, seed);
+  harness::TrainOptions opts;
+  opts.epochs = 1;
+  opts.learning_rate = 1e-2f;
+  opts.seed = seed;
+  model->Fit(data, data.Days(data.first_day(), 60), opts);
+  harness::CheckpointManager manager({dir, 1, 0});
+  EXPECT_TRUE(manager.Init().ok());
+  EXPECT_TRUE(model->ExportSnapshot(manager.CheckpointPath(epoch)).ok());
+  return model;
+}
+
+void WriteCorruptCheckpoint(const std::string& dir, int64_t epoch) {
+  harness::CheckpointManager manager({dir, 1, 0});
+  ASSERT_TRUE(manager.Init().ok());
+  std::ofstream out(manager.CheckpointPath(epoch), std::ios::binary);
+  out << "this is not a checkpoint";
+}
+
+std::string TestDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "chaos_" + name + "_" +
+                          std::to_string(::getpid());
+  auto entries = ListDirectory(dir);
+  if (entries.ok()) {
+    for (const std::string& e : entries.ValueOrDie()) {
+      std::remove((dir + "/" + e).c_str());
+    }
+  }
+  ::rmdir(dir.c_str());
+  return dir;
+}
+
+int64_t AccountedRequests(const Metrics& m) {
+  return m.responses_ok.load(std::memory_order_relaxed) +
+         m.responses_error.load(std::memory_order_relaxed) +
+         m.expired.load(std::memory_order_relaxed) +
+         m.shed.load(std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// ChaosInjector determinism.
+// ---------------------------------------------------------------------------
+
+std::vector<ChaosInjector::ReplyPlan> DrawPlans(uint64_t seed, int n) {
+  ChaosInjector::Options opts;
+  opts.seed = seed;
+  opts.delay_prob = 0.2;
+  opts.drop_prob = 0.2;
+  opts.truncate_prob = 0.2;
+  opts.reset_prob = 0.2;
+  ChaosInjector chaos(opts);
+  std::vector<ChaosInjector::ReplyPlan> plans;
+  plans.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) plans.push_back(chaos.PlanReply(64));
+  EXPECT_EQ(chaos.plans(), static_cast<uint64_t>(n));
+  EXPECT_EQ(chaos.faults(),
+            chaos.delays() + chaos.drops() + chaos.truncates() + chaos.resets());
+  return plans;
+}
+
+TEST(ChaosInjectorTest, SameSeedSamePlanSequence) {
+  const auto a = DrawPlans(42, 300);
+  const auto b = DrawPlans(42, 300);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].fault, b[i].fault) << "draw " << i;
+    EXPECT_EQ(a[i].delay_ms, b[i].delay_ms) << "draw " << i;
+    EXPECT_EQ(a[i].truncate_at, b[i].truncate_at) << "draw " << i;
+  }
+  // With 40% fault-free probability per draw, 300 draws from a different
+  // seed diverge with overwhelming probability.
+  const auto c = DrawPlans(43, 300);
+  bool differs = false;
+  for (size_t i = 0; i < a.size() && !differs; ++i) {
+    differs = a[i].fault != c[i].fault || a[i].delay_ms != c[i].delay_ms;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(ChaosInjectorTest, ZeroProbabilitiesNeverFault) {
+  ChaosInjector chaos({/*seed=*/7});
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(chaos.PlanReply(64).fault, ChaosInjector::ReplyFault::kNone);
+  }
+  EXPECT_EQ(chaos.faults(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// AdmissionController.
+// ---------------------------------------------------------------------------
+
+TEST(AdmissionControllerTest, RejectFastCapsInUse) {
+  AdmissionController gate({/*capacity=*/2, AdmissionPolicy::kRejectFast,
+                            /*block_timeout_ms=*/50, "widgets"});
+  EXPECT_TRUE(gate.Admit().ok());
+  EXPECT_TRUE(gate.Admit().ok());
+  EXPECT_EQ(gate.in_use(), 2);
+
+  const Status full = gate.Admit();
+  EXPECT_EQ(full.code(), StatusCode::kUnavailable);
+  EXPECT_NE(full.ToString().find("widgets"), std::string::npos);
+
+  gate.Release();
+  EXPECT_TRUE(gate.Admit().ok());
+}
+
+TEST(AdmissionControllerTest, BlockWithTimeoutWaitsForSlot) {
+  AdmissionController gate({/*capacity=*/1, AdmissionPolicy::kBlockWithTimeout,
+                            /*block_timeout_ms=*/2000, "slots"});
+  ASSERT_TRUE(gate.Admit().ok());
+  std::thread releaser([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    gate.Release();
+  });
+  // Blocks until the releaser frees the slot — well inside the timeout.
+  EXPECT_TRUE(gate.Admit().ok());
+  releaser.join();
+  gate.Release();
+}
+
+TEST(AdmissionControllerTest, BlockWithTimeoutGivesUp) {
+  AdmissionController gate({/*capacity=*/1, AdmissionPolicy::kBlockWithTimeout,
+                            /*block_timeout_ms=*/30, "slots"});
+  ASSERT_TRUE(gate.Admit().ok());
+  const auto start = steady_clock::now();
+  const Status full = gate.Admit();
+  const auto waited = std::chrono::duration_cast<std::chrono::milliseconds>(
+      steady_clock::now() - start);
+  EXPECT_EQ(full.code(), StatusCode::kUnavailable);
+  EXPECT_GE(waited.count(), 25);
+}
+
+TEST(AdmissionControllerTest, DeadlineBindsTheBlockWait) {
+  AdmissionController gate({/*capacity=*/1, AdmissionPolicy::kBlockWithTimeout,
+                            /*block_timeout_ms=*/5000, "slots"});
+  ASSERT_TRUE(gate.Admit().ok());
+  const auto start = steady_clock::now();
+  const Status expired =
+      gate.Admit(start + std::chrono::milliseconds(20));
+  const auto waited = std::chrono::duration_cast<std::chrono::milliseconds>(
+      steady_clock::now() - start);
+  EXPECT_EQ(expired.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_LT(waited.count(), 1000);  // the deadline, not the 5s block timeout
+}
+
+TEST(AdmissionControllerTest, DrainFailsWaitersAndLaterAdmits) {
+  AdmissionController gate({/*capacity=*/1, AdmissionPolicy::kBlockWithTimeout,
+                            /*block_timeout_ms=*/5000, "slots"});
+  ASSERT_TRUE(gate.Admit().ok());
+  std::atomic<bool> waiter_failed{false};
+  std::thread waiter([&] {
+    const Status s = gate.Admit();
+    waiter_failed = !s.ok() &&
+                    s.ToString().find("draining") != std::string::npos;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  gate.CloseForDrain();  // wakes the parked waiter with "draining"
+  waiter.join();
+  EXPECT_TRUE(waiter_failed);
+
+  const Status later = gate.Admit();
+  EXPECT_EQ(later.code(), StatusCode::kUnavailable);
+  EXPECT_NE(later.ToString().find("draining"), std::string::npos);
+
+  gate.Release();
+  gate.Reopen();
+  EXPECT_TRUE(gate.Admit().ok());
+}
+
+// ---------------------------------------------------------------------------
+// Server-level overload behaviour.
+// ---------------------------------------------------------------------------
+
+struct Stack {
+  market::WindowDataset data = MakePanel();
+  Metrics metrics;
+  std::string dir;
+  std::unique_ptr<ModelRegistry> registry;
+  std::unique_ptr<InferenceServer> server;
+
+  Stack(const std::string& name, InferenceServer::Options sopts,
+        int64_t reload_interval_ms = 0) {
+    dir = TestDir(name);
+    TrainAndExport(data, dir, /*epoch=*/1, /*seed=*/61);
+    registry = std::make_unique<ModelRegistry>(
+        ModelRegistry::Options{dir, reload_interval_ms}, MakeFactory(),
+        &metrics);
+    EXPECT_TRUE(registry->Start().ok());
+    server = std::make_unique<InferenceServer>(&data, registry.get(), sopts,
+                                               &metrics);
+    EXPECT_TRUE(server->Start().ok());
+  }
+  ~Stack() {
+    server->Stop();
+    registry->Stop();
+  }
+};
+
+TEST(OverloadTest, DeadlineShedsAtTheDeadlineNotTheBatchWindow) {
+  InferenceServer::Options sopts;
+  sopts.max_batch = 64;
+  sopts.batch_timeout_us = 200000;  // 200ms window the deadline must beat
+  Stack stack("deadline", sopts);
+
+  const auto start = steady_clock::now();
+  auto result = stack.server->Score(stack.data.first_day(), 3,
+                                    InferenceServer::RequestOptions{5});
+  const auto waited = std::chrono::duration_cast<std::chrono::milliseconds>(
+      steady_clock::now() - start);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  // Shed at the 5ms deadline, far before the 200ms window flush.
+  EXPECT_LT(waited.count(), 150);
+  EXPECT_EQ(stack.metrics.expired.load(std::memory_order_relaxed), 1);
+  EXPECT_EQ(stack.metrics.requests.load(std::memory_order_relaxed),
+            AccountedRequests(stack.metrics));
+
+  // A generous deadline does not perturb a normal reply.
+  auto ok = stack.server->Score(stack.data.first_day(), 3,
+                                InferenceServer::RequestOptions{10000});
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_FALSE(ok.ValueOrDie().stale);
+}
+
+TEST(OverloadTest, FullQueueShedsRejectFast) {
+  InferenceServer::Options sopts;
+  sopts.max_queue = 1;
+  sopts.max_batch = 64;
+  sopts.batch_timeout_us = 100000;  // park the first request for 100ms
+  Stack stack("queuefull", sopts);
+
+  std::thread first([&] {
+    auto r = stack.server->Score(stack.data.first_day(), 1);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+  });
+  // Give the first request time to occupy the only queue slot.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  const auto start = steady_clock::now();
+  auto shed = stack.server->Score(stack.data.first_day(), 2);
+  const auto waited = std::chrono::duration_cast<std::chrono::milliseconds>(
+      steady_clock::now() - start);
+  first.join();
+
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.status().code(), StatusCode::kUnavailable);
+  EXPECT_LT(waited.count(), 50);  // reject-fast, no parking
+  EXPECT_EQ(stack.metrics.shed.load(std::memory_order_relaxed), 1);
+  EXPECT_EQ(stack.metrics.requests.load(std::memory_order_relaxed),
+            AccountedRequests(stack.metrics));
+}
+
+TEST(OverloadTest, BlockWithTimeoutRidesOutTheBurst) {
+  InferenceServer::Options sopts;
+  sopts.max_queue = 1;
+  sopts.max_batch = 64;
+  sopts.batch_timeout_us = 50000;
+  sopts.admission = AdmissionPolicy::kBlockWithTimeout;
+  sopts.admission_timeout_ms = 2000;
+  Stack stack("block", sopts);
+
+  std::thread first([&] {
+    auto r = stack.server->Score(stack.data.first_day(), 1);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  // Queue is full, but the block policy parks us until the batcher frees
+  // the slot — both requests succeed.
+  auto second = stack.server->Score(stack.data.first_day(), 2);
+  first.join();
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ(stack.metrics.shed.load(std::memory_order_relaxed), 0);
+  EXPECT_EQ(stack.metrics.responses_ok.load(std::memory_order_relaxed), 2);
+}
+
+TEST(OverloadTest, StopDrainsQueuedWorkAndRejectsNewRequests) {
+  InferenceServer::Options sopts;
+  sopts.max_batch = 64;
+  sopts.batch_timeout_us = 200000;  // queued work would sit for 200ms...
+  Stack stack("drain", sopts);
+
+  constexpr int kInFlight = 8;
+  std::vector<std::thread> threads;
+  std::atomic<int> ok_count{0};
+  for (int i = 0; i < kInFlight; ++i) {
+    threads.emplace_back([&, i] {
+      auto r = stack.server->Score(stack.data.first_day(), i % 5);
+      if (r.ok()) ++ok_count;
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  const auto start = steady_clock::now();
+  stack.server->Stop();  // ...but drain flushes them immediately
+  const auto waited = std::chrono::duration_cast<std::chrono::milliseconds>(
+      steady_clock::now() - start);
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(ok_count.load(), kInFlight);
+  EXPECT_LT(waited.count(), 150);
+
+  auto after = stack.server->Score(stack.data.first_day(), 1);
+  ASSERT_FALSE(after.ok());
+  EXPECT_EQ(after.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(after.status().ToString().find("draining"), std::string::npos);
+  EXPECT_EQ(stack.metrics.requests.load(std::memory_order_relaxed),
+            AccountedRequests(stack.metrics));
+}
+
+// ---------------------------------------------------------------------------
+// Graceful degradation: DEGRADED health and STALE serving.
+// ---------------------------------------------------------------------------
+
+TEST(DegradedTest, UnpublishedModelServesCachedScoresAsStale) {
+  Stack stack("unpublish", {});
+  const int64_t day = stack.data.first_day();
+
+  auto fresh = stack.server->Score(day, 3);
+  ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
+  EXPECT_FALSE(fresh.ValueOrDie().stale);
+  EXPECT_EQ(stack.server->Health(), HealthState::kServing);
+
+  // Operator pulls the model (no poller: reload_interval_ms is 0, so it
+  // stays down). Health flips DEGRADED; the day we served before comes
+  // back from the stale cache, a day we never served errors.
+  stack.registry->Unpublish();
+  EXPECT_EQ(stack.server->Health(), HealthState::kDegraded);
+
+  auto stale = stack.server->Score(day, 3);
+  ASSERT_TRUE(stale.ok()) << stale.status().ToString();
+  EXPECT_TRUE(stale.ValueOrDie().stale);
+  EXPECT_EQ(stale.ValueOrDie().score, fresh.ValueOrDie().score);
+  EXPECT_GE(stack.metrics.stale_served.load(std::memory_order_relaxed), 1);
+
+  auto missing = stack.server->Score(day + 1, 3);
+  EXPECT_FALSE(missing.ok());
+
+  EXPECT_NE(stack.server->HealthLine().find("DEGRADED"), std::string::npos);
+  EXPECT_EQ(stack.metrics.requests.load(std::memory_order_relaxed),
+            AccountedRequests(stack.metrics));
+}
+
+TEST(DegradedTest, ReloadFailuresFlipDegradedAndRecoverOnPromotion) {
+  InferenceServer::Options sopts;
+  sopts.degraded_failure_threshold = 3;
+  Stack stack("reloadfail", sopts);
+  const int64_t day = stack.data.first_day();
+
+  WriteCorruptCheckpoint(stack.dir, /*epoch=*/2);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(stack.registry->PollOnce());
+  }
+  EXPECT_GE(stack.registry->consecutive_reload_failures(), 3);
+  EXPECT_EQ(stack.server->Health(), HealthState::kDegraded);
+
+  // The old snapshot still serves, but replies are flagged stale: a newer
+  // model exists that we cannot load.
+  auto degraded = stack.server->Score(day, 3);
+  ASSERT_TRUE(degraded.ok()) << degraded.status().ToString();
+  EXPECT_TRUE(degraded.ValueOrDie().stale);
+
+  // A loadable checkpoint recovers the registry and the health state.
+  TrainAndExport(stack.data, stack.dir, /*epoch=*/3, /*seed=*/62);
+  EXPECT_TRUE(stack.registry->PollOnce());
+  EXPECT_EQ(stack.registry->consecutive_reload_failures(), 0);
+  EXPECT_EQ(stack.server->Health(), HealthState::kServing);
+  auto recovered = stack.server->Score(day, 3);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_FALSE(recovered.ValueOrDie().stale);
+  EXPECT_EQ(recovered.ValueOrDie().model_version, 3);
+}
+
+// ---------------------------------------------------------------------------
+// Wire-level drain.
+// ---------------------------------------------------------------------------
+
+TEST(DrainWireTest, StoppedServerAnswersDraining) {
+  Stack stack("drainwire", {});
+  SocketServer front(stack.server.get(), &stack.metrics, {/*port=*/0});
+  ASSERT_TRUE(front.Start().ok());
+
+  stack.server->Stop();
+
+  RawClient raw(front.port());
+  ASSERT_TRUE(raw.connected());
+  ASSERT_TRUE(raw.Send("SCORE " + std::to_string(stack.data.first_day()) +
+                       " 1\n"));
+  EXPECT_EQ(raw.ReadLine(), "DRAINING");
+  ASSERT_TRUE(raw.Send("HEALTH\n"));
+  const std::string health = raw.ReadLine();
+  EXPECT_EQ(health.rfind("OK DRAINING", 0), 0u) << health;
+  front.Stop();
+}
+
+// ---------------------------------------------------------------------------
+// The end-to-end chaos scenario.
+// ---------------------------------------------------------------------------
+
+TEST(ChaosScenarioTest, ServerSurvivesChaosAndAccountsForEveryRequest) {
+  market::WindowDataset data = MakePanel();
+  const std::string dir = TestDir("scenario");
+  auto model = TrainAndExport(data, dir, /*epoch=*/1, /*seed=*/61);
+
+  Metrics metrics;
+  ModelRegistry registry({dir, /*reload_interval_ms=*/5}, MakeFactory(),
+                         &metrics);
+  ASSERT_TRUE(registry.Start().ok());
+
+  InferenceServer::Options sopts;
+  sopts.max_queue = 64;
+  InferenceServer server(&data, &registry, sopts, &metrics);
+  ASSERT_TRUE(server.Start().ok());
+
+  ChaosInjector::Options copts;
+  copts.seed = 1234;
+  copts.delay_prob = 0.10;
+  copts.drop_prob = 0.05;
+  copts.truncate_prob = 0.05;
+  copts.reset_prob = 0.05;
+  copts.delay_ms_max = 5;
+  ChaosInjector chaos(copts);
+
+  SocketServer::Options fopts{/*port=*/0};
+  fopts.max_line_bytes = 4096;
+  SocketServer front(&server, &metrics, fopts);
+  front.SetChaos(&chaos);
+  ASSERT_TRUE(front.Start().ok());
+
+  // Load: retrying clients issuing SCORE/RANK, some with deadlines.
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 30;
+  std::atomic<int> client_ok{0}, client_err{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      Client::Options copts2;
+      copts2.port = front.port();
+      copts2.recv_timeout_ms = 500;
+      copts2.max_attempts = 5;
+      copts2.backoff_initial_ms = 2;
+      copts2.backoff_max_ms = 20;
+      copts2.seed = 100 + static_cast<uint64_t>(c);
+      Client client(copts2, &metrics);
+      for (int i = 0; i < kPerClient; ++i) {
+        const int64_t day = data.first_day() + (i % 3);
+        const int64_t deadline = (i % 7 == 0) ? 1000 : 0;
+        bool ok;
+        if (i % 2 == 0) {
+          ok = client.Score(day, i % data.num_stocks(), deadline).ok();
+        } else {
+          ok = client.Rank(day, 3, deadline).ok();
+        }
+        (ok ? client_ok : client_err)++;
+      }
+    });
+  }
+
+  // Abuse: hostile clients hammering the same server.
+  std::thread abuser([&] {
+    for (int i = 0; i < 10; ++i) {
+      RawClient raw(front.port());
+      if (!raw.connected()) continue;
+      switch (i % 4) {
+        case 0:  // binary garbage
+          raw.Send("\x00\x01\xfe garbage\n");
+          raw.ReadLine(200);
+          break;
+        case 1:  // oversized line
+          raw.Send(std::string(8192, 'A') + "\n");
+          raw.ReadLine(200);
+          break;
+        case 2:  // half-open, then vanish
+          raw.Send("PING\n");
+          raw.CloseSend();
+          raw.ReadLine(200);
+          break;
+        case 3:  // request, then RST without reading the reply
+          raw.Send("RANK " + std::to_string(data.first_day()) + " 5\n");
+          raw.Reset();
+          break;
+      }
+    }
+  });
+
+  // Mid-run reload chaos: a corrupt checkpoint the live poller keeps
+  // tripping over, then a good one that must eventually be promoted.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  WriteCorruptCheckpoint(dir, /*epoch=*/2);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  {
+    harness::CheckpointManager manager({dir, 1, 0});
+    ASSERT_TRUE(manager.Init().ok());
+    ASSERT_TRUE(model->ExportSnapshot(manager.CheckpointPath(3)).ok());
+  }
+
+  for (auto& t : threads) t.join();
+  abuser.join();
+
+  // No crash, no hang — and the server is still answering cleanly.
+  {
+    Client::Options copts2;
+    copts2.port = front.port();
+    Client probe(copts2);
+    auto health = probe.Health();
+    ASSERT_TRUE(health.ok()) << health.status().ToString();
+    auto sane = probe.Score(data.first_day(), 1);
+    ASSERT_TRUE(sane.ok()) << sane.status().ToString();
+  }
+
+  front.Stop();
+  server.Stop();
+  registry.Stop();
+
+  // The accounting invariant: every request that reached Submit ended in
+  // exactly one terminal counter.
+  EXPECT_EQ(metrics.requests.load(std::memory_order_relaxed),
+            AccountedRequests(metrics));
+  EXPECT_GE(metrics.requests.load(std::memory_order_relaxed),
+            kClients * kPerClient);
+  // The injector actually did something.
+  EXPECT_GT(chaos.plans(), 0u);
+  EXPECT_GT(chaos.faults(), 0u);
+  // And the client layer absorbed the faults by retrying.
+  EXPECT_GT(metrics.client_retries.load(std::memory_order_relaxed), 0);
+  EXPECT_EQ(client_ok.load() + client_err.load(), kClients * kPerClient);
+  // Dropped/truncated/reset replies force retries, so most calls succeed.
+  EXPECT_GT(client_ok.load(), 0);
+}
+
+}  // namespace
+}  // namespace rtgcn::serve

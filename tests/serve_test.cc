@@ -18,6 +18,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstring>
 #include <fstream>
 #include <map>
@@ -33,6 +34,7 @@
 #include "harness/gradient_predictor.h"
 #include "market/dataset.h"
 #include "nn/linear.h"
+#include "serve/chaos.h"
 #include "serve/metrics.h"
 #include "serve/registry.h"
 #include "serve/server.h"
@@ -571,14 +573,165 @@ TEST(SocketServerTest, LineProtocolEndToEnd) {
 
   EXPECT_EQ(client.RoundTrip("BOGUS"), "ERR unknown command: BOGUS");
   EXPECT_EQ(client.RoundTrip("SCORE nope 1"),
-            "ERR usage: SCORE <day> <stock>");
+            "ERR usage: SCORE <day> <stock> [DEADLINE <ms>]");
   const std::string bad_day =
       client.RoundTrip("SCORE 99999 0");
   EXPECT_EQ(bad_day.rfind("ERR ", 0), 0u) << bad_day;
 
+  // HEALTH reports the state machine plus the live model version.
+  const std::string health = client.RoundTrip("HEALTH");
+  EXPECT_EQ(health.rfind("OK SERVING version=1", 0), 0u) << health;
+
+  // An over-generous deadline changes nothing about the reply shape.
+  const std::string deadline_ok = client.RoundTrip(
+      "SCORE " + std::to_string(day) + " 3 DEADLINE 10000");
+  EXPECT_EQ(deadline_ok.rfind("OK ", 0), 0u) << deadline_ok;
+  EXPECT_EQ(client.RoundTrip("SCORE 1 2 DEADLINE nope"),
+            "ERR usage: SCORE <day> <stock> [DEADLINE <ms>]");
+  EXPECT_EQ(client.RoundTrip("RANK 1 2 DEADLINE -5"),
+            "ERR usage: RANK <day> <k> [DEADLINE <ms>]");
+
   front.Stop();
   server.Stop();
   registry.Stop();
+}
+
+// ---------------------------------------------------------------------------
+// Protocol abuse: hostile framing must never crash, hang, or leak a
+// connection slot. Uses RawClient (the chaos-harness building block) for
+// half-open and reset behaviour LineClient cannot express.
+// ---------------------------------------------------------------------------
+
+struct AbuseStack {
+  market::WindowDataset data = MakePanel();
+  Metrics metrics;
+  std::unique_ptr<ModelRegistry> registry;
+  std::unique_ptr<InferenceServer> server;
+  std::unique_ptr<SocketServer> front;
+
+  explicit AbuseStack(const std::string& name, SocketServer::Options fopts = {
+                                                   /*port=*/0}) {
+    const std::string dir = TestDir(name);
+    TrainAndExport(data, dir, /*epoch=*/1, /*epochs=*/1, 7);
+    registry = std::make_unique<ModelRegistry>(
+        ModelRegistry::Options{dir, /*reload_interval_ms=*/0}, MakeFactory(),
+        &metrics);
+    EXPECT_TRUE(registry->Start().ok());
+    server = std::make_unique<InferenceServer>(&data, registry.get(),
+                                               InferenceServer::Options{},
+                                               &metrics);
+    EXPECT_TRUE(server->Start().ok());
+    front = std::make_unique<SocketServer>(server.get(), &metrics, fopts);
+    EXPECT_TRUE(front->Start().ok());
+  }
+  ~AbuseStack() {
+    front->Stop();
+    server->Stop();
+    registry->Stop();
+  }
+};
+
+TEST(SocketServerAbuseTest, MalformedAndBinaryFramesGetErrNotCrash) {
+  AbuseStack stack("abuse_binary");
+  LineClient client(stack.front->port());
+  ASSERT_TRUE(client.connected());
+
+  // Binary garbage with an eventual newline parses as an unknown command.
+  std::string frame("\x01\x02\xff\xfe garbage", 12);
+  EXPECT_EQ(client.RoundTrip(frame).rfind("ERR ", 0), 0u);
+  // Empty lines and whitespace-only lines get a usage-style error too.
+  EXPECT_EQ(client.RoundTrip("").rfind("ERR", 0), 0u);
+  // The connection is still usable afterwards.
+  EXPECT_EQ(client.RoundTrip("PING"), "PONG");
+}
+
+TEST(SocketServerAbuseTest, OversizedLineIsRejectedAndDisconnected) {
+  SocketServer::Options fopts{/*port=*/0};
+  fopts.max_line_bytes = 128;
+  AbuseStack stack("abuse_oversized", fopts);
+  LineClient client(stack.front->port());
+  ASSERT_TRUE(client.connected());
+
+  // A request line far beyond max_line_bytes (no newline until the end)
+  // must be rejected without buffering it all, and the peer disconnected.
+  const std::string huge(4096, 'A');
+  EXPECT_EQ(client.RoundTrip(huge), "ERR line too long");
+  EXPECT_EQ(client.ReadLine(), "");  // server closed the connection
+  EXPECT_GE(
+      stack.metrics.oversized_lines.load(std::memory_order_relaxed), 1);
+
+  // A fresh connection still works: the abuse cost one connection, not
+  // the server.
+  LineClient again(stack.front->port());
+  ASSERT_TRUE(again.connected());
+  EXPECT_EQ(again.RoundTrip("PING"), "PONG");
+}
+
+TEST(SocketServerAbuseTest, ConnectionCapAnswersBusyAndReapsSlots) {
+  SocketServer::Options fopts{/*port=*/0};
+  fopts.max_connections = 2;
+  AbuseStack stack("abuse_cap", fopts);
+
+  auto a = std::make_unique<LineClient>(stack.front->port());
+  auto b = std::make_unique<LineClient>(stack.front->port());
+  ASSERT_TRUE(a->connected());
+  ASSERT_TRUE(b->connected());
+  EXPECT_EQ(a->RoundTrip("PING"), "PONG");
+  EXPECT_EQ(b->RoundTrip("PING"), "PONG");
+
+  // Third connection is over the cap: BUSY + close, counted in metrics.
+  LineClient c(stack.front->port());
+  ASSERT_TRUE(c.connected());
+  EXPECT_EQ(c.ReadLine(), "BUSY too many connections");
+  EXPECT_EQ(c.ReadLine(), "");
+  EXPECT_GE(stack.metrics.busy_rejected.load(std::memory_order_relaxed), 1);
+
+  // Releasing a connection frees its slot (gate + reaped thread), so a
+  // new client gets in.
+  a.reset();
+  for (int i = 0; i < 200 && stack.front->active_connections() >= 2; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_LT(stack.front->active_connections(), 2);
+  LineClient d(stack.front->port());
+  ASSERT_TRUE(d.connected());
+  EXPECT_EQ(d.RoundTrip("PING"), "PONG");
+}
+
+TEST(SocketServerAbuseTest, HalfOpenAndQuitlessDisconnectsDoNotWedge) {
+  AbuseStack stack("abuse_halfopen");
+
+  // Half-open: client shuts its write side without QUIT. The server sees
+  // EOF, closes, and releases the slot.
+  {
+    RawClient raw(stack.front->port());
+    ASSERT_TRUE(raw.connected());
+    ASSERT_TRUE(raw.Send("PING\n"));
+    EXPECT_EQ(raw.ReadLine(), "PONG");
+    raw.CloseSend();
+    EXPECT_EQ(raw.ReadLine(), "");  // orderly close from the server
+  }
+  // QUIT-less hard close mid-stream, and an RST right after a request —
+  // the reply write hits a dead socket. Without MSG_NOSIGNAL this
+  // delivers SIGPIPE and kills the process (the regression this guards).
+  for (int i = 0; i < 8; ++i) {
+    RawClient raw(stack.front->port());
+    ASSERT_TRUE(raw.connected());
+    ASSERT_TRUE(
+        raw.Send("RANK " + std::to_string(stack.data.first_day()) + " 5\n"));
+    if (i % 2 == 0) {
+      raw.Reset();  // RST without reading the reply
+    }                // else: destructor's plain close without QUIT
+  }
+  // The server is still alive and serving.
+  LineClient after(stack.front->port());
+  ASSERT_TRUE(after.connected());
+  EXPECT_EQ(after.RoundTrip("PING"), "PONG");
+  // All abused slots were reaped.
+  for (int i = 0; i < 200 && stack.front->active_connections() > 1; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_LE(stack.front->active_connections(), 1);
 }
 
 }  // namespace
