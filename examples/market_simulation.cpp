@@ -13,7 +13,16 @@
 
 int main(int argc, char** argv) {
   using namespace rtgcn;
-  auto flags = Flags::Parse(argc, argv).ValueOrDie();
+  std::string out = "nasdaq_prices.csv";
+  FlagSet fs("Print structural statistics for the three preset markets and "
+             "dump the NASDAQ-sim price panel to CSV.");
+  fs.Register("out", &out, "output CSV path for the NASDAQ-sim panel");
+  const Status flag_status = fs.Parse(argc, argv);
+  if (fs.help_requested()) {
+    std::printf("%s", fs.Usage(argv[0]).c_str());
+    return 0;
+  }
+  flag_status.Abort();
 
   harness::TablePrinter table({"Market", "Stocks", "Industries", "Wiki types",
                                "Industry ratio", "Wiki ratio", "Days",
@@ -49,7 +58,6 @@ int main(int argc, char** argv) {
     }
     csv.rows.push_back(std::move(row));
   }
-  const std::string out = flags.GetString("out", "nasdaq_prices.csv");
   WriteCsv(out, csv).Abort();
   std::printf("\nNASDAQ-sim price panel written to %s (%lld days x %lld "
               "stocks).\n", out.c_str(), (long long)days, (long long)n);

@@ -16,9 +16,21 @@
 
 int main(int argc, char** argv) {
   using namespace rtgcn;
-  auto flags = Flags::Parse(argc, argv).ValueOrDie();
-  const int64_t topk = flags.GetInt("topk", 5);
-  const std::string market_name = flags.GetString("market", "NASDAQ");
+  int64_t topk = 5;
+  int64_t epochs = 8;
+  std::string market_name = "NASDAQ";
+  FlagSet fs("Train RT-GCN (T) and Rank_LSTM on one simulated market and "
+             "replay the test period as a daily top-k portfolio.");
+  fs.Register("topk", &topk, "portfolio size: buy the k best-ranked stocks");
+  fs.Register("epochs", &epochs, "training epochs per model");
+  fs.RegisterChoice("market", &market_name, {"NASDAQ", "NYSE", "CSI"},
+                    "which simulated market preset to run");
+  const Status flag_status = fs.Parse(argc, argv);
+  if (fs.help_requested()) {
+    std::printf("%s", fs.Usage(argv[0]).c_str());
+    return 0;
+  }
+  flag_status.Abort();
 
   market::MarketSpec spec = market_name == "NYSE"  ? market::NyseSpec()
                             : market_name == "CSI" ? market::CsiSpec()
@@ -28,7 +40,7 @@ int main(int argc, char** argv) {
   market::DatasetSplit split = SplitByDay(dataset, spec.test_boundary());
 
   harness::TrainOptions opts;
-  opts.epochs = flags.GetInt("epochs", 8);
+  opts.epochs = epochs;
 
   baselines::ModelConfig mc;
   auto rtgcn_model = baselines::CreateModel("RT-GCN (T)",

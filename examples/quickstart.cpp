@@ -16,13 +16,36 @@
 
 int main(int argc, char** argv) {
   using namespace rtgcn;
-  auto flags = Flags::Parse(argc, argv).ValueOrDie();
 
   // 1. Build a simulated market (universe + relations + prices).
   market::MarketSpec spec = market::NasdaqSpec(/*scale=*/0.5);
-  spec.num_stocks = flags.GetInt("stocks", spec.num_stocks);
   spec.train_days = 260;
   spec.test_days = 60;
+
+  baselines::ExperimentConfig config;
+  config.model = "RT-GCN (T)";
+  config.train.epochs = 8;
+  config.train.verbose = true;
+
+  FlagSet fs("Train RT-GCN (T) on a simulated market and backtest the "
+             "daily top-k strategy on held-out days.");
+  fs.Register("stocks", &spec.num_stocks, "simulated universe size");
+  fs.Register("window", &config.model_config.window,
+              "look-back window length");
+  fs.Register("epochs", &config.train.epochs, "training epochs");
+  fs.Register("checkpoint_dir", &config.train.checkpoint_dir,
+              "checkpoint every epoch into this directory (empty = off)");
+  fs.Register("checkpoint_every", &config.train.checkpoint_every,
+              "epochs between checkpoints");
+  fs.Register("resume", &config.train.resume,
+              "resume from the latest checkpoint if one exists");
+  const Status flag_status = fs.Parse(argc, argv);
+  if (fs.help_requested()) {
+    std::printf("%s", fs.Usage(argv[0]).c_str());
+    return 0;
+  }
+  flag_status.Abort();
+
   market::MarketData data = market::BuildMarket(spec);
   std::printf("Market %s: %lld stocks, %lld industries, %lld related pairs "
               "(ratio %.1f%%)\n",
@@ -31,16 +54,7 @@ int main(int argc, char** argv) {
               (long long)data.relations.relations.num_edges(),
               100.0 * data.relations.relations.RelationRatio());
 
-  // 2. Configure and train RT-GCN (T).
-  baselines::ExperimentConfig config;
-  config.model = "RT-GCN (T)";
-  config.model_config.window = flags.GetInt("window", 15);
-  config.train.epochs = flags.GetInt("epochs", 8);
-  config.train.verbose = true;
-  config.train.checkpoint_dir = flags.GetString("checkpoint_dir", "");
-  config.train.checkpoint_every = flags.GetInt("checkpoint_every", 1);
-  config.train.resume = flags.GetBool("resume", true);
-
+  // 2. Train RT-GCN (T).
   baselines::ExperimentResult result = baselines::RunExperiment(data, config);
 
   // 3. Report test-period metrics.

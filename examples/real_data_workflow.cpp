@@ -58,9 +58,34 @@ void WriteDemoData(const std::string& prices_path,
 
 int main(int argc, char** argv) {
   using namespace rtgcn;
-  auto flags = Flags::Parse(argc, argv).ValueOrDie();
-  std::string prices_path = flags.GetString("prices", "");
-  std::string relations_path = flags.GetString("relations", "");
+  std::string prices_path;
+  std::string relations_path;
+  int64_t relation_types = 2;
+  int64_t epochs = 10;
+  std::string checkpoint_dir;
+  bool resume = true;
+  bool strict = false;
+  FlagSet fs("Load a close-price panel and relation list from CSV, train "
+             "RT-GCN (T), checkpoint, reload, and score today's ranking.");
+  fs.Register("prices", &prices_path,
+              "close-price CSV (empty = write and use bundled demo data)");
+  fs.Register("relations", &relations_path, "relation-list CSV");
+  fs.Register("relation_types", &relation_types,
+              "number of relation types in the relation CSV");
+  fs.Register("epochs", &epochs, "training epochs");
+  fs.Register("checkpoint_dir", &checkpoint_dir,
+              "checkpoint every epoch into this directory (empty = off)");
+  fs.Register("resume", &resume,
+              "resume from the latest checkpoint if one exists");
+  fs.Register("strict", &strict,
+              "fail on the first ingestion blemish instead of repairing");
+  const Status flag_status = fs.Parse(argc, argv);
+  if (fs.help_requested()) {
+    std::printf("%s", fs.Usage(argv[0]).c_str());
+    return 0;
+  }
+  flag_status.Abort();
+
   if (prices_path.empty()) {
     prices_path = "/tmp/rtgcn_demo_prices.csv";
     relations_path = "/tmp/rtgcn_demo_relations.csv";
@@ -75,16 +100,14 @@ int main(int argc, char** argv) {
   // with every repair accounted in a LoadReport. Pass --strict to fail on
   // the first blemish instead.
   market::LoadOptions load_options;
-  load_options.mode = flags.GetBool("strict", false)
-                          ? market::LoadOptions::Mode::kStrict
-                          : market::LoadOptions::Mode::kTolerant;
+  load_options.mode = strict ? market::LoadOptions::Mode::kStrict
+                             : market::LoadOptions::Mode::kTolerant;
   market::LoadReport report;
   market::PricePanel panel =
       market::LoadPricePanel(prices_path, load_options, &report).ValueOrDie();
   graph::RelationTensor relations =
-      market::LoadRelations(relations_path, panel,
-                            flags.GetInt("relation_types", 2), load_options,
-                            &report)
+      market::LoadRelations(relations_path, panel, relation_types,
+                            load_options, &report)
           .ValueOrDie();
   std::printf("loaded %zu tickers, %lld days, %lld related pairs\n",
               panel.tickers.size(), (long long)panel.prices.dim(0),
@@ -101,11 +124,11 @@ int main(int argc, char** argv) {
   cfg.window = 10;
   baselines::RtGcnPredictor model(relations, cfg, /*alpha=*/0.1f, /*seed=*/7);
   harness::TrainOptions opts;
-  opts.epochs = flags.GetInt("epochs", 10);
+  opts.epochs = epochs;
   // Crash-safe training: with --checkpoint_dir the run saves every epoch
   // and a re-run resumes from the latest checkpoint instead of restarting.
-  opts.checkpoint_dir = flags.GetString("checkpoint_dir", "");
-  opts.resume = flags.GetBool("resume", true);
+  opts.checkpoint_dir = checkpoint_dir;
+  opts.resume = resume;
   // Divergence supervision: a NaN/Inf loss or gradient rolls the run back
   // to the last good state (checkpoint when available, else an in-memory
   // epoch snapshot) and halves the learning rate before continuing.

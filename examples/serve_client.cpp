@@ -22,18 +22,36 @@
 
 int main(int argc, char** argv) {
   using namespace rtgcn;
-  auto flags = Flags::Parse(argc, argv).ValueOrDie();
   serve::Client::Options options;
-  options.port = static_cast<int>(flags.GetInt("port", 7070));
-  options.max_attempts = static_cast<int>(flags.GetInt("attempts", 4));
-  options.recv_timeout_ms = flags.GetInt("recv_timeout_ms", 5000);
-  const int64_t day = flags.GetInt("day", -1);
-  const int64_t stock = flags.GetInt("stock", -1);
-  const int64_t k = flags.GetInt("k", 5);
-  const int64_t repeat = flags.GetInt("repeat", 1);
-  const int64_t deadline_ms = flags.GetInt("deadline_ms", 0);
-  const bool stats = flags.GetBool("stats", false);
-  const bool health = flags.GetBool("health", false);
+  options.port = 7070;
+  int64_t day = -1;
+  int64_t stock = -1;
+  int64_t k = 5;
+  int64_t repeat = 1;
+  int64_t deadline_ms = 0;
+  bool stats = false;
+  bool health = false;
+  FlagSet fs("Query a running serve_server: SCORE one stock, RANK the "
+             "day's top-k, or fetch health/metrics.");
+  fs.Register("port", &options.port, "server TCP port");
+  fs.Register("attempts", &options.max_attempts,
+              "max tries per query (BUSY and connect failures retry)");
+  fs.Register("recv_timeout_ms", &options.recv_timeout_ms,
+              "per-read reply timeout");
+  fs.Register("day", &day, "trading day to query (required for SCORE/RANK)");
+  fs.Register("stock", &stock, "stock id for SCORE (-1 = RANK instead)");
+  fs.Register("k", &k, "top-k size for RANK");
+  fs.Register("repeat", &repeat, "re-issue the query this many times");
+  fs.Register("deadline_ms", &deadline_ms,
+              "shed the query if not served within this budget (0 = none)");
+  fs.Register("stats", &stats, "dump server metrics and exit");
+  fs.Register("health", &health, "print a one-line health summary and exit");
+  const Status flag_status = fs.Parse(argc, argv);
+  if (fs.help_requested()) {
+    std::printf("%s", fs.Usage(argv[0]).c_str());
+    return 0;
+  }
+  flag_status.Abort();
 
   serve::Client client(options);
 

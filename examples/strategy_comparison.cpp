@@ -13,8 +13,19 @@
 
 int main(int argc, char** argv) {
   using namespace rtgcn;
-  auto flags = Flags::Parse(argc, argv).ValueOrDie();
-  const std::string market_name = flags.GetString("market", "NASDAQ");
+  std::string market_name = "NASDAQ";
+  int64_t epochs = 8;
+  FlagSet fs("Compare the three RT-GCN relation-aware strategies (Uniform, "
+             "Weight, Time-sensitive) on one simulated market.");
+  fs.RegisterChoice("market", &market_name, {"NASDAQ", "NYSE", "CSI"},
+                    "which simulated market preset to run");
+  fs.Register("epochs", &epochs, "training epochs per strategy");
+  const Status flag_status = fs.Parse(argc, argv);
+  if (fs.help_requested()) {
+    std::printf("%s", fs.Usage(argv[0]).c_str());
+    return 0;
+  }
+  flag_status.Abort();
 
   market::MarketSpec spec = market_name == "NYSE"  ? market::NyseSpec()
                             : market_name == "CSI" ? market::CsiSpec()
@@ -29,7 +40,7 @@ int main(int argc, char** argv) {
        {"RT-GCN (U)", "RT-GCN (W)", "RT-GCN (T)"}) {
     baselines::ExperimentConfig config;
     config.model = model;
-    config.train.epochs = flags.GetInt("epochs", 8);
+    config.train.epochs = epochs;
     baselines::ExperimentResult r = baselines::RunExperiment(data, config);
     table.AddRow({r.model, FormatFixed(r.eval.backtest.mrr, 3),
                   FormatFixed(r.eval.backtest.irr.at(1), 2),

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/thread_pool.h"
+#include "obs/registry.h"
 
 namespace rtgcn::graph {
 
@@ -22,7 +23,32 @@ Status RelationTensor::AddRelation(int64_t i, int64_t j, int64_t type) {
   if (std::find(types.begin(), types.end(), static_cast<int32_t>(type)) ==
       types.end()) {
     types.push_back(static_cast<int32_t>(type));
+    edge_list_cache_.reset();
   }
+  return Status::OK();
+}
+
+Status RelationTensor::RemoveRelation(int64_t i, int64_t j, int64_t type) {
+  if (i < 0 || i >= num_stocks_ || j < 0 || j >= num_stocks_) {
+    return Status::OutOfRange("stock index (", i, ", ", j,
+                              ") out of range for N=", num_stocks_);
+  }
+  if (i == j) {
+    return Status::InvalidArgument("self relation on stock ", i);
+  }
+  if (type < 0 || type >= num_types_) {
+    return Status::OutOfRange("relation type ", type, " out of range for K=",
+                              num_types_);
+  }
+  auto it = edges_.find(Key(i, j));
+  if (it == edges_.end()) return Status::OK();
+  auto& types = it->second;
+  auto pos =
+      std::find(types.begin(), types.end(), static_cast<int32_t>(type));
+  if (pos == types.end()) return Status::OK();
+  types.erase(pos);
+  if (types.empty()) edges_.erase(it);
+  edge_list_cache_.reset();
   return Status::OK();
 }
 
@@ -98,21 +124,28 @@ Tensor RelationTensor::DenseTypeSlice(int64_t type) const {
                         });
 }
 
-std::vector<RelationTensor::Edge> RelationTensor::EdgeList() const {
-  std::vector<Edge> out;
-  out.reserve(edges_.size());
+const std::vector<RelationTensor::Edge>& RelationTensor::EdgeList() const {
+  if (edge_list_cache_) {
+    obs::Registry::Global()
+        .GetCounter("graph.sparse.rebuild_reuse")
+        ->Increment();
+    return *edge_list_cache_;
+  }
+  auto out = std::make_shared<std::vector<Edge>>();
+  out->reserve(edges_.size());
   for (const auto& [key, types] : edges_) {
     Edge e;
     e.i = key / num_stocks_;
     e.j = key % num_stocks_;
     e.types = types;
     std::sort(e.types.begin(), e.types.end());
-    out.push_back(std::move(e));
+    out->push_back(std::move(e));
   }
-  std::sort(out.begin(), out.end(), [](const Edge& a, const Edge& b) {
+  std::sort(out->begin(), out->end(), [](const Edge& a, const Edge& b) {
     return a.i != b.i ? a.i < b.i : a.j < b.j;
   });
-  return out;
+  edge_list_cache_ = std::move(out);
+  return *edge_list_cache_;
 }
 
 RelationTensor RelationTensor::FilterTypes(int64_t type_begin,

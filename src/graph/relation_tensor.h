@@ -6,6 +6,7 @@
 #define RTGCN_GRAPH_RELATION_TENSOR_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -30,6 +31,11 @@ class RelationTensor {
   /// Adds relation `type` between stocks i and j (symmetric, i != j).
   /// Adding the same (i, j, type) twice is a no-op.
   Status AddRelation(int64_t i, int64_t j, int64_t type);
+
+  /// Removes relation `type` from edge (i, j); the edge vanishes once its
+  /// last type is removed. Removing an absent relation is a no-op. Used by
+  /// the streaming layer when links decay (stream::DynamicGraph).
+  Status RemoveRelation(int64_t i, int64_t j, int64_t type);
 
   bool HasEdge(int64_t i, int64_t j) const;
 
@@ -66,7 +72,16 @@ class RelationTensor {
   };
 
   /// All edges with i < j, in deterministic (i, j) order.
-  std::vector<Edge> EdgeList() const;
+  ///
+  /// The enumeration is memoized: the first call after a mutation sorts the
+  /// hash map into a snapshot, later calls return the same snapshot and
+  /// bump the `graph.sparse.rebuild_reuse` counter — repeated CSR
+  /// (re)builds over an unchanged tensor skip the enumeration entirely.
+  /// The reference stays valid until the next AddRelation/RemoveRelation
+  /// (copies of the tensor share the snapshot; it is immutable).
+  /// Not safe to call concurrently with a mutation (first concurrent
+  /// const calls are fine only after the cache is populated).
+  const std::vector<Edge>& EdgeList() const;
 
   /// Keeps only relation types in [type_begin, type_end); used for the
   /// wiki-vs-industry ablation (Table VI). Edges left with no types vanish.
@@ -85,6 +100,9 @@ class RelationTensor {
   int64_t num_stocks_;
   int64_t num_types_;
   std::unordered_map<int64_t, std::vector<int32_t>> edges_;
+  /// Memoized EdgeList() snapshot; reset by mutations. Shared (not deep
+  /// copied) across tensor copies — the pointee is immutable.
+  mutable std::shared_ptr<const std::vector<Edge>> edge_list_cache_;
 };
 
 }  // namespace rtgcn::graph

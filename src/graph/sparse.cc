@@ -31,7 +31,7 @@ std::shared_ptr<const CsrGraph> CsrGraph::Build(const RelationTensor& rel,
   g->self_loops_ = add_self_loops;
   const int64_t n = g->n_;
 
-  const std::vector<RelationTensor::Edge> edges = rel.EdgeList();
+  const std::vector<RelationTensor::Edge>& edges = rel.EdgeList();
   g->num_undirected_edges_ = static_cast<int64_t>(edges.size());
 
   // Adjacency rows: (col, edge index or -1 for a self loop). EdgeList is

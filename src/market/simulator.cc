@@ -1,5 +1,6 @@
 #include "market/simulator.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace rtgcn::market {
@@ -44,14 +45,209 @@ Regime NextRegime(Regime r, Rng* rng) {
 
 }  // namespace
 
+const char* RegimeName(Regime r) {
+  switch (r) {
+    case Regime::kBull: return "bull";
+    case Regime::kBear: return "bear";
+    case Regime::kCrash: return "crash";
+    case Regime::kRecovery: return "recovery";
+  }
+  return "unknown";
+}
+
+MarketSimulator::MarketSimulator(const StockUniverse& universe,
+                                 const RelationData& relations,
+                                 const SimulatorConfig& config)
+    : universe_(&universe), relations_(&relations), config_(config) {
+  const int64_t n = universe.size();
+
+  // Fork order is part of the seeded contract: init draws (prices, link
+  // phases) first, then one stream per stochastic component.
+  Rng root(config.seed);
+  Rng init = root.Fork();
+  regime_rng_ = root.Fork();
+  market_rng_ = root.Fork();
+  sector_rng_ = root.Fork();
+  stock_rng_ = root.Fork();
+  jump_rng_ = root.Fork();
+
+  // Initial prices: log-normal spread around 100.
+  prices_.resize(n);
+  returns_.assign(n, 0.0f);
+  for (int64_t i = 0; i < n; ++i) {
+    prices_[i] = static_cast<float>(100.0 * std::exp(init.Gaussian(0.0, 0.5)));
+  }
+  prev_prices_ = prices_;
+  prev_returns_ = returns_;
+
+  sector_.assign(universe.num_industries(), 0.0);
+  link_phase_.resize(relations.wiki_links.size());
+  link_excitation_.assign(relations.wiki_links.size(), 0.0);
+  for (auto& p : link_phase_) p = init.Uniform(0.0, 2.0 * M_PI);
+
+  cap_.resize(n);
+  cap_total_ = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    cap_[i] = universe.stock(i).market_cap;
+    cap_total_ += cap_[i];
+  }
+}
+
+void MarketSimulator::ForceRegime(Regime r, int64_t duration,
+                                  Regime exit_regime) {
+  RTGCN_CHECK_GT(duration, 0);
+  forced_regime_ = r;
+  forced_until_ = day_ + duration;
+  forced_exit_ = exit_regime;
+}
+
+void MarketSimulator::StepDay() {
+  const int64_t n = universe_->size();
+  prev_prices_.swap(prices_);
+  prev_returns_.swap(returns_);
+  ++day_;
+  const int64_t t = day_;
+
+  // The chain consumes exactly one draw per day regardless of forcing, so a
+  // forced window never shifts the regime stream — and, because every other
+  // component has its own stream, never shifts anything else either.
+  const Regime chain_next = NextRegime(regime_, &regime_rng_);
+  if (config_.crash_day >= 0 && t >= config_.crash_day &&
+      t < config_.crash_day + config_.crash_duration) {
+    regime_ = Regime::kCrash;
+  } else if (config_.crash_day >= 0 &&
+             t == config_.crash_day + config_.crash_duration) {
+    regime_ = Regime::kRecovery;
+  } else if (forced_until_ >= 0 && t <= forced_until_) {
+    regime_ = forced_regime_;
+  } else if (forced_until_ >= 0 && t == forced_until_ + 1) {
+    regime_ = forced_exit_;
+    forced_until_ = -1;
+  } else {
+    regime_ = chain_next;
+  }
+  const RegimeParams rp = ParamsFor(regime_);
+
+  const double m =
+      rp.drift + rp.vol_scale * config_.market_vol * market_rng_.Gaussian();
+
+  for (size_t k = 0; k < sector_.size(); ++k) {
+    sector_[k] = config_.sector_persistence * sector_[k] +
+                 config_.sector_vol * sector_rng_.Gaussian();
+  }
+
+  const float* prev_ret = prev_returns_.data();
+  float* cur_ret = returns_.data();
+
+  for (int64_t i = 0; i < n; ++i) {
+    const Stock& s = universe_->stock(i);
+    double r = s.drift + s.beta * m + sector_[s.industry] +
+               config_.momentum * prev_ret[i] +
+               rp.vol_scale * s.idio_vol * stock_rng_.Gaussian();
+    if (config_.jump_probability > 0 &&
+        jump_rng_.Bernoulli(config_.jump_probability)) {
+      r += config_.jump_size * jump_rng_.Gaussian();
+    }
+    cur_ret[i] = static_cast<float>(r);
+  }
+
+  // Lead–lag spillover: target follows source's previous-day return. The
+  // strength combines a slow exogenous cycle with self-excitation from the
+  // pair's recent co-movement, so active links are detectable from recent
+  // joint price behavior.
+  const auto& links = relations_->wiki_links;
+  for (size_t l = 0; l < links.size(); ++l) {
+    const WikiLink& link = links[l];
+    const double cycle = std::max(
+        0.0,
+        std::sin(2.0 * M_PI * t / config_.spillover_period + link_phase_[l]));
+    const double excitation = std::min(
+        1.0,
+        std::max(0.0, config_.spillover_excitation * link_excitation_[l]));
+    const double strength = config_.spillover * cycle * (0.5 + excitation);
+    cur_ret[link.target] +=
+        static_cast<float>(strength * prev_ret[link.source]);
+
+    // Update the co-movement EMA with the normalized return product of the
+    // previous day (both already final at t-1).
+    const Stock& src = universe_->stock(link.source);
+    const Stock& dst = universe_->stock(link.target);
+    const double norm = 2.0 * src.idio_vol * dst.idio_vol;
+    // Unsigned activity product: excitation tracks how *active* the pair
+    // is, not the direction, so it adds no own-history momentum to the
+    // target — direction stays graph-exclusive.
+    const double product = std::fabs(
+        static_cast<double>(prev_ret[link.source]) * prev_ret[link.target] /
+        std::max(norm, 1e-8));
+    link_excitation_[l] = config_.excitation_decay * link_excitation_[l] +
+                          (1.0 - config_.excitation_decay) * product;
+  }
+
+  // Prices and index.
+  double index_ret = 0;
+  const float* prev_price = prev_prices_.data();
+  float* cur_price = prices_.data();
+  for (int64_t i = 0; i < n; ++i) {
+    // Floor the simple return so prices stay positive even in a crash.
+    const double r = std::max(-0.5, static_cast<double>(cur_ret[i]));
+    cur_ret[i] = static_cast<float>(r);
+    cur_price[i] = static_cast<float>(prev_price[i] * (1.0 + r));
+    index_ret += cap_[i] / cap_total_ * r;
+  }
+  index_ *= 1.0 + index_ret;
+}
+
+MarketSimulator::State MarketSimulator::GetState() const {
+  State st;
+  st.day = day_;
+  st.regime = regime_;
+  st.forced_until = forced_until_;
+  st.forced_regime = forced_regime_;
+  st.forced_exit = forced_exit_;
+  st.regime_rng = regime_rng_.GetState();
+  st.market_rng = market_rng_.GetState();
+  st.sector_rng = sector_rng_.GetState();
+  st.stock_rng = stock_rng_.GetState();
+  st.jump_rng = jump_rng_.GetState();
+  st.sector = sector_;
+  st.link_phase = link_phase_;
+  st.link_excitation = link_excitation_;
+  st.prices = prices_;
+  st.returns = returns_;
+  st.index = index_;
+  return st;
+}
+
+void MarketSimulator::SetState(const State& st) {
+  RTGCN_CHECK_EQ(static_cast<int64_t>(st.prices.size()), universe_->size());
+  day_ = st.day;
+  regime_ = st.regime;
+  forced_until_ = st.forced_until;
+  forced_regime_ = st.forced_regime;
+  forced_exit_ = st.forced_exit;
+  regime_rng_.SetState(st.regime_rng);
+  market_rng_.SetState(st.market_rng);
+  sector_rng_.SetState(st.sector_rng);
+  stock_rng_.SetState(st.stock_rng);
+  jump_rng_.SetState(st.jump_rng);
+  sector_ = st.sector;
+  link_phase_ = st.link_phase;
+  link_excitation_ = st.link_excitation;
+  prices_ = st.prices;
+  returns_ = st.returns;
+  prev_prices_ = st.prices;
+  prev_returns_ = st.returns;
+  index_ = st.index;
+}
+
 SimulatedMarket Simulate(const StockUniverse& universe,
                          const RelationData& relations,
                          const SimulatorConfig& config) {
   const int64_t n = universe.size();
   const int64_t days = config.num_days;
-  const int64_t num_industries = universe.num_industries();
   RTGCN_CHECK_GT(days, 1);
-  Rng rng(config.seed);
+
+  MarketSimulator sim(universe, relations, config);
 
   SimulatedMarket out;
   out.prices = Tensor({days, n});
@@ -59,108 +255,14 @@ SimulatedMarket Simulate(const StockUniverse& universe,
   out.regimes.resize(days, Regime::kBull);
   out.index.resize(days, 1.0);
 
-  // Initial prices: log-normal spread around 100.
   float* prices = out.prices.data();
   float* returns = out.returns.data();
-  for (int64_t i = 0; i < n; ++i) {
-    prices[i] = static_cast<float>(100.0 * std::exp(rng.Gaussian(0.0, 0.5)));
-  }
-
-  std::vector<double> sector(num_industries, 0.0);
-  // Per-link phase for the time-varying spillover strength and EMA of each
-  // pair's recent co-movement (the self-excitation state).
-  std::vector<double> link_phase(relations.wiki_links.size());
-  std::vector<double> link_excitation(relations.wiki_links.size(), 0.0);
-  for (auto& p : link_phase) p = rng.Uniform(0.0, 2.0 * M_PI);
-
-  // Cap weights for the index.
-  std::vector<double> cap(n);
-  double cap_total = 0;
-  for (int64_t i = 0; i < n; ++i) {
-    cap[i] = universe.stock(i).market_cap;
-    cap_total += cap[i];
-  }
-
-  Regime regime = Regime::kBull;
-  for (int64_t t = 1; t < days; ++t) {
-    // Regime evolution (forced crash window overrides the chain).
-    if (config.crash_day >= 0 && t >= config.crash_day &&
-        t < config.crash_day + config.crash_duration) {
-      regime = Regime::kCrash;
-    } else if (config.crash_day >= 0 &&
-               t == config.crash_day + config.crash_duration) {
-      regime = Regime::kRecovery;
-    } else {
-      regime = NextRegime(regime, &rng);
-    }
-    out.regimes[t] = regime;
-    const RegimeParams rp = ParamsFor(regime);
-
-    const double m = rp.drift + rp.vol_scale * config.market_vol * rng.Gaussian();
-
-    for (int64_t k = 0; k < num_industries; ++k) {
-      sector[k] = config.sector_persistence * sector[k] +
-                  config.sector_vol * rng.Gaussian();
-    }
-
-    const float* prev_ret = returns + (t - 1) * n;
-    float* cur_ret = returns + t * n;
-
-    for (int64_t i = 0; i < n; ++i) {
-      const Stock& s = universe.stock(i);
-      double r = s.drift + s.beta * m + sector[s.industry] +
-                 config.momentum * prev_ret[i] +
-                 rp.vol_scale * s.idio_vol * rng.Gaussian();
-      if (config.jump_probability > 0 &&
-          rng.Bernoulli(config.jump_probability)) {
-        r += config.jump_size * rng.Gaussian();
-      }
-      cur_ret[i] = static_cast<float>(r);
-    }
-
-    // Lead–lag spillover: target follows source's previous-day return. The
-    // strength combines a slow exogenous cycle with self-excitation from the
-    // pair's recent co-movement, so active links are detectable from recent
-    // joint price behavior.
-    for (size_t l = 0; l < relations.wiki_links.size(); ++l) {
-      const WikiLink& link = relations.wiki_links[l];
-      const double cycle =
-          std::max(0.0, std::sin(2.0 * M_PI * t / config.spillover_period +
-                                 link_phase[l]));
-      const double excitation = std::min(
-          1.0, std::max(0.0, config.spillover_excitation * link_excitation[l]));
-      const double strength =
-          config.spillover * cycle * (0.5 + excitation);
-      cur_ret[link.target] +=
-          static_cast<float>(strength * prev_ret[link.source]);
-
-      // Update the co-movement EMA with the normalized return product of
-      // the previous day (both already final at t-1).
-      const Stock& src = universe.stock(link.source);
-      const Stock& dst = universe.stock(link.target);
-      const double norm = 2.0 * src.idio_vol * dst.idio_vol;
-      // Unsigned activity product: excitation tracks how *active* the pair
-      // is, not the direction, so it adds no own-history momentum to the
-      // target — direction stays graph-exclusive.
-      const double product = std::fabs(
-          static_cast<double>(prev_ret[link.source]) * prev_ret[link.target] /
-          std::max(norm, 1e-8));
-      link_excitation[l] = config.excitation_decay * link_excitation[l] +
-                           (1.0 - config.excitation_decay) * product;
-    }
-
-    // Prices and index.
-    double index_ret = 0;
-    const float* prev_price = prices + (t - 1) * n;
-    float* cur_price = prices + t * n;
-    for (int64_t i = 0; i < n; ++i) {
-      // Floor the simple return so prices stay positive even in a crash.
-      const double r = std::max(-0.5, static_cast<double>(cur_ret[i]));
-      cur_ret[i] = static_cast<float>(r);
-      cur_price[i] = static_cast<float>(prev_price[i] * (1.0 + r));
-      index_ret += cap[i] / cap_total * r;
-    }
-    out.index[t] = out.index[t - 1] * (1.0 + index_ret);
+  for (int64_t t = 0; t < days; ++t) {
+    if (t > 0) sim.StepDay();
+    std::copy(sim.prices().begin(), sim.prices().end(), prices + t * n);
+    std::copy(sim.returns().begin(), sim.returns().end(), returns + t * n);
+    out.regimes[t] = sim.regime();
+    out.index[t] = sim.index();
   }
   return out;
 }

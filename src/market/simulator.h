@@ -13,6 +13,18 @@
 //     follows the source's previous-day return with a slowly time-varying
 //     strength (this rewards the time-sensitive strategy of Eq. 5);
 //   * per-stock momentum and idiosyncratic noise.
+//
+// Two entry points:
+//   * Simulate() — batch: runs the whole horizon and returns the panel.
+//   * MarketSimulator — stateful: StepDay() advances one day at a time, the
+//     streaming subsystem's driver (src/stream/). Every stochastic
+//     component draws from its own forked RNG stream, and the regime chain
+//     consumes exactly one draw per day whether or not the regime is
+//     forced, so a mid-run regime switch (ForceRegime, or the crash window)
+//     NEVER shifts any other component's random sequence — replays that
+//     differ only in regime forcing stay draw-for-draw synchronized.
+//     GetState()/SetState() capture the complete seeded state (all streams,
+//     regime, sector/excitation memory, prices) for bit-identical resume.
 #ifndef RTGCN_MARKET_SIMULATOR_H_
 #define RTGCN_MARKET_SIMULATOR_H_
 
@@ -27,6 +39,8 @@ namespace rtgcn::market {
 
 /// Market regimes for the regime-switching factor.
 enum class Regime { kBull = 0, kBear = 1, kCrash = 2, kRecovery = 3 };
+
+const char* RegimeName(Regime r);
 
 /// \brief Simulation parameters (defaults give ~2 % daily stock vol).
 struct SimulatorConfig {
@@ -73,8 +87,89 @@ struct SimulatedMarket {
   std::vector<double> index;    ///< cap-weighted index level, index[0] = 1
 };
 
+/// \brief Stateful day-by-day simulator (the streaming driver).
+///
+/// The universe and relations must outlive the simulator. Construction
+/// performs day 0 (initial prices); each StepDay() produces the next day.
+class MarketSimulator {
+ public:
+  /// \brief Complete replayable state. Restoring it into a simulator built
+  /// over the same universe/relations/config resumes the exact stream.
+  struct State {
+    int64_t day = 0;
+    Regime regime = Regime::kBull;
+    int64_t forced_until = -1;  ///< last day index the forced regime covers
+    Regime forced_regime = Regime::kCrash;
+    Regime forced_exit = Regime::kRecovery;
+    Rng::State regime_rng, market_rng, sector_rng, stock_rng, jump_rng;
+    std::vector<double> sector;           ///< AR(1) industry factors
+    std::vector<double> link_phase;       ///< per-link spillover phase
+    std::vector<double> link_excitation;  ///< per-link co-movement EMA
+    std::vector<float> prices, returns;   ///< most recently produced day
+    double index = 1.0;
+  };
+
+  MarketSimulator(const StockUniverse& universe, const RelationData& relations,
+                  const SimulatorConfig& config);
+
+  /// Day index of the most recently produced day (0 after construction).
+  int64_t day() const { return day_; }
+  Regime regime() const { return regime_; }
+
+  /// Prices/returns of the most recently produced day, [N].
+  const std::vector<float>& prices() const { return prices_; }
+  const std::vector<float>& returns() const { return returns_; }
+  double index() const { return index_; }
+
+  /// Advances one trading day. The regime chain consumes exactly one draw
+  /// from its dedicated stream per day, forced or not.
+  void StepDay();
+
+  /// Pins the regime to `r` for the next `duration` days (starting with the
+  /// next StepDay), then hands control back to the chain via `exit_regime`.
+  /// Because the chain stream still advances one draw per day, forcing a
+  /// regime — or forcing the regime the chain would have picked anyway —
+  /// leaves every other stochastic component untouched.
+  void ForceRegime(Regime r, int64_t duration,
+                   Regime exit_regime = Regime::kRecovery);
+
+  State GetState() const;
+  void SetState(const State& state);
+
+  const SimulatorConfig& config() const { return config_; }
+
+ private:
+  const StockUniverse* universe_;
+  const RelationData* relations_;
+  SimulatorConfig config_;
+
+  // Independent draw streams, forked from Rng(config.seed) in a fixed
+  // order. Each component owns one, so conditional draws in one component
+  // (a forced regime window, a jump that did not fire) cannot shift the
+  // sequence another component sees.
+  Rng regime_rng_, market_rng_, sector_rng_, stock_rng_, jump_rng_;
+
+  int64_t day_ = 0;
+  Regime regime_ = Regime::kBull;
+  int64_t forced_until_ = -1;
+  Regime forced_regime_ = Regime::kCrash;
+  Regime forced_exit_ = Regime::kRecovery;
+
+  std::vector<double> sector_;
+  std::vector<double> link_phase_;
+  std::vector<double> link_excitation_;
+  std::vector<double> cap_;
+  double cap_total_ = 0;
+
+  std::vector<float> prices_, returns_;
+  std::vector<float> prev_prices_, prev_returns_;
+  double index_ = 1.0;
+};
+
 /// Runs the simulation for `universe` with spillover along
 /// `relations.wiki_links` and industry factors from universe membership.
+/// Batch wrapper over MarketSimulator: day 0 is the initial prices, then
+/// num_days - 1 steps.
 SimulatedMarket Simulate(const StockUniverse& universe,
                          const RelationData& relations,
                          const SimulatorConfig& config);

@@ -1,0 +1,258 @@
+#include "stream/dynamic_graph.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/thread_pool.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
+
+namespace rtgcn::stream {
+
+using graph::CsrGraph;
+using graph::RelationTensor;
+
+DynamicGraph::DynamicGraph(RelationTensor initial, CsrGraph::Norm norm,
+                           bool add_self_loops)
+    : relations_(std::move(initial)), norm_(norm), self_loops_(add_self_loops) {
+  nbrs_.resize(static_cast<size_t>(relations_.num_stocks()));
+  for (const auto& e : relations_.EdgeList()) {
+    nbrs_[static_cast<size_t>(e.i)].push_back(static_cast<int32_t>(e.j));
+    nbrs_[static_cast<size_t>(e.j)].push_back(static_cast<int32_t>(e.i));
+  }
+  for (auto& row : nbrs_) std::sort(row.begin(), row.end());
+  csr_ = CsrGraph::Build(relations_, norm_, self_loops_);
+}
+
+Status DynamicGraph::Apply(const std::vector<RelationEvent>& events) {
+  for (const RelationEvent& ev : events) {
+    const bool had = relations_.HasRelation(ev.i, ev.j, ev.type);
+    if (ev.add == had) continue;  // duplicate add / absent remove: no-op
+    if (ev.add) {
+      RTGCN_RETURN_NOT_OK(relations_.AddRelation(ev.i, ev.j, ev.type));
+      if (relations_.Types(ev.i, ev.j).size() == 1) {
+        // First type on this pair: a structural edge appeared.
+        auto& ri = nbrs_[static_cast<size_t>(ev.i)];
+        ri.insert(std::lower_bound(ri.begin(), ri.end(),
+                                   static_cast<int32_t>(ev.j)),
+                  static_cast<int32_t>(ev.j));
+        auto& rj = nbrs_[static_cast<size_t>(ev.j)];
+        rj.insert(std::lower_bound(rj.begin(), rj.end(),
+                                   static_cast<int32_t>(ev.i)),
+                  static_cast<int32_t>(ev.i));
+      }
+    } else {
+      RTGCN_RETURN_NOT_OK(relations_.RemoveRelation(ev.i, ev.j, ev.type));
+      if (!relations_.HasEdge(ev.i, ev.j)) {
+        // Last type gone: the structural edge vanished.
+        auto& ri = nbrs_[static_cast<size_t>(ev.i)];
+        ri.erase(std::find(ri.begin(), ri.end(), static_cast<int32_t>(ev.j)));
+        auto& rj = nbrs_[static_cast<size_t>(ev.j)];
+        rj.erase(std::find(rj.begin(), rj.end(), static_cast<int32_t>(ev.i)));
+      }
+    }
+    dirty_rows_.insert(ev.i);
+    dirty_rows_.insert(ev.j);
+  }
+  return Status::OK();
+}
+
+const graph::CsrPtr& DynamicGraph::Csr() {
+  if (!dirty_rows_.empty()) IncrementalRebuild();
+  return csr_;
+}
+
+void DynamicGraph::IncrementalRebuild() {
+  obs::Span span("stream.GraphRebuild", "stream");
+  const CsrGraph& old = *csr_;
+  const int64_t n = relations_.num_stocks();
+
+  auto g = std::shared_ptr<CsrGraph>(new CsrGraph());
+  g->n_ = n;
+  g->num_types_ = relations_.num_relation_types();
+  g->self_loops_ = self_loops_;
+  g->num_undirected_edges_ = relations_.num_edges();
+
+  std::vector<bool> dirty(static_cast<size_t>(n), false);
+  for (int64_t r : dirty_rows_) dirty[static_cast<size_t>(r)] = true;
+
+  // Pass 1: row lengths → row_ptr.
+  g->row_ptr_.resize(static_cast<size_t>(n) + 1, 0);
+  int64_t nnz = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    g->row_ptr_[static_cast<size_t>(i)] = nnz;
+    if (dirty[static_cast<size_t>(i)]) {
+      nnz += static_cast<int64_t>(nbrs_[static_cast<size_t>(i)].size()) +
+             (self_loops_ ? 1 : 0);
+    } else {
+      nnz += old.row_ptr_[static_cast<size_t>(i) + 1] -
+             old.row_ptr_[static_cast<size_t>(i)];
+    }
+  }
+  g->row_ptr_[static_cast<size_t>(n)] = nnz;
+
+  g->col_.resize(static_cast<size_t>(nnz));
+  g->row_of_.resize(static_cast<size_t>(nnz));
+  g->coeff_.resize(static_cast<size_t>(nnz));
+  g->rev_.resize(static_cast<size_t>(nnz));
+  g->type_ptr_.resize(static_cast<size_t>(nnz) + 1, 0);
+
+  // Pass 2: col / row_of / types. Clean rows block-copy their old
+  // segments (cols and flat types) at the new offsets; dirty rows
+  // regenerate from the adjacency mirror + tensor queries. Type order
+  // within an entry is sorted ascending, matching EdgeList and thus
+  // Build bit-for-bit.
+  int64_t type_cursor = 0;
+  std::vector<int32_t> ts;
+  for (int64_t i = 0; i < n; ++i) {
+    int64_t cursor = g->row_ptr_[static_cast<size_t>(i)];
+    if (!dirty[static_cast<size_t>(i)]) {
+      const int64_t ob = old.row_ptr_[static_cast<size_t>(i)];
+      const int64_t oe = old.row_ptr_[static_cast<size_t>(i) + 1];
+      std::copy(old.col_.begin() + ob, old.col_.begin() + oe,
+                g->col_.begin() + cursor);
+      std::fill(g->row_of_.begin() + cursor, g->row_of_.begin() + cursor +
+                    (oe - ob),
+                static_cast<int32_t>(i));
+      const int64_t otb = old.type_ptr_[static_cast<size_t>(ob)];
+      const int64_t ote = old.type_ptr_[static_cast<size_t>(oe)];
+      for (int64_t e = ob; e < oe; ++e) {
+        g->type_ptr_[static_cast<size_t>(cursor + (e - ob))] =
+            type_cursor + (old.type_ptr_[static_cast<size_t>(e)] - otb);
+      }
+      g->types_.insert(g->types_.end(), old.types_.begin() + otb,
+                       old.types_.begin() + ote);
+      type_cursor += ote - otb;
+      continue;
+    }
+    // Dirty row: neighbors are sorted; splice the self loop in at its
+    // sorted position (i never appears among its own neighbors).
+    const auto& row = nbrs_[static_cast<size_t>(i)];
+    size_t k = 0;
+    bool self_emitted = !self_loops_;
+    while (k < row.size() || !self_emitted) {
+      int32_t c;
+      bool is_self;
+      if (!self_emitted &&
+          (k >= row.size() || static_cast<int32_t>(i) < row[k])) {
+        c = static_cast<int32_t>(i);
+        is_self = true;
+        self_emitted = true;
+      } else {
+        c = row[k++];
+        is_self = false;
+      }
+      g->col_[static_cast<size_t>(cursor)] = c;
+      g->row_of_[static_cast<size_t>(cursor)] = static_cast<int32_t>(i);
+      g->type_ptr_[static_cast<size_t>(cursor)] = type_cursor;
+      if (!is_self) {
+        ts = relations_.Types(i, c);
+        std::sort(ts.begin(), ts.end());
+        g->types_.insert(g->types_.end(), ts.begin(), ts.end());
+        type_cursor += static_cast<int64_t>(ts.size());
+      }
+      ++cursor;
+    }
+    RTGCN_CHECK_EQ(cursor, g->row_ptr_[static_cast<size_t>(i) + 1]);
+  }
+  g->type_ptr_[static_cast<size_t>(nnz)] = type_cursor;
+
+  // Pass 3: reverse entries. A clean→clean entry rebases the old reverse
+  // index by the target row's offset delta; anything touching a dirty row
+  // binary-searches the (sorted) new target row, exactly like Build.
+  const int64_t* rp = g->row_ptr_.data();
+  const int64_t* orp = old.row_ptr_.data();
+  const int32_t* col = g->col_.data();
+  const int32_t* row_of = g->row_of_.data();
+  ParallelFor(0, nnz, 1024, [&](int64_t lo, int64_t hi) {
+    for (int64_t e = lo; e < hi; ++e) {
+      const int32_t i = row_of[e];
+      const int32_t j = col[e];
+      if (!dirty[static_cast<size_t>(i)] && !dirty[static_cast<size_t>(j)]) {
+        const int64_t old_e = orp[i] + (e - rp[i]);
+        g->rev_[static_cast<size_t>(e)] = static_cast<int32_t>(
+            rp[j] + (old.rev_[static_cast<size_t>(old_e)] - orp[j]));
+        continue;
+      }
+      const int32_t* begin = col + rp[j];
+      const int32_t* end = col + rp[j + 1];
+      const int32_t* it = std::lower_bound(begin, end, i);
+      RTGCN_CHECK(it != end && *it == i);
+      g->rev_[static_cast<size_t>(e)] =
+          static_cast<int32_t>(rp[j] + (it - begin));
+    }
+  });
+
+  // Pass 4: coefficients — the same O(N) scale table and O(nnz) entry
+  // sweep as Build (identical expressions and order → identical bits).
+  std::vector<float> scale(static_cast<size_t>(n), 0.0f);
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t deg = rp[i + 1] - rp[i];
+    switch (norm_) {
+      case CsrGraph::Norm::kSymmetric:
+        scale[static_cast<size_t>(i)] =
+            deg > 0 ? 1.0f / std::sqrt(static_cast<float>(deg)) : 0.0f;
+        break;
+      case CsrGraph::Norm::kRowMean:
+        scale[static_cast<size_t>(i)] =
+            deg > 0 ? 1.0f / static_cast<float>(deg) : 0.0f;
+        break;
+      case CsrGraph::Norm::kNone:
+        scale[static_cast<size_t>(i)] = 1.0f;
+        break;
+    }
+  }
+  ParallelFor(0, nnz, 1024, [&](int64_t lo, int64_t hi) {
+    for (int64_t e = lo; e < hi; ++e) {
+      switch (norm_) {
+        case CsrGraph::Norm::kSymmetric:
+          g->coeff_[static_cast<size_t>(e)] =
+              scale[static_cast<size_t>(row_of[e])] *
+              scale[static_cast<size_t>(col[e])];
+          break;
+        case CsrGraph::Norm::kRowMean:
+          g->coeff_[static_cast<size_t>(e)] =
+              scale[static_cast<size_t>(row_of[e])];
+          break;
+        case CsrGraph::Norm::kNone:
+          g->coeff_[static_cast<size_t>(e)] = 1.0f;
+          break;
+      }
+    }
+  });
+
+  rows_rebuilt_ += static_cast<int64_t>(dirty_rows_.size());
+  rows_total_ += n;
+  ++incremental_rebuilds_;
+  auto& reg = obs::Registry::Global();
+  reg.GetCounter("stream.graph.rows_rebuilt")
+      ->Increment(static_cast<uint64_t>(dirty_rows_.size()));
+  reg.GetCounter("stream.graph.rows_total")
+      ->Increment(static_cast<uint64_t>(n));
+  reg.GetCounter("stream.graph.incremental_rebuilds")->Increment();
+
+  dirty_rows_.clear();
+  csr_ = std::move(g);
+}
+
+RelationTensor DynamicGraph::InducedSubgraph(
+    const std::vector<int64_t>& slots) const {
+  const int64_t n = relations_.num_stocks();
+  std::vector<int64_t> pos(static_cast<size_t>(n), -1);
+  for (size_t k = 0; k < slots.size(); ++k) {
+    RTGCN_CHECK(slots[k] >= 0 && slots[k] < n);
+    pos[static_cast<size_t>(slots[k])] = static_cast<int64_t>(k);
+  }
+  RelationTensor out(static_cast<int64_t>(slots.size()),
+                     relations_.num_relation_types());
+  for (const auto& e : relations_.EdgeList()) {
+    const int64_t pi = pos[static_cast<size_t>(e.i)];
+    const int64_t pj = pos[static_cast<size_t>(e.j)];
+    if (pi < 0 || pj < 0) continue;
+    for (int32_t t : e.types) out.AddRelation(pi, pj, t).Abort();
+  }
+  return out;
+}
+
+}  // namespace rtgcn::stream

@@ -1,0 +1,86 @@
+// DynamicGraph: a RelationTensor + CsrGraph pair that absorbs streaming
+// edge deltas and rebuilds the CSR incrementally (DESIGN.md §14).
+//
+// CsrGraph is immutable by design (in-flight propagations share it via
+// shared_ptr), so "incremental" means: assemble a *new* CsrGraph, but only
+// regenerate the row segments whose structure changed — every other row's
+// col/type segment is block-copied from the previous snapshot at its new
+// offset, reverse-entry indices of clean→clean entries are rebased with an
+// offset delta instead of a binary search, and only the O(nnz)
+// coefficient sweep (identical to Build's) runs in full. The result must
+// be BIT-IDENTICAL, array for array, to CsrGraph::Build on the mutated
+// tensor — stream_test enforces exact equality after every delta batch.
+//
+// Rebuild cost is O(|dirty rows| · deg + copy) instead of Build's
+// enumerate+sort+search over the whole tensor; the
+// stream.graph.rows_rebuilt / stream.graph.rows_total counters expose the
+// realized rebuild fraction.
+#ifndef RTGCN_STREAM_DYNAMIC_GRAPH_H_
+#define RTGCN_STREAM_DYNAMIC_GRAPH_H_
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/relation_tensor.h"
+#include "graph/sparse.h"
+#include "stream/events.h"
+
+namespace rtgcn::stream {
+
+/// \brief Mutable relation state with an incrementally rebuilt CSR view.
+class DynamicGraph {
+ public:
+  DynamicGraph(graph::RelationTensor initial, graph::CsrGraph::Norm norm,
+               bool add_self_loops);
+
+  /// Applies one day's edge deltas (duplicate adds and absent removes are
+  /// no-ops that dirty nothing). The CSR is rebuilt lazily on next Csr().
+  Status Apply(const std::vector<RelationEvent>& events);
+
+  /// Current CSR snapshot; rebuilds incrementally when deltas are pending.
+  /// The returned pointer is immutable — callers may keep it across later
+  /// Apply calls (RCU-style, like serve's model snapshots).
+  const graph::CsrPtr& Csr();
+
+  const graph::RelationTensor& relations() const { return relations_; }
+  int64_t num_slots() const { return relations_.num_stocks(); }
+
+  /// Relation tensor induced on a slot subset: edges with both endpoints
+  /// in `slots`, endpoints remapped to positions in `slots` (the relation
+  /// input for a model trained on that sub-universe). Type space is
+  /// preserved.
+  graph::RelationTensor InducedSubgraph(
+      const std::vector<int64_t>& slots) const;
+
+  /// Rows regenerated / rows total across all incremental rebuilds (also
+  /// published as stream.graph.rows_rebuilt / stream.graph.rows_total).
+  int64_t rows_rebuilt() const { return rows_rebuilt_; }
+  int64_t rows_total() const { return rows_total_; }
+  int64_t incremental_rebuilds() const { return incremental_rebuilds_; }
+
+ private:
+  void IncrementalRebuild();
+
+  graph::RelationTensor relations_;
+  graph::CsrGraph::Norm norm_;
+  bool self_loops_;
+
+  /// Sorted neighbor index (cols only) per row — RelationTensor cannot
+  /// enumerate one node's neighbors without a full scan, so the rebuilder
+  /// maintains its own adjacency mirror under Apply.
+  std::vector<std::vector<int32_t>> nbrs_;
+
+  graph::CsrPtr csr_;
+  std::set<int64_t> dirty_rows_;  ///< rows whose structure/types changed
+
+  int64_t rows_rebuilt_ = 0;
+  int64_t rows_total_ = 0;
+  int64_t incremental_rebuilds_ = 0;
+};
+
+}  // namespace rtgcn::stream
+
+#endif  // RTGCN_STREAM_DYNAMIC_GRAPH_H_

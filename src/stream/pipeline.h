@@ -1,0 +1,166 @@
+// RollingPipeline: the streaming orchestrator (DESIGN.md §14).
+//
+// One Step() consumes one DayUpdate from a TickSource: universe and
+// relation deltas are folded into the pipeline's DynamicGraph and active
+// set, intraday batches tick the SlidingFeatureWindow (O(changed stocks)
+// each), and the official close settles the day. On a seeded cadence the
+// pipeline refits an RT-GCN on the *active* sub-universe (panel and
+// induced relation subgraph gathered from the live window/graph), exports
+// a weights-only checkpoint through CheckpointManager naming, and
+// hot-reloads it into a ModelRegistry — the same registry/snapshot
+// machinery the inference server serves from.
+//
+// Churn-consistency guarantee: every model version is recorded with the
+// exact slot list and universe version it was trained on. Rank() pins one
+// registry snapshot and answers with that version's slots and scores —
+// a reply can never mix pre- and post-churn universes, no matter how the
+// promotion raced the query. When the live universe has moved past the
+// model's, the reply is flagged `stale` (and the next retrain clears it).
+//
+// Threading: Step() and Rank() may run concurrently (the e2e load test
+// does exactly that). Mutable stream state is guarded by one mutex; the
+// expensive phases — Fit and snapshot Score — run outside it on gathered
+// copies, so queries keep flowing while a retrain is in progress.
+#ifndef RTGCN_STREAM_PIPELINE_H_
+#define RTGCN_STREAM_PIPELINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "core/rtgcn.h"
+#include "harness/checkpoint.h"
+#include "harness/predictor.h"
+#include "serve/registry.h"
+#include "serve/server.h"
+#include "stream/dynamic_graph.h"
+#include "stream/feature_window.h"
+#include "stream/tick_source.h"
+
+namespace rtgcn::stream {
+
+/// \brief Rolling train→checkpoint→hot-reload configuration.
+struct PipelineConfig {
+  /// Model architecture; `window` and `num_features` also size the
+  /// SlidingFeatureWindow.
+  core::RtGcnConfig model;
+  float alpha = 0.1f;
+
+  /// Options for each refit (guard supervision included). The pipeline
+  /// ignores `checkpoint_dir` here — training-state checkpoints must not
+  /// land in the serving directory the registry scans.
+  harness::TrainOptions train;
+
+  /// Serving checkpoint directory (created on Init): each retrain exports
+  /// ckpt-<version>.rtgcn here and the registry promotes it.
+  std::string checkpoint_dir;
+
+  int64_t retrain_every = 20;   ///< days between refits
+  int64_t train_history = 60;   ///< recent prediction days used per refit
+  /// Reload failures before Health() reports DEGRADED (serve semantics).
+  int64_t degraded_failure_threshold = 3;
+  uint64_t seed = 1;
+};
+
+/// \brief A ranking reply over the streaming universe. Slots and scores
+/// always come from ONE model version's training universe.
+struct StreamRankReply {
+  int64_t model_version = -1;
+  /// Universe version the model was trained on.
+  int64_t universe_version = -1;
+  int64_t day = -1;
+  /// True when the live universe has churned past the model's.
+  bool stale = false;
+  std::vector<int64_t> slots;  ///< global slot ids, aligned with scores
+  std::vector<float> scores;
+};
+
+/// \brief Streaming train/serve loop over one TickSource.
+class RollingPipeline {
+ public:
+  /// `source` must outlive the pipeline and be exclusively driven by it.
+  /// `initial_relations` is the day-0 relation state (the same tensor the
+  /// TickSource was seeded with).
+  RollingPipeline(PipelineConfig config, TickSource* source,
+                  graph::RelationTensor initial_relations);
+  ~RollingPipeline();
+
+  RollingPipeline(const RollingPipeline&) = delete;
+  RollingPipeline& operator=(const RollingPipeline&) = delete;
+
+  /// Creates the serving checkpoint directory. Call once before Step().
+  Status Init();
+
+  /// Consumes one trading day (and retrains/publishes when due).
+  Status Step();
+
+  /// Scores the latest completed day under the currently published model.
+  /// Unavailable until the first retrain has been promoted.
+  Result<StreamRankReply> Rank();
+
+  /// SERVING once a snapshot is published and reloads are healthy;
+  /// DEGRADED before the first promotion or after repeated reload failures.
+  serve::HealthState Health() const;
+
+  int64_t day() const;
+  int64_t universe_version() const;
+  int64_t retrains() const;
+  int64_t last_retrain_day() const;
+  /// Seconds spent in the most recent Fit (0 before the first).
+  double last_retrain_seconds() const;
+
+  serve::ModelRegistry* registry() { return &registry_; }
+  const SlidingFeatureWindow& window() const { return window_; }
+  DynamicGraph& graph() { return graph_; }
+
+ private:
+  /// Architecture recipe the registry's ServableFactory builds from; the
+  /// factory is invoked right after each export (manual PollOnce), so the
+  /// latest recipe always matches the newest checkpoint on disk.
+  struct Arch {
+    std::shared_ptr<const graph::RelationTensor> relations;
+    core::RtGcnConfig config;
+    float alpha = 0.1f;
+    uint64_t seed = 1;
+  };
+
+  /// Training universe of one published version.
+  struct VersionInfo {
+    std::vector<int64_t> slots;
+    int64_t universe_version = 0;
+  };
+
+  std::unique_ptr<serve::ServableModel> BuildServable();
+  Status MaybeRetrain(int64_t day);
+
+  PipelineConfig config_;
+  TickSource* source_;
+
+  mutable std::mutex mu_;  ///< guards window_/graph_/active_/versions_
+  SlidingFeatureWindow window_;
+  DynamicGraph graph_;
+  std::vector<bool> active_;
+  int64_t universe_version_ = 0;
+  int64_t last_retrain_day_ = -1;
+  int64_t retrains_ = 0;
+  /// Highest checkpoint version found in the directory at Init(); this
+  /// run's exports are numbered above it so a leftover checkpoint from a
+  /// previous run is never the newest (Rank() can only serve versions
+  /// this pipeline trained).
+  int64_t version_base_ = 0;
+  double last_retrain_seconds_ = 0;
+  std::unordered_map<int64_t, VersionInfo> versions_;
+
+  mutable std::mutex arch_mu_;
+  std::shared_ptr<const Arch> latest_arch_;
+
+  harness::CheckpointManager manager_;
+  serve::ModelRegistry registry_;
+};
+
+}  // namespace rtgcn::stream
+
+#endif  // RTGCN_STREAM_PIPELINE_H_

@@ -7,6 +7,7 @@
 #include "graph/gcn.h"
 #include "graph/hypergraph.h"
 #include "graph/relation_tensor.h"
+#include "obs/registry.h"
 #include "tensor/init.h"
 #include "tensor/ops.h"
 
@@ -113,6 +114,55 @@ TEST(RelationTensorTest, EdgeListDeterministicOrder) {
   EXPECT_TRUE(edges[0].i == 0 && edges[0].j == 1);
   EXPECT_TRUE(edges[1].i == 0 && edges[1].j == 2);
   EXPECT_TRUE(edges[2].i == 1 && edges[2].j == 2);
+}
+
+TEST(RelationTensorTest, EdgeListMemoizedUntilMutation) {
+  RelationTensor rel = MakeTriangle();
+  auto* reuse =
+      obs::Registry::Global().GetCounter("graph.sparse.rebuild_reuse");
+
+  const uint64_t before = reuse->Value();
+  const auto* first = &rel.EdgeList();  // enumerates
+  const auto* again = &rel.EdgeList();  // cache hit
+  EXPECT_EQ(first, again);
+  EXPECT_EQ(reuse->Value(), before + 1);
+
+  // A structural mutation invalidates the snapshot...
+  rel.AddRelation(0, 1, 1).Abort();
+  const auto& after_add = rel.EdgeList();
+  EXPECT_EQ(reuse->Value(), before + 1);
+  EXPECT_EQ(after_add[0].types, (std::vector<int32_t>{0, 1, 2}));
+
+  // ...but a duplicate add is a no-op and keeps the cache.
+  const auto* cached = &rel.EdgeList();
+  rel.AddRelation(0, 1, 1).Abort();
+  EXPECT_EQ(&rel.EdgeList(), cached);
+}
+
+TEST(RelationTensorTest, RemoveRelationDropsTypeThenEdge) {
+  RelationTensor rel = MakeTriangle();
+  rel.AddRelation(0, 1, 1).Abort();
+  ASSERT_EQ(rel.num_edges(), 3);
+
+  rel.RemoveRelation(1, 0, 2).Abort();  // symmetric indexing
+  EXPECT_FALSE(rel.HasRelation(0, 1, 2));
+  EXPECT_TRUE(rel.HasEdge(0, 1));  // types {0, 1} survive
+
+  rel.RemoveRelation(0, 1, 0).Abort();
+  rel.RemoveRelation(0, 1, 1).Abort();
+  EXPECT_FALSE(rel.HasEdge(0, 1));  // last type removed → edge gone
+  EXPECT_EQ(rel.num_edges(), 2);
+
+  // Removing an absent relation is a no-op, out-of-range is an error.
+  EXPECT_TRUE(rel.RemoveRelation(0, 1, 0).ok());
+  EXPECT_FALSE(rel.RemoveRelation(0, 99, 0).ok());
+  EXPECT_FALSE(rel.RemoveRelation(0, 0, 0).ok());
+
+  // EdgeList reflects the removals (cache was invalidated).
+  const auto& edges = rel.EdgeList();
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_TRUE(edges[0].i == 0 && edges[0].j == 2);
+  EXPECT_TRUE(edges[1].i == 1 && edges[1].j == 2);
 }
 
 // ---------------------------------------------------------------------------

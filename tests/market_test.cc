@@ -258,6 +258,116 @@ TEST_F(SimulatorTest, DeterministicGivenSeed) {
   EXPECT_TRUE(AllClose(a.prices, b.prices, 0, 0));
 }
 
+TEST_F(SimulatorTest, StatefulStepperMatchesBatchBitExactly) {
+  SimulatorConfig cfg;
+  cfg.num_days = 120;
+  cfg.crash_day = 60;
+  cfg.crash_duration = 10;
+  SimulatedMarket batch = Simulate(universe_, relations_, cfg);
+
+  MarketSimulator sim(universe_, relations_, cfg);
+  for (int64_t t = 0; t < cfg.num_days; ++t) {
+    if (t > 0) sim.StepDay();
+    ASSERT_EQ(sim.day(), t);
+    EXPECT_EQ(sim.regime(), batch.regimes[t]) << "day " << t;
+    EXPECT_DOUBLE_EQ(sim.index(), batch.index[t]) << "day " << t;
+    for (int64_t i = 0; i < universe_.size(); ++i) {
+      ASSERT_EQ(sim.prices()[i], batch.prices.at({t, i}))
+          << "day " << t << " stock " << i;
+      ASSERT_EQ(sim.returns()[i], batch.returns.at({t, i}))
+          << "day " << t << " stock " << i;
+    }
+  }
+}
+
+TEST_F(SimulatorTest, ReplayFromCapturedStateIsBitIdentical) {
+  SimulatorConfig cfg;
+  cfg.num_days = 200;
+  MarketSimulator sim(universe_, relations_, cfg);
+  for (int64_t t = 0; t < 80; ++t) sim.StepDay();
+  const MarketSimulator::State st = sim.GetState();
+
+  std::vector<std::vector<float>> expected;
+  for (int64_t t = 0; t < 50; ++t) {
+    sim.StepDay();
+    expected.push_back(sim.prices());
+  }
+
+  // Restore into a *fresh* simulator (only seeded config shared) and into
+  // the same one; both must replay the exact stream.
+  MarketSimulator fresh(universe_, relations_, cfg);
+  fresh.SetState(st);
+  sim.SetState(st);
+  for (int64_t t = 0; t < 50; ++t) {
+    fresh.StepDay();
+    sim.StepDay();
+    ASSERT_EQ(fresh.prices(), expected[static_cast<size_t>(t)]) << "day " << t;
+    ASSERT_EQ(sim.prices(), expected[static_cast<size_t>(t)]) << "day " << t;
+  }
+}
+
+// Regression for the replay-desync bug: the regime chain used to share one
+// RNG with every other component and skipped its draw whenever the regime
+// was forced, so a mid-run regime switch shifted all subsequent market /
+// sector / stock / jump draws. Now each component owns a forked stream and
+// the chain consumes exactly one draw per day, forced or not — so forcing
+// the regime the chain would have picked anyway is a perfect no-op.
+TEST_F(SimulatorTest, NoOpRegimeForceIsBitIdentical) {
+  SimulatorConfig cfg;
+  cfg.num_days = 400;
+  SimulatedMarket baseline = Simulate(universe_, relations_, cfg);
+
+  // Find a stretch where the chain stayed in one regime for 11 days; bull
+  // persistence (98.5 %) makes this near-certain in 400 days.
+  const int64_t duration = 10;
+  int64_t start = -1;
+  for (int64_t t = 1; t + duration < cfg.num_days; ++t) {
+    bool constant = true;
+    for (int64_t k = 0; k <= duration; ++k) {
+      if (baseline.regimes[t + k] != baseline.regimes[t]) {
+        constant = false;
+        break;
+      }
+    }
+    if (constant) {
+      start = t;
+      break;
+    }
+  }
+  ASSERT_GE(start, 0) << "no constant-regime stretch found";
+  const Regime held = baseline.regimes[start];
+
+  MarketSimulator sim(universe_, relations_, cfg);
+  for (int64_t t = 1; t < start; ++t) sim.StepDay();
+  // Force days [start, start + duration - 1] to `held`, exiting into `held`
+  // on day start + duration — exactly what the chain did on its own.
+  sim.ForceRegime(held, duration, /*exit_regime=*/held);
+  for (int64_t t = start; t < cfg.num_days; ++t) {
+    sim.StepDay();
+    EXPECT_EQ(sim.regime(), baseline.regimes[t]) << "day " << t;
+    for (int64_t i = 0; i < universe_.size(); ++i) {
+      ASSERT_EQ(sim.prices()[i], baseline.prices.at({t, i}))
+          << "day " << t << " stock " << i;
+    }
+  }
+}
+
+TEST_F(SimulatorTest, ForceRegimeTriggersCrashAndExits) {
+  SimulatorConfig cfg;
+  cfg.num_days = 300;
+  MarketSimulator sim(universe_, relations_, cfg);
+  for (int64_t t = 1; t <= 100; ++t) sim.StepDay();
+  const double pre_crash_index = sim.index();
+  sim.ForceRegime(Regime::kCrash, 15);
+  for (int64_t t = 0; t < 15; ++t) {
+    sim.StepDay();
+    EXPECT_EQ(sim.regime(), Regime::kCrash);
+  }
+  EXPECT_LT(sim.index() / pre_crash_index, 0.9);  // >10 % drawdown
+  sim.StepDay();
+  EXPECT_EQ(sim.regime(), Regime::kRecovery);
+}
+
 // ---------------------------------------------------------------------------
 // Dataset / features
 // ---------------------------------------------------------------------------

@@ -235,6 +235,112 @@ TEST(ModelRegistryTest, StartWithoutCheckpointsReportsNotFound) {
 }
 
 // ---------------------------------------------------------------------------
+// Registry promotion across universe-size changes
+// ---------------------------------------------------------------------------
+
+// A ranker whose parameters are sized by the stock universe (a per-stock
+// bias), so a checkpoint from a differently-sized universe has mismatched
+// parameter shapes — the streaming-retrain hazard when consecutive
+// snapshots disagree on universe size.
+class BiasModule : public nn::Module {
+ public:
+  BiasModule(int64_t num_stocks, Rng* rng) {
+    Tensor init({num_stocks});
+    for (int64_t i = 0; i < num_stocks; ++i) {
+      init.at({i}) = static_cast<float>(rng->Gaussian(0, 0.1));
+    }
+    bias = RegisterParameter("bias", std::move(init));
+  }
+  ag::VarPtr bias;
+};
+
+class UniverseRanker : public harness::GradientPredictor {
+ public:
+  explicit UniverseRanker(int64_t num_stocks, uint64_t seed = 1)
+      : rng_(seed), module_(num_stocks, &rng_) {}
+
+  std::string name() const override { return "UniverseRanker"; }
+
+ protected:
+  nn::Module* module() override { return &module_; }
+  ag::VarPtr Forward(const Tensor& features, Rng*) override {
+    const int64_t t_len = features.dim(0);
+    const int64_t n = features.dim(1);
+    const int64_t d = features.dim(2);
+    auto x = ag::Constant(features);
+    auto last = ag::Reshape(ag::SliceOp(x, 0, t_len - 1, t_len), {n, d});
+    return ag::Add(ag::Mean(last, 1), module_.bias);
+  }
+  float alpha() const override { return 0.0f; }
+
+ private:
+  Rng rng_;
+  BiasModule module_;
+};
+
+std::unique_ptr<UniverseRanker> FitUniverseRanker(
+    const market::WindowDataset& data, int64_t num_stocks, uint64_t seed) {
+  auto model = std::make_unique<UniverseRanker>(num_stocks, seed);
+  harness::TrainOptions opts;
+  opts.epochs = 2;
+  opts.learning_rate = 1e-2f;
+  opts.seed = seed;
+  model->Fit(data, data.Days(data.first_day(), 60), opts);
+  return model;
+}
+
+TEST(ModelRegistryTest, RejectsUniverseSizeMismatchAndSwapsAtomically) {
+  const std::string dir = TestDir("registry_universe");
+  market::WindowDataset data10 = MakePanel(90, 10);
+  market::WindowDataset data6 = MakePanel(90, 6);
+  const Tensor f10 = data10.Features(data10.last_day());
+
+  harness::CheckpointManager manager({dir, 1, 0});
+  ASSERT_TRUE(manager.Init().ok());
+
+  // v1: trained on the 10-stock universe the serving factory is built for.
+  auto m1 = FitUniverseRanker(data10, 10, 3);
+  ASSERT_TRUE(m1->ExportSnapshot(manager.CheckpointPath(1)).ok());
+
+  Metrics metrics;
+  ModelRegistry registry(
+      {dir, /*reload_interval_ms=*/0},
+      [] { return WrapPredictor(std::make_unique<UniverseRanker>(10)); },
+      &metrics);
+  ASSERT_TRUE(registry.Start().ok());
+  ASSERT_EQ(registry.CurrentVersion(), 1);
+  const std::vector<float> expected_v1 = ToVector(m1->Score(f10));
+  EXPECT_EQ(ToVector(registry.Current()->Score(f10)), expected_v1);
+
+  // v2: a refit on a churned 6-stock universe. Its per-stock parameters no
+  // longer match the factory's architecture — promotion must REJECT the
+  // checkpoint and keep serving v1 unchanged; it must never publish a
+  // snapshot that would emit 6 scores for 10-stock queries.
+  auto m2 = FitUniverseRanker(data6, 6, 4);
+  ASSERT_TRUE(m2->ExportSnapshot(manager.CheckpointPath(2)).ok());
+  EXPECT_FALSE(registry.PollOnce());
+  EXPECT_EQ(registry.CurrentVersion(), 1);
+  EXPECT_GE(registry.consecutive_reload_failures(), 1);
+  EXPECT_GE(metrics.reload_failure.load(), 1u);
+  EXPECT_EQ(ToVector(registry.Current()->Score(f10)), expected_v1)
+      << "served scores changed after a rejected promotion";
+
+  // v3: compatible again. The swap is atomic: a snapshot pinned before the
+  // poll keeps serving v1's exact scores while new queries get v3's — at no
+  // point can one reply mix the two universes.
+  auto m3 = FitUniverseRanker(data10, 10, 5);
+  ASSERT_TRUE(m3->ExportSnapshot(manager.CheckpointPath(3)).ok());
+  const std::shared_ptr<const ModelSnapshot> pinned = registry.Current();
+  EXPECT_TRUE(registry.PollOnce());
+  EXPECT_EQ(registry.CurrentVersion(), 3);
+  EXPECT_EQ(registry.consecutive_reload_failures(), 0);
+  EXPECT_EQ(ToVector(pinned->Score(f10)), expected_v1);
+  EXPECT_EQ(ToVector(registry.Current()->Score(f10)),
+            ToVector(m3->Score(f10)));
+  registry.Stop();
+}
+
+// ---------------------------------------------------------------------------
 // Batching equivalence (satellite): micro-batched scores == direct Predict.
 // ---------------------------------------------------------------------------
 
