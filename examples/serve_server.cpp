@@ -2,18 +2,25 @@
 // checkpoint exists (training one if the directory is empty), then serve
 // ranking queries over the line protocol with hot checkpoint reload.
 //
+// The whole serving stack is configured through one serve::ServerConfig
+// (serve/config.h), so every knob here is the same flag with the same
+// default as in bench_serve and the chaos harness:
+//
 //   ./serve_server [--port 7070] [--checkpoint_dir /tmp/rtgcn_serve_demo]
+//                  [--front epoll|threaded] [--shards 1]
 //                  [--max_batch 32] [--batch_timeout_us 200]
 //                  [--reload_interval_ms 1000] [--cache 1]
 //                  [--stocks 60] [--window 15] [--train_epochs 4]
 //                  [--serve_seconds 0] [--num_threads N]
 //                  [--max_queue 1024] [--admission reject|block]
-//                  [--max_connections 256] [--max_line_bytes 65536]
-//                  [--send_timeout_ms 5000]
+//                  [--max_connections 10000] [--max_line_bytes 65536]
 //
-// While it runs, retrain in another terminal and export into the same
-// --checkpoint_dir (see README "Serving"): the registry promotes the new
-// version without dropping a query. --serve_seconds 0 serves forever.
+// --shards >= 2 serves through the scatter-gather ShardRouter; --front
+// picks the epoll event loop (default) or the thread-per-connection
+// SocketServer. While it runs, retrain in another terminal and export into
+// the same --checkpoint_dir (see README "Serving"): the registry promotes
+// the new version without dropping a query. --serve_seconds 0 serves
+// forever.
 #include <unistd.h>
 
 #include <cstdio>
@@ -25,9 +32,11 @@
 #include "common/thread_pool.h"
 #include "harness/checkpoint.h"
 #include "market/market.h"
-#include "serve/admission.h"
+#include "serve/async_server.h"
+#include "serve/config.h"
 #include "serve/registry.h"
 #include "serve/server.h"
+#include "serve/shard_router.h"
 #include "serve/socket_server.h"
 
 int main(int argc, char** argv) {
@@ -40,34 +49,22 @@ int main(int argc, char** argv) {
   spec.test_days = 60;
   core::RtGcnConfig config;
 
-  int port = 7070;
   std::string dir = "/tmp/rtgcn_serve_demo";
-  int64_t max_batch = 32;
-  int64_t batch_timeout_us = 200;
   int64_t reload_interval_ms = 1000;
-  bool cache = true;
   int64_t train_epochs = 4;
   int64_t serve_seconds = 0;
   int64_t stats_every_s = 10;
   int num_threads = 0;
-  int64_t max_queue = 1024;
-  std::string admission = "reject";
-  int64_t admission_timeout_ms = 50;
-  int64_t max_connections = 256;
-  int64_t max_line_bytes = 65536;
-  int64_t send_timeout_ms = 5000;
+
+  serve::ServerConfig scfg;
+  scfg.port = 7070;
 
   FlagSet fs("Line-protocol ranking server with hot checkpoint reload over "
              "a simulated market.");
-  fs.Register("port", &port, "TCP port to listen on (127.0.0.1)");
   fs.Register("checkpoint_dir", &dir,
               "directory watched for checkpoint versions");
-  fs.Register("max_batch", &max_batch, "micro-batch flush size");
-  fs.Register("batch_timeout_us", &batch_timeout_us,
-              "micro-batch window after a batch's first request");
   fs.Register("reload_interval_ms", &reload_interval_ms,
               "checkpoint directory poll interval");
-  fs.Register("cache", &cache, "enable the (version, day) score cache");
   fs.Register("stocks", &spec.num_stocks, "simulated universe size");
   fs.Register("window", &config.window, "look-back window length");
   fs.Register("train_epochs", &train_epochs,
@@ -78,24 +75,14 @@ int main(int argc, char** argv) {
               "print metrics every N seconds (0 = never)");
   fs.Register("num_threads", &num_threads,
               "tensor worker threads (0 = auto)");
-  fs.Register("max_queue", &max_queue,
-              "pending-request bound; excess arrivals are shed");
-  fs.RegisterChoice("admission", &admission, {"reject", "block"},
-                    "full-queue policy: reject fast (BUSY) or block briefly");
-  fs.Register("admission_timeout_ms", &admission_timeout_ms,
-              "wait bound for --admission block");
-  fs.Register("max_connections", &max_connections,
-              "concurrent connection cap (excess get BUSY and close)");
-  fs.Register("max_line_bytes", &max_line_bytes,
-              "request-line length cap");
-  fs.Register("send_timeout_ms", &send_timeout_ms,
-              "per-write reply timeout against slow readers");
+  scfg.RegisterFlags(&fs);
   const Status flag_status = fs.Parse(argc, argv);
   if (fs.help_requested()) {
     std::printf("%s", fs.Usage(argv[0]).c_str());
     return 0;
   }
   flag_status.Abort();
+  scfg.Validate().Abort();
   if (num_threads >= 1) SetNumThreads(num_threads);
 
   const market::MarketData data = market::BuildMarket(spec);
@@ -129,28 +116,43 @@ int main(int argc, char** argv) {
       &metrics);
   registry.Start().Abort();
 
-  serve::InferenceServer::Options opts;
-  opts.max_batch = max_batch;
-  opts.batch_timeout_us = batch_timeout_us;
-  opts.enable_cache = cache;
-  opts.max_queue = max_queue;
-  if (!serve::ParseAdmissionPolicy(admission, &opts.admission)) {
-    std::fprintf(stderr, "unknown --admission %s\n", admission.c_str());
-    return 1;
+  // Backend: single-process batcher, or the scatter-gather router when
+  // --shards asks for more than one shard.
+  std::unique_ptr<serve::InferenceServer> single;
+  std::unique_ptr<serve::ShardRouter> router;
+  serve::Backend* backend = nullptr;
+  if (scfg.num_shards <= 1) {
+    single = std::make_unique<serve::InferenceServer>(
+        &dataset, &registry, scfg.server_options(), &metrics);
+    single->Start().Abort();
+    backend = single.get();
+  } else {
+    router = std::make_unique<serve::ShardRouter>(
+        serve::ShardRouter::DatasetScoreFn(&dataset), dataset.num_stocks(),
+        &registry, scfg.shard_options(), &metrics);
+    router->Start().Abort();
+    backend = router.get();
   }
-  opts.admission_timeout_ms = admission_timeout_ms;
-  serve::InferenceServer server(&dataset, &registry, opts, &metrics);
-  server.Start().Abort();
 
-  serve::SocketServer::Options fopts{port};
-  fopts.max_connections = max_connections;
-  fopts.max_line_bytes = max_line_bytes;
-  fopts.send_timeout_ms = send_timeout_ms;
-  serve::SocketServer front(&server, &metrics, fopts);
-  front.Start().Abort();
-  std::printf("serving %s on 127.0.0.1:%d  (version %lld, days %lld..%lld, "
-              "%lld stocks)\n",
-              spec.name.c_str(), front.port(),
+  std::unique_ptr<serve::AsyncServer> epoll_front;
+  std::unique_ptr<serve::SocketServer> threaded_front;
+  int port = 0;
+  if (scfg.use_epoll()) {
+    epoll_front = std::make_unique<serve::AsyncServer>(backend, &metrics,
+                                                       scfg.async_options());
+    epoll_front->Start().Abort();
+    port = epoll_front->port();
+  } else {
+    threaded_front = std::make_unique<serve::SocketServer>(
+        backend, &metrics, scfg.socket_options());
+    threaded_front->Start().Abort();
+    port = threaded_front->port();
+  }
+  std::printf("serving %s on 127.0.0.1:%d  (%s front, %lld shard%s, version "
+              "%lld, days %lld..%lld, %lld stocks)\n",
+              spec.name.c_str(), port, scfg.front.c_str(),
+              static_cast<long long>(scfg.num_shards),
+              scfg.num_shards == 1 ? "" : "s",
               static_cast<long long>(registry.CurrentVersion()),
               static_cast<long long>(dataset.first_day()),
               static_cast<long long>(dataset.last_day()),
@@ -164,8 +166,10 @@ int main(int argc, char** argv) {
       std::printf("---\n%s", metrics.DumpText().c_str());
     }
   }
-  front.Stop();
-  server.Stop();
+  if (epoll_front) epoll_front->Stop();
+  if (threaded_front) threaded_front->Stop();
+  if (router) router->Stop();
+  if (single) single->Stop();
   registry.Stop();
   std::printf("final stats:\n%s", metrics.DumpText().c_str());
   return 0;

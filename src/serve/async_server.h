@@ -1,0 +1,162 @@
+// Epoll event-loop front end for a serve::Backend (DESIGN.md §15).
+//
+// One IO thread multiplexes every connection through a level-triggered
+// epoll set — non-blocking accept/read/write with a per-connection state
+// machine — replacing the thread-per-connection SocketServer for high
+// connection counts. The wire grammar is identical (serve/protocol.h):
+// both front ends execute lines through the same ExecuteLine, so a client
+// cannot tell them apart.
+//
+// Request flow per connection, strictly in arrival order:
+//  * a complete line whose answer is already cached (TryExecuteLineFast:
+//    SCORE/RANK against the current version's score cache while SERVING)
+//    is answered inline on the IO thread — no queue, no context switch;
+//  * non-blocking verbs (PING/HEALTH/STATS/PROTO) also run inline;
+//  * anything that must block (cache miss, degraded, draining — the paths
+//    with admission, deadline and stale accounting) is handed to a small
+//    executor pool; the connection dispatches at most one blocking line at
+//    a time, so replies always come back in request order.
+//
+// Overload safety mirrors SocketServer: a connection cap (excess accepts
+// answer BUSY and close), a request-line byte cap (oversized senders get
+// "ERR line too long" and are dropped), bounded per-connection input and
+// output buffers — a connection pushing lines faster than the backend
+// drains them, or not reading its replies, loses EPOLLIN until it drains
+// (TCP backpressure does the rest) — and MSG_NOSIGNAL everywhere.
+//
+// Threading: epoll_ctl, reads, writes and connection teardown happen only
+// on the IO thread. Executors touch a completion queue (mutex) and an
+// eventfd, never a socket. Chaos faults are applied on the IO thread when
+// a reply is appended; a kDelay fault stalls the whole loop for its
+// duration — acceptable for the test-only injector, never enabled in
+// production paths.
+#ifndef RTGCN_SERVE_ASYNC_SERVER_H_
+#define RTGCN_SERVE_ASYNC_SERVER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "serve/admission.h"
+#include "serve/chaos.h"
+#include "serve/metrics.h"
+#include "serve/protocol.h"
+
+namespace rtgcn::serve {
+
+/// \brief Single-threaded epoll front end over a Backend. `backend` (and
+/// `metrics`, which may be null) must outlive the server.
+class AsyncServer {
+ public:
+  struct Options {
+    int port = 0;      ///< 0 picks an ephemeral port (see port())
+    int backlog = 256;
+    int64_t max_connections = 10000;  ///< excess accepts get BUSY + close
+    int64_t max_line_bytes = 65536;   ///< request-line cap
+    /// Blocking-path worker threads (each carries one in-flight blocking
+    /// line; they spend their life waiting on the backend's batcher).
+    int64_t executor_threads = 16;
+    /// Per-connection buffered-reply cap: beyond it the connection stops
+    /// being read until the client drains its replies.
+    int64_t max_outbox_bytes = 1 << 20;
+    /// Per-connection parsed-but-undispatched line cap (same backpressure).
+    int64_t max_pending_lines = 128;
+  };
+
+  AsyncServer(Backend* backend, Metrics* metrics, Options options);
+  ~AsyncServer();
+
+  AsyncServer(const AsyncServer&) = delete;
+  AsyncServer& operator=(const AsyncServer&) = delete;
+
+  /// Binds, listens, and starts the IO thread and executor pool.
+  Status Start();
+
+  /// Closes the listener and every connection, then joins all threads.
+  void Stop();
+
+  /// Port actually bound (resolves an ephemeral request after Start).
+  int port() const { return port_; }
+
+  /// Number of currently open protocol connections.
+  int64_t active_connections() const { return conn_gate_.in_use(); }
+
+  /// Installs a fault injector consulted on every reply. Call before
+  /// Start(); pass nullptr to disable. Test/bench hook only.
+  void SetChaos(ChaosInjector* chaos) { chaos_ = chaos; }
+
+ private:
+  struct Conn {
+    int fd = -1;
+    std::string inbuf;    ///< bytes read, not yet split into lines
+    std::string outbuf;   ///< reply bytes not yet written to the socket
+    std::deque<std::string> lines;  ///< complete lines awaiting dispatch
+    bool executing = false;  ///< a blocking line is out at the executors
+    bool closing = false;    ///< flush outbuf, then close (QUIT/abuse)
+    bool reset_on_close = false;  ///< chaos kReset: RST instead of FIN
+    bool want_write = false;      ///< EPOLLOUT currently armed
+    bool paused_read = false;     ///< EPOLLIN dropped for backpressure
+  };
+
+  struct Completion {
+    uint64_t conn_id = 0;
+    std::string reply;
+  };
+
+  void Loop();
+  void ExecutorLoop();
+  void HandleAccept();
+  void HandleReadable(uint64_t id);
+  void HandleWritable(uint64_t id);
+  /// Splits inbuf into lines, enforces the line cap, advances the state
+  /// machine.
+  void IngestInput(uint64_t id);
+  /// Answers or dispatches queued lines until one blocks or none remain.
+  void PumpConn(uint64_t id);
+  /// Appends one reply (chaos applied), arming EPOLLOUT as needed.
+  void QueueReply(uint64_t id, const std::string& reply);
+  void FlushConn(uint64_t id);
+  void CloseConn(uint64_t id);
+  void UpdateEvents(uint64_t id);
+  void DrainCompletions();
+  void Wake();
+
+  Backend* backend_;
+  Metrics* metrics_;
+  Options options_;
+  ChaosInjector* chaos_ = nullptr;
+
+  int epoll_fd_ = -1;
+  int listen_fd_ = -1;
+  int wake_fd_ = -1;  ///< eventfd: executors → IO thread
+  int port_ = 0;
+  bool started_ = false;
+
+  std::thread io_thread_;
+  std::vector<std::thread> executors_;
+
+  AdmissionController conn_gate_;
+
+  // IO-thread state (no lock: only the IO thread touches it).
+  std::unordered_map<uint64_t, Conn> conns_;
+  uint64_t next_conn_id_ = 1;
+
+  // Executor handoff.
+  std::mutex work_mu_;
+  std::condition_variable work_cv_;
+  std::deque<Completion> work_;  ///< conn_id + line to execute
+  bool stopping_ = false;        ///< guarded by work_mu_
+
+  std::mutex done_mu_;
+  std::deque<Completion> done_;  ///< conn_id + finished reply
+};
+
+}  // namespace rtgcn::serve
+
+#endif  // RTGCN_SERVE_ASYNC_SERVER_H_

@@ -11,10 +11,10 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
-#include <cstdlib>
 #include <cstring>
-#include <sstream>
+#include <string_view>
 #include <thread>
+#include <utility>
 
 #include "common/strings.h"
 
@@ -28,6 +28,16 @@ void SetSocketTimeout(int fd, int optname, int64_t ms) {
   tv.tv_sec = static_cast<time_t>(ms / 1000);
   tv.tv_usec = static_cast<suseconds_t>((ms % 1000) * 1000);
   ::setsockopt(fd, SOL_SOCKET, optname, &tv, sizeof(tv));
+}
+
+// Reply payload past any v2 "2 <id> " frame prefix, so transport-level
+// classification (BUSY/DRAINING) works under either framing.
+std::string_view PayloadOf(const std::string& line) {
+  std::string_view v(line);
+  if (!StartsWith(line, "2 ")) return v;
+  const size_t sp = v.find(' ', 2);
+  if (sp == std::string_view::npos) return v;
+  return v.substr(sp + 1);
 }
 
 }  // namespace
@@ -174,12 +184,13 @@ Result<std::string> Client::RoundTrip(const std::string& line) {
       continue;
     }
     const std::string& r = reply.ValueOrDie();
-    if (StartsWith(r, "BUSY")) {
+    const std::string_view payload = PayloadOf(r);
+    if (StartsWith(payload, "BUSY")) {
       last = Status::Unavailable(r);
       if (!options_.retry_busy) return last;
       continue;  // the connection itself is fine — back off and retry
     }
-    if (StartsWith(r, "DRAINING")) {
+    if (StartsWith(payload, "DRAINING")) {
       return Status::Unavailable("draining: server is stopping");
     }
     return r;
@@ -209,66 +220,83 @@ Result<std::string> Client::Stats() {
   return text;
 }
 
+Result<Reply> Client::Call(Request request) {
+  request.proto = proto_;
+  if (proto_ >= 2) request.id = next_id_++;
+  auto raw = RoundTrip(FormatRequest(request));
+  if (!raw.ok()) return raw.status();
+  RTGCN_ASSIGN_OR_RETURN(Reply reply,
+                         ParseReply(raw.ValueOrDie(), request));
+  if (request.proto >= 2 && reply.id != request.id) {
+    return Status::Internal("reply id ", reply.id, " does not match request ",
+                            request.id);
+  }
+  if (reply.kind == Reply::Kind::kErr) {
+    // Preserve the legacy status spelling: the full "ERR ..." line text.
+    const std::string line = "ERR " + reply.text;
+    if (StartsWith(reply.text, "deadline exceeded")) {
+      return Status::DeadlineExceeded(line);
+    }
+    return Status::Internal(line);
+  }
+  return reply;
+}
+
 Result<Client::ScoreResult> Client::Score(int64_t day, int64_t stock,
                                           int64_t deadline_ms) {
-  std::ostringstream req;
-  req << "SCORE " << day << ' ' << stock;
-  if (deadline_ms > 0) req << " DEADLINE " << deadline_ms;
-  auto reply = RoundTrip(req.str());
-  if (!reply.ok()) return reply.status();
-  const std::string& r = reply.ValueOrDie();
-  if (StartsWith(r, "ERR deadline exceeded")) {
-    return Status::DeadlineExceeded(r);
-  }
-  if (StartsWith(r, "ERR")) return Status::Internal(r);
-  std::istringstream in(r);
-  std::string ok, flag;
-  ScoreResult result;
-  in >> ok >> result.model_version >> result.score >> result.rank >>
-      result.num_stocks;
-  if (!in || ok != "OK") {
-    return Status::Internal("malformed SCORE reply: ", r);
-  }
-  if (in >> flag) result.stale = (flag == "STALE");
-  return result;
+  Request request;
+  request.verb = Request::Verb::kScore;
+  request.day = day;
+  request.stock = stock;
+  request.deadline_ms = deadline_ms;
+  RTGCN_ASSIGN_OR_RETURN(Reply reply, Call(std::move(request)));
+  return reply.score;
 }
 
 Result<Client::RankResult> Client::Rank(int64_t day, int64_t k,
                                         int64_t deadline_ms) {
-  std::ostringstream req;
-  req << "RANK " << day << ' ' << k;
-  if (deadline_ms > 0) req << " DEADLINE " << deadline_ms;
-  auto reply = RoundTrip(req.str());
-  if (!reply.ok()) return reply.status();
-  const std::string& r = reply.ValueOrDie();
-  if (StartsWith(r, "ERR deadline exceeded")) {
-    return Status::DeadlineExceeded(r);
-  }
-  if (StartsWith(r, "ERR")) return Status::Internal(r);
-  std::istringstream in(r);
-  std::string ok;
+  Request request;
+  request.verb = Request::Verb::kRank;
+  request.day = day;
+  request.k = k;
+  request.deadline_ms = deadline_ms;
+  RTGCN_ASSIGN_OR_RETURN(Reply reply, Call(std::move(request)));
   RankResult result;
-  int64_t count = 0;
-  in >> ok >> result.model_version >> count;
-  if (!in || ok != "OK" || count < 0) {
-    return Status::Internal("malformed RANK reply: ", r);
-  }
-  result.top.reserve(static_cast<size_t>(count));
-  for (int64_t i = 0; i < count; ++i) {
-    std::string entry;
-    if (!(in >> entry)) return Status::Internal("truncated RANK reply: ", r);
-    const size_t colon = entry.find(':');
-    if (colon == std::string::npos) {
-      return Status::Internal("malformed RANK entry: ", entry);
-    }
-    RankEntry e;
-    e.stock = std::strtoll(entry.substr(0, colon).c_str(), nullptr, 10);
-    e.score = std::strtof(entry.c_str() + colon + 1, nullptr);
-    result.top.push_back(e);
-  }
-  std::string flag;
-  if (in >> flag) result.stale = (flag == "STALE");
+  result.model_version = reply.model_version;
+  result.top = std::move(reply.top);
+  result.stale = reply.stale;
   return result;
+}
+
+Result<Client::ProtoInfo> Client::Negotiate(int version) {
+  Request request;
+  request.verb = Request::Verb::kProto;
+  request.proto_version = version;
+  RTGCN_ASSIGN_OR_RETURN(Reply reply, Call(std::move(request)));
+  if (reply.kind != Reply::Kind::kProtoAck) {
+    return Status::Internal("unexpected PROTO reply kind");
+  }
+  proto_ = reply.proto_version;  // later requests use the negotiated framing
+  ProtoInfo info;
+  info.version = reply.proto_version;
+  info.shards = reply.shards;
+  info.current_version = reply.current_version;
+  return info;
+}
+
+Result<std::vector<Client::ScoreResult>> Client::ScoreBatch(
+    int64_t day, const std::vector<int64_t>& stocks, int64_t deadline_ms) {
+  Request request;
+  request.verb = Request::Verb::kScoreBatch;
+  request.day = day;
+  request.stocks = stocks;
+  request.deadline_ms = deadline_ms;
+  RTGCN_ASSIGN_OR_RETURN(Reply reply, Call(std::move(request)));
+  if (reply.batch.size() != stocks.size()) {
+    return Status::Internal("SCOREN reply has ", reply.batch.size(),
+                            " entries, want ", stocks.size());
+  }
+  return std::move(reply.batch);
 }
 
 }  // namespace rtgcn::serve

@@ -22,6 +22,7 @@
 #include "common/random.h"
 #include "common/status.h"
 #include "serve/metrics.h"
+#include "serve/protocol.h"
 
 namespace rtgcn::serve {
 
@@ -39,21 +40,22 @@ class Client {
     bool retry_busy = true;           ///< false: surface BUSY immediately
   };
 
-  struct ScoreResult {
-    int64_t model_version = -1;
-    float score = 0;
-    int64_t rank = -1;
-    int64_t num_stocks = 0;
-    bool stale = false;
-  };
-  struct RankEntry {
-    int64_t stock = -1;
-    float score = 0;
-  };
+  // Requests are formatted and replies parsed by serve/protocol.h — the
+  // client shares one grammar implementation with the servers. These
+  // aliases keep the pre-protocol spellings compiling.
+  using ScoreResult = ScoreReply;
+  using RankEntry = serve::RankEntry;
   struct RankResult {
     int64_t model_version = -1;
-    std::vector<RankEntry> top;
+    std::vector<serve::RankEntry> top;
     bool stale = false;
+  };
+
+  /// PROTO negotiation ack: what the server speaks and serves.
+  struct ProtoInfo {
+    int version = 1;
+    int64_t shards = 1;
+    int64_t current_version = -1;
   };
 
   /// `metrics` may be null; when set, retries feed serve.client_retries.
@@ -69,6 +71,21 @@ class Client {
 
   /// RANK <day> <k> [DEADLINE <ms>].
   Result<RankResult> Rank(int64_t day, int64_t k, int64_t deadline_ms = 0);
+
+  /// Negotiates the wire protocol (PROTO verb): `version` 0 asks for the
+  /// highest the server speaks. On success every later request uses the
+  /// negotiated framing (v2 adds request ids), and the ack's shard count /
+  /// model version are returned.
+  Result<ProtoInfo> Negotiate(int version = 0);
+
+  /// v2 SCOREN: several stocks of one day in one round trip. Results are
+  /// aligned with `stocks`.
+  Result<std::vector<ScoreResult>> ScoreBatch(
+      int64_t day, const std::vector<int64_t>& stocks,
+      int64_t deadline_ms = 0);
+
+  /// Wire framing currently in use (1 until Negotiate() succeeds).
+  int proto() const { return proto_; }
 
   /// HEALTH -> "SERVING version=..." / "DEGRADED ..." / "DRAINING".
   Result<std::string> Health();
@@ -92,6 +109,9 @@ class Client {
   Status SendLine(const std::string& line);
   Result<std::string> ReadLine();
   void Backoff(int attempt);
+  /// Stamps framing/id onto `request`, round-trips it, parses the reply,
+  /// and maps protocol-level errors (ERR ...) onto Status.
+  Result<Reply> Call(Request request);
 
   Options options_;
   Metrics* metrics_;
@@ -99,6 +119,8 @@ class Client {
   int fd_ = -1;
   std::string buffer_;
   uint64_t retries_ = 0;
+  int proto_ = 1;
+  uint64_t next_id_ = 1;
 };
 
 }  // namespace rtgcn::serve

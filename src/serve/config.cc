@@ -1,0 +1,154 @@
+#include "serve/config.h"
+
+namespace rtgcn::serve {
+
+void ServerConfig::RegisterFlags(FlagSet* fs, const std::string& prefix) {
+  auto name = [&prefix](const char* n) { return prefix + n; };
+  fs->RegisterChoice(name("front"), &front, {"epoll", "threaded"},
+                     "socket front end: epoll event loop or "
+                     "thread-per-connection");
+  fs->Register(name("port"), &port, "listen port (0 = ephemeral)");
+  fs->Register(name("backlog"), &backlog, "listen(2) backlog");
+  fs->Register(name("max_connections"), &max_connections,
+               "concurrent connection cap (excess get BUSY)");
+  fs->Register(name("max_line_bytes"), &max_line_bytes,
+               "request-line byte cap");
+  fs->Register(name("send_timeout_ms"), &send_timeout_ms,
+               "threaded front end: per-write bound against slow readers");
+  fs->Register(name("executor_threads"), &executor_threads,
+               "epoll front end: blocking-path worker threads");
+  fs->Register(name("max_outbox_bytes"), &max_outbox_bytes,
+               "epoll front end: per-connection reply buffer cap");
+  fs->Register(name("max_pending_lines"), &max_pending_lines,
+               "epoll front end: per-connection undispatched line cap");
+  fs->Register(name("shards"), &num_shards,
+               "worker shards for scatter-gather serving");
+  fs->Register(name("virtual_nodes"), &virtual_nodes,
+               "consistent-hash ring points per shard");
+  fs->Register(name("max_batch"), &max_batch, "micro-batch flush size");
+  fs->Register(name("batch_timeout_us"), &batch_timeout_us,
+               "micro-batch window after a batch's first request");
+  fs->Register(name("cache"), &enable_cache,
+               "enable the (version, day) score cache");
+  fs->Register(name("cache_capacity"), &cache_capacity,
+               "cached (version, day) entries per shard (FIFO)");
+  fs->Register(name("max_queue"), &max_queue,
+               "pending-request bound (admission)");
+  fs->RegisterChoice(name("admission"), &admission, {"reject", "block"},
+                     "full-queue policy: shed immediately or block with "
+                     "timeout");
+  fs->Register(name("admission_timeout_ms"), &admission_timeout_ms,
+               "block admission: wait bound for a queue slot");
+  fs->Register(name("degraded_failure_threshold"),
+               &degraded_failure_threshold,
+               "consecutive reload failures before DEGRADED (<=0 off)");
+  fs->Register(name("connect_timeout_ms"), &connect_timeout_ms,
+               "client: connect bound");
+  fs->Register(name("recv_timeout_ms"), &recv_timeout_ms,
+               "client: per-read bound");
+  fs->Register(name("client_send_timeout_ms"), &send_client_timeout_ms,
+               "client: per-send bound");
+  fs->Register(name("max_attempts"), &max_attempts,
+               "client: total tries per request, first included");
+  fs->Register(name("retry_busy"), &retry_busy,
+               "client: retry BUSY replies with backoff");
+}
+
+Status ServerConfig::Validate() const {
+  if (front != "epoll" && front != "threaded") {
+    return Status::InvalidArgument("front must be epoll or threaded, got \"",
+                                   front, "\"");
+  }
+  AdmissionPolicy policy;
+  if (!ParseAdmissionPolicy(admission, &policy)) {
+    return Status::InvalidArgument("admission must be reject or block, got \"",
+                                   admission, "\"");
+  }
+  if (num_shards < 1) {
+    return Status::InvalidArgument("shards must be >= 1, got ", num_shards);
+  }
+  if (max_batch < 1) {
+    return Status::InvalidArgument("max_batch must be >= 1, got ", max_batch);
+  }
+  if (max_queue < 1) {
+    return Status::InvalidArgument("max_queue must be >= 1, got ", max_queue);
+  }
+  if (max_connections < 1) {
+    return Status::InvalidArgument("max_connections must be >= 1, got ",
+                                   max_connections);
+  }
+  if (executor_threads < 1) {
+    return Status::InvalidArgument("executor_threads must be >= 1, got ",
+                                   executor_threads);
+  }
+  return Status::OK();
+}
+
+AdmissionPolicy ServerConfig::admission_policy() const {
+  AdmissionPolicy policy = AdmissionPolicy::kRejectFast;
+  ParseAdmissionPolicy(admission, &policy);  // Validate() caught bad names
+  return policy;
+}
+
+InferenceServer::Options ServerConfig::server_options() const {
+  InferenceServer::Options opts;
+  opts.max_batch = max_batch;
+  opts.batch_timeout_us = batch_timeout_us;
+  opts.enable_cache = enable_cache;
+  opts.cache_capacity = cache_capacity;
+  opts.max_queue = max_queue;
+  opts.admission = admission_policy();
+  opts.admission_timeout_ms = admission_timeout_ms;
+  opts.degraded_failure_threshold = degraded_failure_threshold;
+  return opts;
+}
+
+ShardRouter::Options ServerConfig::shard_options() const {
+  ShardRouter::Options opts;
+  opts.num_shards = num_shards;
+  opts.virtual_nodes = virtual_nodes;
+  opts.max_batch = max_batch;
+  opts.batch_timeout_us = batch_timeout_us;
+  opts.enable_cache = enable_cache;
+  opts.cache_capacity = cache_capacity;
+  opts.max_queue = max_queue;
+  opts.admission = admission_policy();
+  opts.admission_timeout_ms = admission_timeout_ms;
+  opts.degraded_failure_threshold = degraded_failure_threshold;
+  return opts;
+}
+
+SocketServer::Options ServerConfig::socket_options() const {
+  SocketServer::Options opts;
+  opts.port = port;
+  opts.backlog = backlog;
+  opts.max_connections = max_connections;
+  opts.max_line_bytes = max_line_bytes;
+  opts.send_timeout_ms = send_timeout_ms;
+  return opts;
+}
+
+AsyncServer::Options ServerConfig::async_options() const {
+  AsyncServer::Options opts;
+  opts.port = port;
+  opts.backlog = backlog;
+  opts.max_connections = max_connections;
+  opts.max_line_bytes = max_line_bytes;
+  opts.executor_threads = executor_threads;
+  opts.max_outbox_bytes = max_outbox_bytes;
+  opts.max_pending_lines = max_pending_lines;
+  return opts;
+}
+
+Client::Options ServerConfig::client_options() const {
+  Client::Options opts;
+  opts.port = port;
+  opts.connect_timeout_ms = connect_timeout_ms;
+  opts.recv_timeout_ms = recv_timeout_ms;
+  opts.send_timeout_ms = send_client_timeout_ms;
+  opts.max_attempts = max_attempts;
+  opts.retry_busy = retry_busy;
+  return opts;
+}
+
+}  // namespace rtgcn::serve

@@ -1,0 +1,690 @@
+#include "serve/protocol.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+#include <numeric>
+#include <sstream>
+#include <string_view>
+
+#include "common/strings.h"
+#include "obs/clock.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
+
+namespace rtgcn::serve {
+
+namespace {
+
+// Request parsing runs on every wire line, so it works in string_views
+// over the input and from_chars — no per-token heap traffic.
+bool ParseInt(std::string_view s, int64_t* out) {
+  if (s.empty()) return false;
+  const auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), *out);
+  return ec == std::errc() && p == s.data() + s.size();
+}
+
+bool ParseUint(std::string_view s, uint64_t* out) {
+  if (s.empty() || s[0] == '-') return false;
+  const auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), *out);
+  return ec == std::errc() && p == s.data() + s.size();
+}
+
+// Parses an optional trailing "DEADLINE <ms>" (ms > 0) starting at
+// parts[at]; true when absent or well-formed.
+bool ParseDeadline(const std::vector<std::string_view>& parts, size_t at,
+                   int64_t* deadline_ms) {
+  *deadline_ms = 0;
+  if (parts.size() == at) return true;
+  if (parts.size() != at + 2 || parts[at] != "DEADLINE") return false;
+  return ParseInt(parts[at + 1], deadline_ms) && *deadline_ms > 0;
+}
+
+std::vector<std::string_view> Tokenize(const std::string& line) {
+  std::vector<std::string_view> parts;
+  const std::string_view sv = line;
+  size_t i = 0;
+  while (i < sv.size()) {
+    while (i < sv.size() && sv[i] == ' ') ++i;
+    const size_t tok = i;
+    while (i < sv.size() && sv[i] != ' ') ++i;
+    if (i > tok) parts.push_back(sv.substr(tok, i - tok));
+  }
+  return parts;
+}
+
+// Parses the verb + operands at parts[at..] into `request`. The error
+// message on a malformed line is the exact legacy usage text (v2 forms
+// reuse the same verbs, so usage strings name the verb only).
+Status ParseVerb(const std::vector<std::string_view>& parts, size_t at,
+                 Request* request) {
+  if (parts.size() <= at) return Status::InvalidArgument("empty command");
+  const std::string_view cmd = parts[at];
+  if (cmd == "PING") {
+    request->verb = Request::Verb::kPing;
+    return Status::OK();
+  }
+  if (cmd == "HEALTH") {
+    request->verb = Request::Verb::kHealth;
+    return Status::OK();
+  }
+  if (cmd == "STATS") {
+    request->verb = Request::Verb::kStats;
+    return Status::OK();
+  }
+  if (cmd == "QUIT") {
+    request->verb = Request::Verb::kQuit;
+    return Status::OK();
+  }
+  if (cmd == "SCORE") {
+    request->verb = Request::Verb::kScore;
+    if (parts.size() < at + 3 || !ParseInt(parts[at + 1], &request->day) ||
+        !ParseInt(parts[at + 2], &request->stock) ||
+        !ParseDeadline(parts, at + 3, &request->deadline_ms)) {
+      return Status::InvalidArgument(
+          "usage: SCORE <day> <stock> [DEADLINE <ms>]");
+    }
+    return Status::OK();
+  }
+  if (cmd == "RANK") {
+    request->verb = Request::Verb::kRank;
+    if (parts.size() < at + 3 || !ParseInt(parts[at + 1], &request->day) ||
+        !ParseInt(parts[at + 2], &request->k) ||
+        !ParseDeadline(parts, at + 3, &request->deadline_ms)) {
+      return Status::InvalidArgument("usage: RANK <day> <k> [DEADLINE <ms>]");
+    }
+    return Status::OK();
+  }
+  if (cmd == "SCOREN") {
+    request->verb = Request::Verb::kScoreBatch;
+    int64_t n = 0;
+    if (parts.size() < at + 3 || !ParseInt(parts[at + 1], &request->day) ||
+        !ParseInt(parts[at + 2], &n) || n < 1 ||
+        parts.size() < at + 3 + static_cast<size_t>(n)) {
+      return Status::InvalidArgument(
+          "usage: SCOREN <day> <n> <stock>... [DEADLINE <ms>]");
+    }
+    request->stocks.resize(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) {
+      if (!ParseInt(parts[at + 3 + static_cast<size_t>(i)],
+                    &request->stocks[static_cast<size_t>(i)])) {
+        return Status::InvalidArgument(
+            "usage: SCOREN <day> <n> <stock>... [DEADLINE <ms>]");
+      }
+    }
+    if (!ParseDeadline(parts, at + 3 + static_cast<size_t>(n),
+                       &request->deadline_ms)) {
+      return Status::InvalidArgument(
+          "usage: SCOREN <day> <n> <stock>... [DEADLINE <ms>]");
+    }
+    return Status::OK();
+  }
+  if (cmd == "PROTO") {
+    request->verb = Request::Verb::kProto;
+    request->proto_version = 0;
+    if (parts.size() == at + 1) return Status::OK();
+    int64_t v = 0;
+    if (parts.size() != at + 2 || !ParseInt(parts[at + 1], &v)) {
+      return Status::InvalidArgument("usage: PROTO [<version>]");
+    }
+    request->proto_version = static_cast<int>(v);
+    return Status::OK();
+  }
+  return Status::InvalidArgument("unknown command: ", cmd);
+}
+
+// Overload-safety wire mapping: shed/draining/deadline outcomes get their
+// own first tokens so clients can branch without parsing prose.
+Reply ErrorReplyFor(const Request& request, const Status& status) {
+  Reply reply;
+  reply.proto = request.proto;
+  reply.id = request.id;
+  switch (status.code()) {
+    case StatusCode::kUnavailable:
+      if (StartsWith(status.message(), "draining")) {
+        reply.kind = Reply::Kind::kDraining;
+        return reply;
+      }
+      reply.kind = Reply::Kind::kBusy;
+      reply.text = status.message();
+      return reply;
+    case StatusCode::kDeadlineExceeded:
+      reply.kind = Reply::Kind::kErr;
+      reply.text = "deadline exceeded: " + status.message();
+      return reply;
+    default:
+      reply.kind = Reply::Kind::kErr;
+      reply.text = status.ToString();
+      return reply;
+  }
+}
+
+Reply ParseErrorReply(int proto, uint64_t id, const Status& status) {
+  Reply reply;
+  reply.proto = proto;
+  reply.id = id;
+  reply.kind = Reply::Kind::kErr;
+  reply.text = status.message();
+  return reply;
+}
+
+// Reply formatting runs once per served request; these appenders keep it
+// to a handful of in-place writes instead of an ostringstream.
+void AppendInt(std::string* out, int64_t v) {
+  char buf[24];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  out->append(buf, res.ptr);
+}
+
+void AppendUint(std::string* out, uint64_t v) {
+  char buf[24];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  out->append(buf, res.ptr);
+}
+
+void AppendScore(std::string* out, float score) {
+  char buf[32];
+  const int n =
+      std::snprintf(buf, sizeof(buf), "%.9g", static_cast<double>(score));
+  out->append(buf, static_cast<size_t>(n));
+}
+
+void AppendStale(std::string* out, bool stale) {
+  if (stale) out->append(" STALE");
+}
+
+Reply MakeScoreReplyFor(const Request& request, const ScoreReply& score) {
+  Reply reply;
+  reply.proto = request.proto;
+  reply.id = request.id;
+  reply.kind = Reply::Kind::kScore;
+  reply.score = score;
+  return reply;
+}
+
+Reply MakeRankReplyFor(const Request& request, const RankReply& rank) {
+  Reply reply;
+  reply.proto = request.proto;
+  reply.id = request.id;
+  reply.kind = Reply::Kind::kRank;
+  reply.model_version = rank.model_version;
+  reply.stale = rank.stale;
+  const int64_t n = static_cast<int64_t>(rank.scores.size());
+  reply.k = std::max<int64_t>(0, std::min(request.k, n));
+  reply.top = TopK(rank.scores, reply.k);
+  return reply;
+}
+
+}  // namespace
+
+const char* HealthStateName(HealthState state) {
+  switch (state) {
+    case HealthState::kServing: return "SERVING";
+    case HealthState::kDegraded: return "DEGRADED";
+    case HealthState::kDraining: return "DRAINING";
+  }
+  return "UNKNOWN";
+}
+
+std::string FormatScoreValue(float score) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", static_cast<double>(score));
+  return buf;
+}
+
+std::vector<RankEntry> TopK(const std::vector<float>& scores, int64_t k) {
+  const int64_t n = static_cast<int64_t>(scores.size());
+  k = std::max<int64_t>(0, std::min(k, n));
+  std::vector<int64_t> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
+    return scores[static_cast<size_t>(a)] > scores[static_cast<size_t>(b)];
+  });
+  std::vector<RankEntry> top;
+  top.reserve(static_cast<size_t>(k));
+  for (int64_t i = 0; i < k; ++i) {
+    const int64_t stock = order[static_cast<size_t>(i)];
+    top.push_back({stock, scores[static_cast<size_t>(stock)]});
+  }
+  return top;
+}
+
+Result<Request> ParseRequest(const std::string& line) {
+  const std::vector<std::string_view> parts = Tokenize(line);
+  Request request;
+  if (parts.empty()) return Status::InvalidArgument("empty command");
+  if (parts[0] == "2") {
+    // v2 framing: "2 <id> <VERB> ...".
+    request.proto = 2;
+    if (parts.size() < 3 || !ParseUint(parts[1], &request.id)) {
+      return Status::InvalidArgument(
+          "malformed v2 frame (want: 2 <id> <verb> ...)");
+    }
+    RTGCN_RETURN_NOT_OK(ParseVerb(parts, 2, &request));
+    return request;
+  }
+  request.proto = 1;
+  RTGCN_RETURN_NOT_OK(ParseVerb(parts, 0, &request));
+  return request;
+}
+
+std::string FormatRequest(const Request& request) {
+  std::ostringstream out;
+  if (request.proto >= 2) out << "2 " << request.id << ' ';
+  switch (request.verb) {
+    case Request::Verb::kPing: out << "PING"; break;
+    case Request::Verb::kHealth: out << "HEALTH"; break;
+    case Request::Verb::kStats: out << "STATS"; break;
+    case Request::Verb::kQuit: out << "QUIT"; break;
+    case Request::Verb::kScore:
+      out << "SCORE " << request.day << ' ' << request.stock;
+      break;
+    case Request::Verb::kRank:
+      out << "RANK " << request.day << ' ' << request.k;
+      break;
+    case Request::Verb::kScoreBatch:
+      out << "SCOREN " << request.day << ' ' << request.stocks.size();
+      for (int64_t stock : request.stocks) out << ' ' << stock;
+      break;
+    case Request::Verb::kProto:
+      out << "PROTO";
+      if (request.proto_version > 0) out << ' ' << request.proto_version;
+      break;
+  }
+  const bool takes_deadline = request.verb == Request::Verb::kScore ||
+                              request.verb == Request::Verb::kRank ||
+                              request.verb == Request::Verb::kScoreBatch;
+  if (takes_deadline && request.deadline_ms > 0) {
+    out << " DEADLINE " << request.deadline_ms;
+  }
+  return out.str();
+}
+
+std::string FormatReply(const Reply& reply) {
+  std::string out;
+  out.reserve(64);
+  if (reply.proto >= 2) {
+    out.append("2 ");
+    AppendUint(&out, reply.id);
+    out.push_back(' ');
+  }
+  switch (reply.kind) {
+    case Reply::Kind::kPong:
+      out.append("PONG");
+      break;
+    case Reply::Kind::kScore:
+      out.append("OK ");
+      AppendInt(&out, reply.score.model_version);
+      out.push_back(' ');
+      AppendScore(&out, reply.score.score);
+      out.push_back(' ');
+      AppendInt(&out, reply.score.rank);
+      out.push_back(' ');
+      AppendInt(&out, reply.score.num_stocks);
+      AppendStale(&out, reply.score.stale);
+      break;
+    case Reply::Kind::kRank:
+      out.append("OK ");
+      AppendInt(&out, reply.model_version);
+      out.push_back(' ');
+      AppendInt(&out, reply.k);
+      for (const RankEntry& e : reply.top) {
+        out.push_back(' ');
+        AppendInt(&out, e.stock);
+        out.push_back(':');
+        AppendScore(&out, e.score);
+      }
+      AppendStale(&out, reply.stale);
+      break;
+    case Reply::Kind::kScoreBatch:
+      out.append("OK ");
+      AppendInt(&out, reply.model_version);
+      out.push_back(' ');
+      AppendUint(&out, reply.batch.size());
+      for (size_t i = 0; i < reply.batch.size(); ++i) {
+        out.push_back(' ');
+        AppendInt(&out, reply.batch_stocks[i]);
+        out.push_back(':');
+        AppendScore(&out, reply.batch[i].score);
+        out.push_back(':');
+        AppendInt(&out, reply.batch[i].rank);
+      }
+      AppendStale(&out, reply.stale);
+      break;
+    case Reply::Kind::kHealth:
+      out.append("OK ");
+      out.append(reply.text);
+      break;
+    case Reply::Kind::kProtoAck:
+      out.append("OK PROTO ");
+      AppendInt(&out, reply.proto_version);
+      out.append(" SHARDS ");
+      AppendInt(&out, reply.shards);
+      out.append(" VERSION ");
+      AppendInt(&out, reply.current_version);
+      break;
+    case Reply::Kind::kStats:
+      out.append(reply.text);
+      out.append("END");
+      break;
+    case Reply::Kind::kErr:
+      out.append("ERR ");
+      out.append(reply.text);
+      break;
+    case Reply::Kind::kBusy:
+      out.append("BUSY ");
+      out.append(reply.text);
+      break;
+    case Reply::Kind::kDraining:
+      out.append("DRAINING");
+      break;
+  }
+  return out;
+}
+
+Result<Reply> ParseReply(const std::string& line, const Request& sent) {
+  Reply reply;
+  reply.proto = 1;
+  // Reply parsing is client-side (not the serving hot path); materialized
+  // tokens keep the null-terminated strtof/substr idioms below simple.
+  std::vector<std::string> parts;
+  for (const std::string_view t : Tokenize(line)) parts.emplace_back(t);
+  size_t at = 0;
+  if (sent.proto >= 2 && parts.size() >= 2 && parts[0] == "2") {
+    reply.proto = 2;
+    if (!ParseUint(parts[1], &reply.id)) {
+      return Status::Internal("malformed v2 reply frame: ", line);
+    }
+    at = 2;
+  }
+  if (parts.size() <= at) return Status::Internal("empty reply: ", line);
+  const std::string& head = parts[at];
+  if (head == "PONG") {
+    reply.kind = Reply::Kind::kPong;
+    return reply;
+  }
+  if (head == "DRAINING") {
+    reply.kind = Reply::Kind::kDraining;
+    return reply;
+  }
+  if (head == "BUSY" || head == "ERR") {
+    reply.kind = head == "BUSY" ? Reply::Kind::kBusy : Reply::Kind::kErr;
+    std::string text;
+    for (size_t i = at + 1; i < parts.size(); ++i) {
+      if (!text.empty()) text += ' ';
+      text += parts[i];
+    }
+    reply.text = text;
+    return reply;
+  }
+  if (head != "OK") return Status::Internal("malformed reply: ", line);
+
+  // OK payload: shape depends on what was asked.
+  const auto tail_is_stale = [&](size_t payload_end) {
+    return parts.size() > payload_end && parts.back() == "STALE";
+  };
+  switch (sent.verb) {
+    case Request::Verb::kHealth: {
+      reply.kind = Reply::Kind::kHealth;
+      std::string text;
+      for (size_t i = at + 1; i < parts.size(); ++i) {
+        if (!text.empty()) text += ' ';
+        text += parts[i];
+      }
+      reply.text = text;
+      return reply;
+    }
+    case Request::Verb::kProto: {
+      // OK PROTO <v> SHARDS <k> VERSION <ver>
+      if (parts.size() != at + 7 || parts[at + 1] != "PROTO" ||
+          parts[at + 3] != "SHARDS" || parts[at + 5] != "VERSION") {
+        return Status::Internal("malformed PROTO ack: ", line);
+      }
+      int64_t v = 0;
+      reply.kind = Reply::Kind::kProtoAck;
+      if (!ParseInt(parts[at + 2], &v) ||
+          !ParseInt(parts[at + 4], &reply.shards) ||
+          !ParseInt(parts[at + 6], &reply.current_version)) {
+        return Status::Internal("malformed PROTO ack: ", line);
+      }
+      reply.proto_version = static_cast<int>(v);
+      return reply;
+    }
+    case Request::Verb::kScore: {
+      // OK <version> <score> <rank> <n> [STALE]
+      if (parts.size() < at + 5) {
+        return Status::Internal("malformed SCORE reply: ", line);
+      }
+      reply.kind = Reply::Kind::kScore;
+      int64_t version = 0;
+      if (!ParseInt(parts[at + 1], &version) ||
+          !ParseInt(parts[at + 3], &reply.score.rank) ||
+          !ParseInt(parts[at + 4], &reply.score.num_stocks)) {
+        return Status::Internal("malformed SCORE reply: ", line);
+      }
+      reply.score.model_version = version;
+      char* end = nullptr;
+      reply.score.score = std::strtof(parts[at + 2].c_str(), &end);
+      if (end == nullptr || *end != '\0') {
+        return Status::Internal("malformed SCORE reply: ", line);
+      }
+      reply.score.stale = tail_is_stale(at + 4);
+      return reply;
+    }
+    case Request::Verb::kRank: {
+      // OK <version> <k> <stock>:<score>... [STALE]
+      if (parts.size() < at + 3) {
+        return Status::Internal("malformed RANK reply: ", line);
+      }
+      reply.kind = Reply::Kind::kRank;
+      if (!ParseInt(parts[at + 1], &reply.model_version) ||
+          !ParseInt(parts[at + 2], &reply.k) || reply.k < 0) {
+        return Status::Internal("malformed RANK reply: ", line);
+      }
+      if (parts.size() < at + 3 + static_cast<size_t>(reply.k)) {
+        return Status::Internal("truncated RANK reply: ", line);
+      }
+      reply.top.reserve(static_cast<size_t>(reply.k));
+      for (int64_t i = 0; i < reply.k; ++i) {
+        const std::string& entry = parts[at + 3 + static_cast<size_t>(i)];
+        const size_t colon = entry.find(':');
+        if (colon == std::string::npos) {
+          return Status::Internal("malformed RANK entry: ", entry);
+        }
+        RankEntry e;
+        e.stock = std::strtoll(entry.substr(0, colon).c_str(), nullptr, 10);
+        e.score = std::strtof(entry.c_str() + colon + 1, nullptr);
+        reply.top.push_back(e);
+      }
+      reply.stale = tail_is_stale(at + 2 + static_cast<size_t>(reply.k));
+      return reply;
+    }
+    case Request::Verb::kScoreBatch: {
+      // OK <version> <n> <stock>:<score>:<rank>... [STALE]
+      if (parts.size() < at + 3) {
+        return Status::Internal("malformed SCOREN reply: ", line);
+      }
+      reply.kind = Reply::Kind::kScoreBatch;
+      int64_t n = 0;
+      if (!ParseInt(parts[at + 1], &reply.model_version) ||
+          !ParseInt(parts[at + 2], &n) || n < 0 ||
+          parts.size() < at + 3 + static_cast<size_t>(n)) {
+        return Status::Internal("malformed SCOREN reply: ", line);
+      }
+      reply.stale = tail_is_stale(at + 2 + static_cast<size_t>(n));
+      for (int64_t i = 0; i < n; ++i) {
+        const std::string& entry = parts[at + 3 + static_cast<size_t>(i)];
+        const std::vector<std::string> fields = Split(entry, ':');
+        if (fields.size() != 3) {
+          return Status::Internal("malformed SCOREN entry: ", entry);
+        }
+        ScoreReply s;
+        s.model_version = reply.model_version;
+        s.stale = reply.stale;
+        int64_t stock = 0;
+        if (!ParseInt(fields[0], &stock) || !ParseInt(fields[2], &s.rank)) {
+          return Status::Internal("malformed SCOREN entry: ", entry);
+        }
+        s.score = std::strtof(fields[1].c_str(), nullptr);
+        reply.batch_stocks.push_back(stock);
+        reply.batch.push_back(s);
+      }
+      return reply;
+    }
+    default:
+      return Status::Internal("unexpected OK reply: ", line);
+  }
+}
+
+std::string ExecuteLine(Backend* backend, Metrics* metrics,
+                        const std::string& line) {
+  obs::Span span("serve.handle_line", "serve");
+  auto parsed = ParseRequest(line);
+  if (!parsed.ok()) {
+    // Parse failures reply under the framing the line arrived in: a
+    // malformed v2 frame whose id was still readable echoes it.
+    int proto = 1;
+    uint64_t id = 0;
+    const std::vector<std::string_view> parts = Tokenize(line);
+    if (!parts.empty() && parts[0] == "2" && parts.size() >= 2 &&
+        ParseUint(parts[1], &id)) {
+      proto = 2;
+    }
+    return FormatReply(ParseErrorReply(proto, id, parsed.status()));
+  }
+  const Request& request = parsed.ValueOrDie();
+  Reply reply;
+  reply.proto = request.proto;
+  reply.id = request.id;
+  switch (request.verb) {
+    case Request::Verb::kQuit:
+      return "";  // front ends close the connection; nothing on the wire
+    case Request::Verb::kPing:
+      reply.kind = Reply::Kind::kPong;
+      return FormatReply(reply);
+    case Request::Verb::kHealth:
+      reply.kind = Reply::Kind::kHealth;
+      reply.text = backend->HealthLine();
+      return FormatReply(reply);
+    case Request::Verb::kProto: {
+      const int v = request.proto_version == 0 ? kProtoMax
+                                               : request.proto_version;
+      if (v < kProtoMin || v > kProtoMax) {
+        reply.kind = Reply::Kind::kErr;
+        std::ostringstream msg;
+        msg << "unsupported protocol version " << v << " (supported: "
+            << kProtoMin << ".." << kProtoMax << ")";
+        reply.text = msg.str();
+        return FormatReply(reply);
+      }
+      reply.kind = Reply::Kind::kProtoAck;
+      reply.proto_version = v;
+      reply.shards = backend->num_shards();
+      reply.current_version = backend->CurrentVersion();
+      return FormatReply(reply);
+    }
+    case Request::Verb::kStats: {
+      // Serving metrics first (stable field set), then whatever the rest
+      // of the process published to the global registry — both render
+      // through obs::Registry.
+      reply.kind = Reply::Kind::kStats;
+      std::string text = metrics ? metrics->DumpText() : "";
+      text += obs::Registry::Global().DumpText();
+      reply.text = std::move(text);
+      return FormatReply(reply);
+    }
+    case Request::Verb::kScore: {
+      auto result =
+          backend->Score(request.day, request.stock, {request.deadline_ms});
+      if (!result.ok()) {
+        return FormatReply(ErrorReplyFor(request, result.status()));
+      }
+      return FormatReply(MakeScoreReplyFor(request, result.ValueOrDie()));
+    }
+    case Request::Verb::kRank: {
+      auto result = backend->Rank(request.day, {request.deadline_ms});
+      if (!result.ok()) {
+        return FormatReply(ErrorReplyFor(request, result.status()));
+      }
+      return FormatReply(MakeRankReplyFor(request, result.ValueOrDie()));
+    }
+    case Request::Verb::kScoreBatch: {
+      // One Rank() execution answers every stock of the line — the batch
+      // never fans out into per-stock queue entries.
+      auto result = backend->Rank(request.day, {request.deadline_ms});
+      if (!result.ok()) {
+        return FormatReply(ErrorReplyFor(request, result.status()));
+      }
+      const RankReply& rank = result.ValueOrDie();
+      const int64_t n = static_cast<int64_t>(rank.scores.size());
+      std::vector<int64_t> ranks(static_cast<size_t>(n));
+      const std::vector<RankEntry> order = TopK(rank.scores, n);
+      for (int64_t r = 0; r < n; ++r) {
+        ranks[static_cast<size_t>(order[static_cast<size_t>(r)].stock)] = r;
+      }
+      reply.kind = Reply::Kind::kScoreBatch;
+      reply.model_version = rank.model_version;
+      reply.stale = rank.stale;
+      for (int64_t stock : request.stocks) {
+        if (stock < 0 || stock >= n) {
+          reply.kind = Reply::Kind::kErr;
+          std::ostringstream msg;
+          msg << "stock " << stock << " out of range [0, " << n << ")";
+          reply.text = msg.str();
+          return FormatReply(reply);
+        }
+        ScoreReply s;
+        s.model_version = rank.model_version;
+        s.score = rank.scores[static_cast<size_t>(stock)];
+        s.rank = ranks[static_cast<size_t>(stock)];
+        s.num_stocks = n;
+        s.stale = rank.stale;
+        reply.batch_stocks.push_back(stock);
+        reply.batch.push_back(s);
+      }
+      return FormatReply(reply);
+    }
+  }
+  reply.kind = Reply::Kind::kErr;
+  reply.text = "unknown command";
+  return FormatReply(reply);
+}
+
+bool TryExecuteLineFast(Backend* backend, Metrics* metrics,
+                        const std::string& line, std::string* reply) {
+  // Fast parse gate: only SCORE/RANK lines (either framing) can be
+  // answered from cache; everything else goes through ExecuteLine.
+  auto parsed = ParseRequest(line);
+  if (!parsed.ok()) return false;
+  const Request& request = parsed.ValueOrDie();
+  const uint64_t t0 = obs::NowMicros();
+  if (request.verb == Request::Verb::kScore) {
+    ScoreReply score;
+    if (!backend->TryScoreCached(request.day, request.stock, &score)) {
+      return false;
+    }
+    if (metrics) {
+      metrics->requests.fetch_add(1, std::memory_order_relaxed);
+      metrics->responses_ok.fetch_add(1, std::memory_order_relaxed);
+      metrics->latency.Record(obs::ElapsedMicrosSince(t0));
+    }
+    *reply = FormatReply(MakeScoreReplyFor(request, score));
+    return true;
+  }
+  if (request.verb == Request::Verb::kRank) {
+    RankReply rank;
+    if (!backend->TryRankCached(request.day, &rank)) return false;
+    if (metrics) {
+      metrics->requests.fetch_add(1, std::memory_order_relaxed);
+      metrics->responses_ok.fetch_add(1, std::memory_order_relaxed);
+      metrics->latency.Record(obs::ElapsedMicrosSince(t0));
+    }
+    *reply = FormatReply(MakeRankReplyFor(request, rank));
+    return true;
+  }
+  return false;
+}
+
+}  // namespace rtgcn::serve

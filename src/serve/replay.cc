@@ -1,0 +1,415 @@
+#include "serve/replay.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <charconv>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <unordered_map>
+
+#include "obs/registry.h"
+
+namespace rtgcn::serve {
+
+namespace {
+
+// SplitMix64, for per-connection script offsets.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+double PercentileUs(std::vector<double>* v, double p) {
+  if (v->empty()) return 0;
+  const double idx = p * static_cast<double>(v->size() - 1);
+  const size_t lo = static_cast<size_t>(idx);
+  std::nth_element(v->begin(), v->begin() + static_cast<ptrdiff_t>(lo),
+                   v->end());
+  const double a = (*v)[lo];
+  const size_t hi = std::min(lo + 1, v->size() - 1);
+  std::nth_element(v->begin(), v->begin() + static_cast<ptrdiff_t>(hi),
+                   v->end());
+  return a + ((*v)[hi] - a) * (idx - static_cast<double>(lo));
+}
+
+struct Conn {
+  int fd = -1;
+  bool connecting = true;
+  bool in_flight = false;   ///< a request is out, awaiting its reply line
+  bool paused = false;      ///< paced mode: waiting for the next send slot
+  uint32_t armed = 0;       ///< event mask currently registered with epoll
+  uint64_t sent_id = 0;     ///< v2: id stamped on the outstanding request
+  size_t script_pos = 0;
+  std::string outbuf;       ///< unwritten request bytes
+  std::string inbuf;        ///< reply bytes, not yet a full line
+  std::chrono::steady_clock::time_point t0;  ///< outstanding request start
+  std::chrono::steady_clock::time_point next_send;  ///< paced send slot
+};
+
+}  // namespace
+
+Replay::Replay(Options options, std::vector<std::string> script)
+    : options_(options), script_(std::move(script)) {}
+
+Result<Replay::Report> Replay::Run() {
+  if (script_.empty()) {
+    return Status::InvalidArgument("replay: empty script");
+  }
+  if (options_.proto != 1 && options_.proto != 2) {
+    return Status::InvalidArgument("replay: proto must be 1 or 2, got ",
+                                   options_.proto);
+  }
+  const int epoll_fd = epoll_create1(0);
+  if (epoll_fd < 0) {
+    return Status::Internal("epoll_create1: ", std::strerror(errno));
+  }
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+
+  Report report;
+  std::vector<double> latencies;
+  latencies.reserve(1 << 16);
+  std::unordered_map<uint64_t, Conn> conns;
+  uint64_t next_conn = 1;
+  uint64_t next_id = 1;
+
+  auto close_conn = [&](uint64_t id, bool server_side) {
+    auto it = conns.find(id);
+    if (it == conns.end()) return;
+    if (it->second.in_flight) ++report.abandoned;
+    if (server_side) ++report.disconnects;
+    epoll_ctl(epoll_fd, EPOLL_CTL_DEL, it->second.fd, nullptr);
+    ::close(it->second.fd);
+    conns.erase(it);
+  };
+
+  // Skips the epoll_ctl when the desired mask is already registered: on
+  // the steady-state cached path (request fits the socket buffer, reply
+  // arrives on EPOLLIN) the mask never changes, so this saves one syscall
+  // per request.
+  auto arm = [&](uint64_t id, Conn* c) {
+    epoll_event ev{};
+    ev.events = EPOLLIN | (c->outbuf.empty() && !c->connecting ? 0u : EPOLLOUT);
+    if (ev.events == c->armed) return;
+    ev.data.u64 = id;
+    epoll_ctl(epoll_fd, EPOLL_CTL_MOD, c->fd, &ev);
+    c->armed = ev.events;
+  };
+
+  // Writes as much of outbuf as the socket takes; false on a fatal send
+  // error (the caller must close). Leftover bytes re-arm EPOLLOUT.
+  auto flush = [&](Conn* c) {
+    while (!c->outbuf.empty()) {
+      const ssize_t w =
+          send(c->fd, c->outbuf.data(), c->outbuf.size(), MSG_NOSIGNAL);
+      if (w > 0) {
+        c->outbuf.erase(0, static_cast<size_t>(w));
+      } else if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        return true;
+      } else {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  // Frames and buffers the connection's next script line; false past the
+  // measurement window (the connection then just drains its last reply).
+  const auto start = std::chrono::steady_clock::now();
+  const auto end =
+      start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                  std::chrono::duration<double>(options_.seconds));
+  auto send_next = [&](uint64_t id, Conn* c) {
+    if (std::chrono::steady_clock::now() >= end) return false;
+    c->paused = false;
+    const std::string& payload = c->script_pos < script_.size()
+                                     ? script_[c->script_pos]
+                                     : script_[0];
+    c->script_pos = (c->script_pos + 1) % script_.size();
+    if (options_.proto == 2) {
+      c->sent_id = next_id++;
+      char frame[32];
+      const int n = std::snprintf(frame, sizeof(frame), "2 %llu ",
+                                  static_cast<unsigned long long>(c->sent_id));
+      c->outbuf.append(frame, static_cast<size_t>(n));
+    }
+    c->outbuf += payload;
+    c->outbuf += '\n';
+    c->in_flight = true;
+    c->t0 = std::chrono::steady_clock::now();
+    ++report.sent;
+    if (!flush(c)) return false;  // fatal send error: caller closes
+    arm(id, c);
+    return true;
+  };
+
+  // Classifies one reply line against the outstanding request.
+  auto account_reply = [&](Conn* c, std::string_view payload) -> bool {
+    if (!c->in_flight) return false;  // unsolicited: protocol violation
+    c->in_flight = false;
+    if (options_.proto == 2) {
+      // Strip "2 <id> " and check the echo.
+      if (payload.size() < 2 || payload.substr(0, 2) != "2 ") {
+        ++report.errors;
+        return true;
+      }
+      payload.remove_prefix(2);
+      const size_t sp = payload.find(' ');
+      uint64_t echoed = 0;
+      const auto [p, ec] = std::from_chars(
+          payload.data(), payload.data() + std::min(sp, payload.size()),
+          echoed);
+      if (sp == std::string_view::npos || ec != std::errc() ||
+          p != payload.data() + sp || echoed != c->sent_id) {
+        ++report.errors;
+        return true;
+      }
+      payload.remove_prefix(sp + 1);
+    }
+    if (payload.rfind("OK", 0) == 0 || payload.rfind("PONG", 0) == 0 ||
+        payload.rfind("SERVING", 0) == 0 ||
+        payload.rfind("DEGRADED", 0) == 0) {
+      ++report.ok;
+      latencies.push_back(std::chrono::duration<double, std::micro>(
+                              std::chrono::steady_clock::now() - c->t0)
+                              .count());
+    } else if (payload.rfind("BUSY", 0) == 0) {
+      ++report.busy;
+    } else if (payload.rfind("DRAINING", 0) == 0) {
+      ++report.draining;
+    } else if (payload.rfind("ERR deadline exceeded", 0) == 0) {
+      ++report.deadline;
+    } else {
+      ++report.errors;
+    }
+    return true;
+  };
+
+  // Paced mode: each connection fires every `interval`, with first sends
+  // staggered across one interval so the aggregate hits target_qps.
+  const bool paced = options_.target_qps > 0;
+  const auto pace_interval =
+      paced ? std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                  std::chrono::duration<double>(
+                      static_cast<double>(options_.connections) /
+                      options_.target_qps))
+            : std::chrono::steady_clock::duration::zero();
+
+  // Open every simulated client up front (non-blocking connect).
+  for (int64_t i = 0; i < options_.connections; ++i) {
+    const int fd = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+    if (fd < 0) {
+      ::close(epoll_fd);
+      return Status::Internal("socket: ", std::strerror(errno));
+    }
+    int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    if (connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+            0 &&
+        errno != EINPROGRESS) {
+      ::close(fd);
+      ::close(epoll_fd);
+      return Status::Internal("connect: ", std::strerror(errno));
+    }
+    const uint64_t id = next_conn++;
+    Conn c;
+    c.fd = fd;
+    c.script_pos =
+        static_cast<size_t>(Mix64(options_.seed + static_cast<uint64_t>(i)) %
+                            script_.size());
+    if (paced) {
+      c.next_send =
+          start +
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(static_cast<double>(i) /
+                                            options_.target_qps));
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN | EPOLLOUT;
+    c.armed = ev.events;
+    ev.data.u64 = id;
+    if (epoll_ctl(epoll_fd, EPOLL_CTL_ADD, fd, &ev) < 0) {
+      ::close(fd);
+      ::close(epoll_fd);
+      return Status::Internal("epoll_ctl: ", std::strerror(errno));
+    }
+    conns.emplace(id, std::move(c));
+  }
+
+  std::vector<epoll_event> events(1024);
+  std::vector<uint64_t> due_dead;
+  // Earliest paused send slot; the scan below only walks the connection
+  // table when some slot can actually be due (rescheduling points keep it
+  // a lower bound, so no slot is ever missed).
+  auto pace_wake = start;
+  while (!conns.empty()) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= end) break;
+    // Paced: fire every connection whose send slot has arrived, and note
+    // the earliest future slot so epoll_wait wakes for it.
+    auto next_due = end;
+    if (paced && now >= pace_wake) {
+      due_dead.clear();
+      for (auto& [cid, c] : conns) {
+        if (!c.paused || c.connecting) continue;
+        if (c.next_send <= now) {
+          if (!send_next(cid, &c)) due_dead.push_back(cid);
+        } else {
+          next_due = std::min(next_due, c.next_send);
+        }
+      }
+      for (const uint64_t cid : due_dead) {
+        close_conn(cid, /*server_side=*/false);
+      }
+      pace_wake = next_due;
+    } else if (paced) {
+      next_due = pace_wake;
+    }
+    int64_t wait_ms = std::min<int64_t>(
+        100, std::chrono::duration_cast<std::chrono::milliseconds>(end - now)
+                     .count() +
+                 1);
+    if (paced && next_due < end) {
+      wait_ms = std::min<int64_t>(
+          wait_ms, std::chrono::duration_cast<std::chrono::milliseconds>(
+                       next_due - now)
+                           .count() +
+                       1);
+    }
+    const int timeout_ms = static_cast<int>(std::max<int64_t>(0, wait_ms));
+    const int n = epoll_wait(epoll_fd, events.data(),
+                             static_cast<int>(events.size()), timeout_ms);
+    for (int e = 0; e < n; ++e) {
+      const uint64_t id = events[static_cast<size_t>(e)].data.u64;
+      const uint32_t what = events[static_cast<size_t>(e)].events;
+      auto it = conns.find(id);
+      if (it == conns.end()) continue;
+      Conn* c = &it->second;
+      if (what & (EPOLLHUP | EPOLLERR)) {
+        close_conn(id, /*server_side=*/true);
+        continue;
+      }
+      if (what & EPOLLOUT) {
+        if (c->connecting) {
+          int err = 0;
+          socklen_t len = sizeof(err);
+          getsockopt(c->fd, SOL_SOCKET, SO_ERROR, &err, &len);
+          if (err != 0) {
+            close_conn(id, /*server_side=*/true);
+            continue;
+          }
+          c->connecting = false;
+          if (paced) {
+            c->paused = true;  // first send waits for the staggered slot
+            pace_wake = std::min(pace_wake, c->next_send);
+          } else if (!send_next(id, c)) {
+            close_conn(id, /*server_side=*/false);
+            continue;
+          }
+        }
+        if (!flush(c)) {
+          close_conn(id, /*server_side=*/true);
+          continue;
+        }
+        arm(id, c);
+      }
+      if (what & EPOLLIN) {
+        bool open = true;
+        char buf[16384];
+        for (;;) {
+          const ssize_t r = recv(c->fd, buf, sizeof(buf), 0);
+          if (r > 0) {
+            c->inbuf.append(buf, static_cast<size_t>(r));
+            if (static_cast<int64_t>(c->inbuf.size()) >
+                options_.max_line_bytes) {
+              open = false;  // server misbehaving; drop the connection
+              ++report.errors;
+              break;
+            }
+            if (r < static_cast<ssize_t>(sizeof(buf))) break;
+          } else if (r < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+            break;
+          } else {
+            open = false;  // EOF or error: server closed on us
+            break;
+          }
+        }
+        size_t pos;
+        while (open && (pos = c->inbuf.find('\n')) != std::string::npos) {
+          std::string_view line(c->inbuf.data(), pos);
+          if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+          const bool solicited = account_reply(c, line);
+          c->inbuf.erase(0, pos + 1);
+          if (!solicited) {
+            open = false;  // unsolicited line: drop the connection
+            break;
+          }
+          if (paced) {
+            // Schedule off the previous slot (not off "now") so a slow
+            // reply doesn't permanently lower the offered rate.
+            c->paused = true;
+            c->next_send = std::max(c->next_send + pace_interval,
+                                    std::chrono::steady_clock::now());
+            pace_wake = std::min(pace_wake, c->next_send);
+          } else if (!send_next(id, c)) {
+            open = false;  // window over: this client is done
+            break;
+          }
+        }
+        if (!open) {
+          close_conn(id, /*server_side=*/c->in_flight);
+          continue;
+        }
+      }
+    }
+  }
+  for (auto& [id, c] : conns) {
+    if (c.in_flight) ++report.abandoned;
+    epoll_ctl(epoll_fd, EPOLL_CTL_DEL, c.fd, nullptr);
+    ::close(c.fd);
+  }
+  conns.clear();
+  ::close(epoll_fd);
+
+  report.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  const uint64_t completed = report.ok + report.busy + report.draining +
+                             report.deadline + report.errors;
+  report.qps = static_cast<double>(completed) / report.seconds;
+  report.p50_us = PercentileUs(&latencies, 0.50);
+  report.p95_us = PercentileUs(&latencies, 0.95);
+  report.p99_us = PercentileUs(&latencies, 0.99);
+
+  auto& reg = obs::Registry::Global();
+  reg.GetCounter("replay.sent")->Increment(report.sent);
+  reg.GetCounter("replay.ok")->Increment(report.ok);
+  reg.GetCounter("replay.busy")->Increment(report.busy);
+  reg.GetCounter("replay.draining")->Increment(report.draining);
+  reg.GetCounter("replay.deadline")->Increment(report.deadline);
+  reg.GetCounter("replay.errors")->Increment(report.errors);
+  reg.GetCounter("replay.disconnects")->Increment(report.disconnects);
+  reg.GetGauge("replay.qps")->Set(report.qps);
+  reg.GetGauge("replay.p50_us")->Set(report.p50_us);
+  reg.GetGauge("replay.p99_us")->Set(report.p99_us);
+  obs::Histogram* lat_hist = reg.GetHistogram(
+      "replay.latency_us", obs::BucketSpec::Exponential2(32));
+  for (const double us : latencies) {
+    lat_hist->Record(static_cast<uint64_t>(us));
+  }
+  return report;
+}
+
+}  // namespace rtgcn::serve

@@ -1,0 +1,86 @@
+// Replay load generator: thousands of concurrent simulated clients from
+// one thread (DESIGN.md §15).
+//
+// Thread-per-connection load generation stops scaling long before the
+// epoll front end does, so the generator mirrors the server's design: one
+// epoll set multiplexes every simulated client. Each connection is
+// closed-loop — it writes one request line, waits for the reply, records
+// the round-trip, and immediately writes its next line — so concurrency
+// equals the connection count, and offered load self-clocks to whatever
+// the server sustains at that concurrency.
+//
+// Requests come from a `script`: a cycle of v1-payload lines ("SCORE 130
+// 7", "RANK 130 5 DEADLINE 50", ...). Each connection starts at a
+// seed-derived offset so concurrent clients spread over the script. Under
+// --proto 2 the generator stamps the "2 <id>" framing itself and checks
+// the echoed id on every reply. Only single-line-reply verbs belong in a
+// script (no STATS).
+//
+// The Report carries client-side QPS and latency percentiles (from raw
+// samples, not histogram buckets) and a reply breakdown; the same numbers
+// are published to obs::Registry::Global() as replay.* for dashboards and
+// the STATS verb.
+#ifndef RTGCN_SERVE_REPLAY_H_
+#define RTGCN_SERVE_REPLAY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace rtgcn::serve {
+
+/// \brief Epoll-multiplexed closed-loop load generator.
+class Replay {
+ public:
+  struct Options {
+    int port = 0;              ///< server to drive (loopback)
+    int64_t connections = 1000;  ///< concurrent simulated clients
+    double seconds = 3.0;        ///< measurement window
+    int proto = 2;               ///< wire framing: 1 or 2
+    uint64_t seed = 1;           ///< script-offset stream
+    int64_t max_line_bytes = 65536;  ///< reply-line sanity cap
+    /// 0 = closed-loop at max rate (capacity mode). > 0 = paced: each
+    /// connection waits out its share of 1/target_qps between requests,
+    /// so latency percentiles measure service time with headroom instead
+    /// of saturated queueing (latency mode).
+    double target_qps = 0;
+  };
+
+  struct Report {
+    double seconds = 0;
+    uint64_t sent = 0;        ///< requests written
+    uint64_t ok = 0;          ///< OK/PONG replies
+    uint64_t busy = 0;        ///< BUSY (admission or connection cap)
+    uint64_t draining = 0;
+    uint64_t deadline = 0;    ///< ERR deadline exceeded
+    uint64_t errors = 0;      ///< other ERR / malformed replies
+    uint64_t abandoned = 0;   ///< in flight when the window closed
+    uint64_t disconnects = 0; ///< connections the server closed on us
+    double qps = 0;           ///< completed replies per second
+    double p50_us = 0, p95_us = 0, p99_us = 0;  ///< OK replies only
+
+    /// Every request written got exactly one disposition.
+    bool Accounted() const {
+      return sent == ok + busy + draining + deadline + errors + abandoned;
+    }
+  };
+
+  /// `script` must be non-empty; lines are v1 payloads without framing or
+  /// trailing newline.
+  Replay(Options options, std::vector<std::string> script);
+
+  /// Runs the full window and returns the report. Also publishes
+  /// replay.{qps,p50_us,p99_us,sent,ok,busy,errors,...} to the global
+  /// metrics registry.
+  Result<Report> Run();
+
+ private:
+  Options options_;
+  std::vector<std::string> script_;
+};
+
+}  // namespace rtgcn::serve
+
+#endif  // RTGCN_SERVE_REPLAY_H_

@@ -25,15 +25,6 @@ constexpr auto kNoDeadline = std::chrono::steady_clock::time_point::max();
 
 }  // namespace
 
-const char* HealthStateName(HealthState state) {
-  switch (state) {
-    case HealthState::kServing: return "SERVING";
-    case HealthState::kDegraded: return "DEGRADED";
-    case HealthState::kDraining: return "DRAINING";
-  }
-  return "UNKNOWN";
-}
-
 InferenceServer::InferenceServer(const market::WindowDataset* data,
                                  ModelRegistry* registry, Options options,
                                  Metrics* metrics)
@@ -156,6 +147,56 @@ Result<InferenceServer::ScoreReply> InferenceServer::Score(
   reply.num_stocks = data_->num_stocks();
   reply.stale = s.stale;
   return reply;
+}
+
+bool InferenceServer::TryRankCached(int64_t day, RankReply* out) {
+  if (!options_.enable_cache) return false;
+  const std::shared_ptr<const ModelSnapshot> snapshot = registry_->Current();
+  if (!snapshot) return false;
+  // Only the healthy path may skip the queue: degraded (stale flags,
+  // fallbacks) and draining (DRAINING replies) must see the full
+  // Submit()-side accounting.
+  if (Health() != HealthState::kServing) return false;
+  std::shared_ptr<const DayScores> entry;
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    auto it = cache_.find(CacheKey(snapshot->version(), day));
+    if (it == cache_.end()) return false;
+    entry = it->second;
+  }
+  if (metrics_) metrics_->cache_hits.fetch_add(1, std::memory_order_relaxed);
+  out->model_version = snapshot->version();
+  out->day = day;
+  out->scores = entry->scores;
+  out->stale = false;
+  return true;
+}
+
+bool InferenceServer::TryScoreCached(int64_t day, int64_t stock,
+                                     ScoreReply* out) {
+  if (!options_.enable_cache) return false;
+  if (stock < 0 || stock >= data_->num_stocks()) return false;
+  const std::shared_ptr<const ModelSnapshot> snapshot = registry_->Current();
+  if (!snapshot) return false;
+  if (Health() != HealthState::kServing) return false;
+  std::shared_ptr<const DayScores> entry;
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    auto it = cache_.find(CacheKey(snapshot->version(), day));
+    if (it == cache_.end()) return false;
+    entry = it->second;
+  }
+  if (metrics_) metrics_->cache_hits.fetch_add(1, std::memory_order_relaxed);
+  out->model_version = snapshot->version();
+  out->score = entry->scores[static_cast<size_t>(stock)];
+  out->rank = entry->ranks[static_cast<size_t>(stock)];
+  out->num_stocks = data_->num_stocks();
+  out->stale = false;
+  return true;
+}
+
+int64_t InferenceServer::CurrentVersion() const {
+  return registry_->CurrentVersion();
 }
 
 HealthState InferenceServer::HealthLocked(bool draining) {

@@ -47,21 +47,15 @@
 #include "market/dataset.h"
 #include "serve/admission.h"
 #include "serve/metrics.h"
+#include "serve/protocol.h"
 #include "serve/registry.h"
 
 namespace rtgcn::serve {
 
-/// Health state machine of a serving process (HEALTH wire command).
-enum class HealthState {
-  kServing,   ///< a snapshot is published and reloads are healthy
-  kDegraded,  ///< no snapshot, or reload failures crossed the threshold
-  kDraining,  ///< Stop() ran (or Start() never did): no new work admitted
-};
-
-const char* HealthStateName(HealthState state);
-
-/// \brief Micro-batching inference server over one WindowDataset.
-class InferenceServer {
+/// \brief Micro-batching inference server over one WindowDataset. The
+/// single-process Backend implementation (and the bit-identity oracle the
+/// sharded router is tested against).
+class InferenceServer : public Backend {
  public:
   struct Options {
     int64_t max_batch = 32;        ///< flush when this many requests queue
@@ -78,33 +72,16 @@ class InferenceServer {
     int64_t degraded_failure_threshold = 3;
   };
 
-  /// Per-request options (the wire protocol's optional DEADLINE suffix).
-  struct RequestOptions {
-    int64_t deadline_ms = 0;  ///< shed if not executing within this; 0 = none
-  };
-
-  /// All-stock scores for one day, plus the model version that produced
-  /// them.
-  struct RankReply {
-    int64_t model_version = -1;
-    int64_t day = -1;
-    std::vector<float> scores;  ///< [N], index = stock id
-    bool stale = false;         ///< served while DEGRADED (see Options)
-  };
-
-  /// One stock's score and its rank (0 = best) among that day's scores.
-  struct ScoreReply {
-    int64_t model_version = -1;
-    float score = 0;
-    int64_t rank = -1;
-    int64_t num_stocks = 0;
-    bool stale = false;
-  };
+  // Shared serve-API types (serve/protocol.h); the nested spellings
+  // predate the Backend interface and remain for source compatibility.
+  using RequestOptions = serve::RequestOptions;
+  using RankReply = serve::RankReply;
+  using ScoreReply = serve::ScoreReply;
 
   /// `data` and `registry` must outlive the server; `metrics` may be null.
   InferenceServer(const market::WindowDataset* data, ModelRegistry* registry,
                   Options options, Metrics* metrics);
-  ~InferenceServer();
+  ~InferenceServer() override;
 
   InferenceServer(const InferenceServer&) = delete;
   InferenceServer& operator=(const InferenceServer&) = delete;
@@ -117,23 +94,32 @@ class InferenceServer {
   void Stop();
 
   /// Blocking: scores for every stock on prediction day `day`.
-  Result<RankReply> Rank(int64_t day, RequestOptions request);
+  Result<RankReply> Rank(int64_t day, RequestOptions request) override;
   Result<RankReply> Rank(int64_t day) { return Rank(day, RequestOptions()); }
 
   /// Blocking: score and rank of `stock` on prediction day `day`.
   Result<ScoreReply> Score(int64_t day, int64_t stock,
-                           RequestOptions request);
+                           RequestOptions request) override;
   Result<ScoreReply> Score(int64_t day, int64_t stock) {
     return Score(day, stock, RequestOptions());
   }
 
+  /// Non-blocking: answers from the (current version, day) cache entry.
+  /// Only fires while SERVING — degraded/stale/draining requests always
+  /// take the blocking path so their accounting and fallbacks apply.
+  bool TryRankCached(int64_t day, RankReply* out) override;
+  bool TryScoreCached(int64_t day, int64_t stock, ScoreReply* out) override;
+
   /// Current health; evaluating it also advances the degraded-seconds
   /// accounting in Metrics.
-  HealthState Health();
+  HealthState Health() override;
 
   /// One-line health summary for the HEALTH wire command, e.g.
   /// "SERVING version=3 reload_failures=0 queue=0".
-  std::string HealthLine();
+  std::string HealthLine() override;
+
+  /// Version of the currently published snapshot, -1 when none.
+  int64_t CurrentVersion() const override;
 
   const market::WindowDataset& data() const { return *data_; }
   const Options& options() const { return options_; }

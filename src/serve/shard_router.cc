@@ -1,0 +1,637 @@
+#include "serve/shard_router.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+#include <utility>
+
+#include "common/logging.h"
+#include "obs/clock.h"
+#include "obs/trace.h"
+
+namespace rtgcn::serve {
+
+namespace {
+
+constexpr auto kNoDeadline = std::chrono::steady_clock::time_point::max();
+
+// Same (version, day) packing as InferenceServer's cache (collision-free:
+// versions < 2^40, day indices << 2^20).
+uint64_t CacheKey(int64_t version, int64_t day) {
+  return (static_cast<uint64_t>(version) << 20) | static_cast<uint64_t>(day);
+}
+
+// SplitMix64: cheap, well-mixed 64-bit hash for ring placement.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+// Canonical rank of `stock` within `scores`: number of stocks ordered
+// before it under score-descending with ties by id ascending — exactly the
+// stable_sort order every reply path uses.
+int64_t RankOf(const std::vector<float>& scores, int64_t stock) {
+  const float s = scores[static_cast<size_t>(stock)];
+  int64_t rank = 0;
+  for (int64_t i = 0; i < static_cast<int64_t>(scores.size()); ++i) {
+    if (scores[static_cast<size_t>(i)] > s ||
+        (scores[static_cast<size_t>(i)] == s && i < stock)) {
+      ++rank;
+    }
+  }
+  return rank;
+}
+
+}  // namespace
+
+ShardRouter::ScoreFn ShardRouter::DatasetScoreFn(
+    const market::WindowDataset* data) {
+  return [data](const ModelSnapshot& snapshot,
+                int64_t day) -> Result<std::vector<float>> {
+    if (day < data->first_day() || day > data->last_day()) {
+      return Status::InvalidArgument("day ", day,
+                                     " outside the valid range [",
+                                     data->first_day(), ", ",
+                                     data->last_day(), "]");
+    }
+    obs::Span span("serve.forward", "serve");
+    const Tensor scores = snapshot.Score(data->Features(day));
+    return std::vector<float>(scores.data(), scores.data() + scores.numel());
+  };
+}
+
+ShardRouter::ShardRouter(ScoreFn score_fn, int64_t num_stocks,
+                         ModelRegistry* registry, Options options,
+                         Metrics* metrics)
+    : score_fn_(std::move(score_fn)),
+      num_stocks_(num_stocks),
+      registry_(registry),
+      options_(options),
+      metrics_(metrics),
+      admission_({std::max<int64_t>(options.max_queue, 1), options.admission,
+                  options.admission_timeout_ms, "requests"}) {
+  RTGCN_CHECK(score_fn_ != nullptr);
+  RTGCN_CHECK(registry_ != nullptr);
+  RTGCN_CHECK(num_stocks_ > 0);
+  options_.num_shards = std::max<int64_t>(options_.num_shards, 1);
+  options_.virtual_nodes = std::max<int64_t>(options_.virtual_nodes, 1);
+  options_.max_batch = std::max<int64_t>(options_.max_batch, 1);
+  options_.batch_timeout_us = std::max<int64_t>(options_.batch_timeout_us, 0);
+  options_.cache_capacity = std::max<int64_t>(options_.cache_capacity, 1);
+
+  // Consistent-hash ring: virtual_nodes points per shard, a stock is owned
+  // by the first ring point clockwise of its hash. Ties (hash collisions)
+  // break by shard id so the ring is deterministic.
+  std::vector<std::pair<uint64_t, int64_t>> ring;
+  ring.reserve(static_cast<size_t>(options_.num_shards *
+                                   options_.virtual_nodes));
+  for (int64_t s = 0; s < options_.num_shards; ++s) {
+    for (int64_t v = 0; v < options_.virtual_nodes; ++v) {
+      ring.emplace_back(Mix64(Mix64(static_cast<uint64_t>(s) + 1) ^
+                              static_cast<uint64_t>(v)),
+                        s);
+    }
+  }
+  std::sort(ring.begin(), ring.end());
+  owner_.resize(static_cast<size_t>(num_stocks_));
+  owned_index_.resize(static_cast<size_t>(num_stocks_));
+  shards_.reserve(static_cast<size_t>(options_.num_shards));
+  for (int64_t s = 0; s < options_.num_shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  for (int64_t stock = 0; stock < num_stocks_; ++stock) {
+    const uint64_t h = Mix64(static_cast<uint64_t>(stock));
+    auto it = std::lower_bound(ring.begin(), ring.end(),
+                               std::make_pair(h, int64_t{0}));
+    if (it == ring.end()) it = ring.begin();  // wrap around the ring
+    const int64_t s = it->second;
+    owner_[static_cast<size_t>(stock)] = s;
+    owned_index_[static_cast<size_t>(stock)] =
+        static_cast<int64_t>(shards_[static_cast<size_t>(s)]->owned.size());
+    shards_[static_cast<size_t>(s)]->owned.push_back(stock);
+  }
+}
+
+ShardRouter::~ShardRouter() { Stop(); }
+
+Status ShardRouter::Start() {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  if (running_) return Status::OK();
+  running_ = true;
+  draining_ = false;
+  admission_.Reopen();
+  for (auto& shard : shards_) {
+    {
+      std::lock_guard<std::mutex> slock(shard->mu);
+      shard->draining = false;
+    }
+    shard->worker = std::thread([this, s = shard.get()] { WorkerLoop(s); });
+  }
+  return Status::OK();
+}
+
+void ShardRouter::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    if (!running_) return;
+    draining_ = true;
+  }
+  admission_.CloseForDrain();
+  for (auto& shard : shards_) {
+    {
+      std::lock_guard<std::mutex> slock(shard->mu);
+      shard->draining = true;
+    }
+    shard->cv.notify_all();
+  }
+  for (auto& shard : shards_) {
+    if (shard->worker.joinable()) shard->worker.join();
+  }
+  std::lock_guard<std::mutex> lock(state_mu_);
+  running_ = false;
+}
+
+int64_t ShardRouter::OwnerShard(int64_t stock) const {
+  RTGCN_CHECK(stock >= 0 && stock < num_stocks_);
+  return owner_[static_cast<size_t>(stock)];
+}
+
+int64_t ShardRouter::QueueDepth() {
+  int64_t depth = 0;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    depth += static_cast<int64_t>(shard->queue.size());
+  }
+  return depth;
+}
+
+HealthState ShardRouter::HealthLocked(bool draining) {
+  HealthState state;
+  if (draining) {
+    state = HealthState::kDraining;
+  } else if (registry_->Current() == nullptr) {
+    state = HealthState::kDegraded;
+  } else if (options_.degraded_failure_threshold > 0 &&
+             registry_->consecutive_reload_failures() >=
+                 options_.degraded_failure_threshold) {
+    state = HealthState::kDegraded;
+  } else {
+    state = HealthState::kServing;
+  }
+  std::lock_guard<std::mutex> lock(health_mu_);
+  const uint64_t now_us = obs::NowMicros();
+  if (last_health_us_ != 0 && was_degraded_) {
+    degraded_secs_ +=
+        static_cast<double>(obs::ElapsedMicrosSince(last_health_us_)) * 1e-6;
+  }
+  last_health_us_ = now_us;
+  was_degraded_ = (state == HealthState::kDegraded);
+  if (metrics_) metrics_->degraded_seconds.Set(degraded_secs_);
+  return state;
+}
+
+HealthState ShardRouter::Health() {
+  bool draining;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    draining = !running_ || draining_;
+  }
+  return HealthLocked(draining);
+}
+
+std::string ShardRouter::HealthLine() {
+  bool draining;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    draining = !running_ || draining_;
+  }
+  const HealthState state = HealthLocked(draining);
+  std::ostringstream out;
+  out << HealthStateName(state) << " version=" << registry_->CurrentVersion()
+      << " reload_failures=" << registry_->consecutive_reload_failures()
+      << " queue=" << QueueDepth() << " shards=" << options_.num_shards;
+  return out.str();
+}
+
+int64_t ShardRouter::CurrentVersion() const {
+  return registry_->CurrentVersion();
+}
+
+void ShardRouter::RememberRank(int64_t day, RankReply reply) {
+  std::lock_guard<std::mutex> lock(stale_mu_);
+  auto [it, inserted] = last_by_day_.try_emplace(day);
+  it->second = std::move(reply);
+  if (inserted) {
+    stale_fifo_.push_back(day);
+    while (static_cast<int64_t>(stale_fifo_.size()) >
+           options_.cache_capacity) {
+      last_by_day_.erase(stale_fifo_.front());
+      stale_fifo_.pop_front();
+    }
+  }
+}
+
+bool ShardRouter::LastRankFor(int64_t day, RankReply* out) {
+  std::lock_guard<std::mutex> lock(stale_mu_);
+  auto it = last_by_day_.find(day);
+  if (it == last_by_day_.end()) return false;
+  *out = it->second;
+  out->stale = true;
+  return true;
+}
+
+std::future<Result<ShardRouter::SlicePtr>> ShardRouter::SubmitToShard(
+    Shard* shard, int64_t day,
+    const std::shared_ptr<const ModelSnapshot>& snapshot,
+    std::chrono::steady_clock::time_point deadline) {
+  Pending pending;
+  pending.day = day;
+  pending.snapshot = snapshot;
+  pending.enqueue = std::chrono::steady_clock::now();
+  pending.deadline = deadline;
+  std::future<Result<SlicePtr>> future = pending.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    if (shard->draining) {
+      pending.promise.set_value(
+          Status::Unavailable("draining: server is stopping"));
+      return future;
+    }
+    shard->queue.push_back(std::move(pending));
+  }
+  shard->cv.notify_one();
+  return future;
+}
+
+Result<RankReply> ShardRouter::ScatterGather(
+    int64_t day, const std::shared_ptr<const ModelSnapshot>& snapshot,
+    std::chrono::steady_clock::time_point deadline, bool degraded) {
+  obs::Span span("serve.scatter_gather", "serve");
+  // Scatter: every shard task carries the SAME pinned snapshot, so the
+  // merged reply is one version by construction, reloads notwithstanding.
+  std::vector<std::future<Result<SlicePtr>>> futures;
+  futures.reserve(shards_.size());
+  for (auto& shard : shards_) {
+    futures.push_back(SubmitToShard(shard.get(), day, snapshot, deadline));
+  }
+  // Gather every future before acting on errors — a promise must be
+  // consumed even when a sibling shard already failed.
+  std::vector<Result<SlicePtr>> slices;
+  slices.reserve(futures.size());
+  for (auto& f : futures) slices.push_back(f.get());
+  for (const auto& s : slices) {
+    RTGCN_RETURN_NOT_OK(s.status());
+  }
+  RankReply reply;
+  reply.model_version = snapshot->version();
+  reply.day = day;
+  reply.stale = degraded;
+  reply.scores.assign(static_cast<size_t>(num_stocks_), 0.0f);
+  for (size_t k = 0; k < shards_.size(); ++k) {
+    const Shard& shard = *shards_[k];
+    const SlicePtr& slice = slices[k].ValueOrDie();
+    for (size_t i = 0; i < shard.owned.size(); ++i) {
+      reply.scores[static_cast<size_t>(shard.owned[i])] = slice->scores[i];
+    }
+  }
+  RememberRank(day, reply);
+  return reply;
+}
+
+Result<RankReply> ShardRouter::Rank(int64_t day, RequestOptions request) {
+  obs::Span span("serve.rank", "serve");
+  if (metrics_) metrics_->requests.fetch_add(1, std::memory_order_relaxed);
+  const auto now = std::chrono::steady_clock::now();
+  const auto deadline =
+      request.deadline_ms > 0
+          ? now + std::chrono::milliseconds(request.deadline_ms)
+          : kNoDeadline;
+  const Status admitted = admission_.Admit(deadline);
+  if (!admitted.ok()) {
+    if (metrics_) {
+      (admitted.code() == StatusCode::kDeadlineExceeded ? metrics_->expired
+                                                        : metrics_->shed)
+          .fetch_add(1, std::memory_order_relaxed);
+    }
+    return admitted;
+  }
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    if (!running_ || draining_) {
+      admission_.Release();
+      if (metrics_) metrics_->shed.fetch_add(1, std::memory_order_relaxed);
+      return Status::Unavailable(running_ ? "draining: server is stopping"
+                                          : "draining: server is not running");
+    }
+  }
+  const uint64_t enqueue_us = obs::NowMicros();
+  const std::shared_ptr<const ModelSnapshot> snapshot = registry_->Current();
+  Result<RankReply> result = Status::Internal("unset");
+  if (!snapshot) {
+    RankReply stale;
+    if (LastRankFor(day, &stale)) {
+      result = std::move(stale);
+    } else {
+      result = Status::NotFound("no model version published yet");
+    }
+  } else {
+    const bool degraded = (Health() == HealthState::kDegraded);
+    result = ScatterGather(day, snapshot, deadline, degraded);
+  }
+  admission_.Release();
+  if (metrics_) {
+    if (result.ok()) {
+      metrics_->latency.Record(obs::ElapsedMicrosSince(enqueue_us));
+      metrics_->responses_ok.fetch_add(1, std::memory_order_relaxed);
+      if (result.ValueOrDie().stale) {
+        metrics_->stale_served.fetch_add(1, std::memory_order_relaxed);
+      }
+    } else if (result.status().code() == StatusCode::kDeadlineExceeded) {
+      metrics_->expired.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      metrics_->latency.Record(obs::ElapsedMicrosSince(enqueue_us));
+      metrics_->responses_error.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  return result;
+}
+
+Result<ScoreReply> ShardRouter::Score(int64_t day, int64_t stock,
+                                      RequestOptions request) {
+  obs::Span span("serve.score", "serve");
+  if (stock < 0 || stock >= num_stocks_) {
+    if (metrics_) {
+      metrics_->requests.fetch_add(1, std::memory_order_relaxed);
+      metrics_->responses_error.fetch_add(1, std::memory_order_relaxed);
+    }
+    return Status::InvalidArgument("stock ", stock, " out of range [0, ",
+                                   num_stocks_, ")");
+  }
+  if (metrics_) metrics_->requests.fetch_add(1, std::memory_order_relaxed);
+  const auto now = std::chrono::steady_clock::now();
+  const auto deadline =
+      request.deadline_ms > 0
+          ? now + std::chrono::milliseconds(request.deadline_ms)
+          : kNoDeadline;
+  const Status admitted = admission_.Admit(deadline);
+  if (!admitted.ok()) {
+    if (metrics_) {
+      (admitted.code() == StatusCode::kDeadlineExceeded ? metrics_->expired
+                                                        : metrics_->shed)
+          .fetch_add(1, std::memory_order_relaxed);
+    }
+    return admitted;
+  }
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    if (!running_ || draining_) {
+      admission_.Release();
+      if (metrics_) metrics_->shed.fetch_add(1, std::memory_order_relaxed);
+      return Status::Unavailable(running_ ? "draining: server is stopping"
+                                          : "draining: server is not running");
+    }
+  }
+  const uint64_t enqueue_us = obs::NowMicros();
+  const std::shared_ptr<const ModelSnapshot> snapshot = registry_->Current();
+  Result<ScoreReply> result = Status::Internal("unset");
+  if (!snapshot) {
+    // Degraded fallback: the last merged scores for the day, any version.
+    RankReply stale;
+    if (LastRankFor(day, &stale)) {
+      ScoreReply reply;
+      reply.model_version = stale.model_version;
+      reply.score = stale.scores[static_cast<size_t>(stock)];
+      reply.rank = RankOf(stale.scores, stock);
+      reply.num_stocks = num_stocks_;
+      reply.stale = true;
+      result = reply;
+    } else {
+      result = Status::NotFound("no model version published yet");
+    }
+  } else {
+    const bool degraded = (Health() == HealthState::kDegraded);
+    // Point read: only the owner shard is consulted.
+    Shard* shard =
+        shards_[static_cast<size_t>(owner_[static_cast<size_t>(stock)])]
+            .get();
+    auto slice_result = SubmitToShard(shard, day, snapshot, deadline).get();
+    if (slice_result.ok()) {
+      const SlicePtr& slice = slice_result.ValueOrDie();
+      const size_t idx =
+          static_cast<size_t>(owned_index_[static_cast<size_t>(stock)]);
+      ScoreReply reply;
+      reply.model_version = snapshot->version();
+      reply.score = slice->scores[idx];
+      reply.rank = slice->ranks[idx];
+      reply.num_stocks = num_stocks_;
+      reply.stale = degraded;
+      result = reply;
+    } else {
+      result = slice_result.status();
+    }
+  }
+  admission_.Release();
+  if (metrics_) {
+    if (result.ok()) {
+      metrics_->latency.Record(obs::ElapsedMicrosSince(enqueue_us));
+      metrics_->responses_ok.fetch_add(1, std::memory_order_relaxed);
+      if (result.ValueOrDie().stale) {
+        metrics_->stale_served.fetch_add(1, std::memory_order_relaxed);
+      }
+    } else if (result.status().code() == StatusCode::kDeadlineExceeded) {
+      metrics_->expired.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      metrics_->latency.Record(obs::ElapsedMicrosSince(enqueue_us));
+      metrics_->responses_error.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  return result;
+}
+
+bool ShardRouter::TryRankCached(int64_t day, RankReply* out) {
+  if (!options_.enable_cache) return false;
+  const std::shared_ptr<const ModelSnapshot> snapshot = registry_->Current();
+  if (!snapshot) return false;
+  if (Health() != HealthState::kServing) return false;
+  const uint64_t key = CacheKey(snapshot->version(), day);
+  out->scores.assign(static_cast<size_t>(num_stocks_), 0.0f);
+  // All K owned slices must be cached; one miss sends the request down the
+  // blocking scatter-gather path.
+  for (auto& shard : shards_) {
+    SlicePtr slice;
+    {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      auto it = shard->cache.find(key);
+      if (it == shard->cache.end()) return false;
+      slice = it->second;
+    }
+    for (size_t i = 0; i < shard->owned.size(); ++i) {
+      out->scores[static_cast<size_t>(shard->owned[i])] = slice->scores[i];
+    }
+  }
+  if (metrics_) metrics_->cache_hits.fetch_add(1, std::memory_order_relaxed);
+  out->model_version = snapshot->version();
+  out->day = day;
+  out->stale = false;
+  return true;
+}
+
+bool ShardRouter::TryScoreCached(int64_t day, int64_t stock,
+                                 ScoreReply* out) {
+  if (!options_.enable_cache) return false;
+  if (stock < 0 || stock >= num_stocks_) return false;
+  const std::shared_ptr<const ModelSnapshot> snapshot = registry_->Current();
+  if (!snapshot) return false;
+  if (Health() != HealthState::kServing) return false;
+  Shard* shard =
+      shards_[static_cast<size_t>(owner_[static_cast<size_t>(stock)])].get();
+  SlicePtr slice;
+  {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    auto it = shard->cache.find(CacheKey(snapshot->version(), day));
+    if (it == shard->cache.end()) return false;
+    slice = it->second;
+  }
+  if (metrics_) metrics_->cache_hits.fetch_add(1, std::memory_order_relaxed);
+  const size_t idx =
+      static_cast<size_t>(owned_index_[static_cast<size_t>(stock)]);
+  out->model_version = snapshot->version();
+  out->score = slice->scores[idx];
+  out->rank = slice->ranks[idx];
+  out->num_stocks = num_stocks_;
+  out->stale = false;
+  return true;
+}
+
+void ShardRouter::WorkerLoop(Shard* shard) {
+  std::unique_lock<std::mutex> lock(shard->mu);
+  while (true) {
+    shard->cv.wait(
+        lock, [shard] { return shard->draining || !shard->queue.empty(); });
+    if (shard->draining && shard->queue.empty()) break;
+    // Micro-batch window per shard, with deadline-aware wake (same policy
+    // as the single-process batcher).
+    if (options_.batch_timeout_us > 0 && !shard->draining &&
+        static_cast<int64_t>(shard->queue.size()) < options_.max_batch) {
+      auto wake = shard->queue.front().enqueue +
+                  std::chrono::microseconds(options_.batch_timeout_us);
+      for (const Pending& p : shard->queue) wake = std::min(wake, p.deadline);
+      shard->cv.wait_until(lock, wake, [this, shard] {
+        return shard->draining ||
+               static_cast<int64_t>(shard->queue.size()) >=
+                   options_.max_batch;
+      });
+    }
+    std::vector<Pending> dead;
+    std::vector<Pending> batch;
+    {
+      const auto now = std::chrono::steady_clock::now();
+      for (auto it = shard->queue.begin(); it != shard->queue.end();) {
+        if (it->deadline <= now) {
+          dead.push_back(std::move(*it));
+          it = shard->queue.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      const int64_t take = std::min<int64_t>(
+          options_.max_batch, static_cast<int64_t>(shard->queue.size()));
+      batch.reserve(static_cast<size_t>(take));
+      for (int64_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(shard->queue.front()));
+        shard->queue.pop_front();
+      }
+    }
+    lock.unlock();
+    for (Pending& p : dead) {
+      // The router attributes the expiry to the whole request; the shard
+      // only reports it.
+      p.promise.set_value(
+          Status::DeadlineExceeded("deadline exceeded in shard queue"));
+    }
+    if (!batch.empty()) ExecuteShardBatch(shard, std::move(batch));
+    lock.lock();
+  }
+}
+
+Result<ShardRouter::SlicePtr> ShardRouter::SliceFor(
+    Shard* shard, const std::shared_ptr<const ModelSnapshot>& snap,
+    int64_t day) {
+  const uint64_t key = CacheKey(snap->version(), day);
+  if (options_.enable_cache) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    auto it = shard->cache.find(key);
+    if (it != shard->cache.end()) {
+      if (metrics_) {
+        metrics_->cache_hits.fetch_add(1, std::memory_order_relaxed);
+      }
+      return it->second;
+    }
+  }
+  if (metrics_) {
+    metrics_->cache_misses.fetch_add(1, std::memory_order_relaxed);
+    metrics_->forwards.fetch_add(1, std::memory_order_relaxed);
+  }
+  // Relational model: the full universe must be scored to know any one
+  // stock's score (graph propagation) — compute it all, keep our slice.
+  RTGCN_ASSIGN_OR_RETURN(const std::vector<float> scores,
+                         score_fn_(*snap, day));
+  if (static_cast<int64_t>(scores.size()) != num_stocks_) {
+    return Status::Internal("score fn returned ", scores.size(),
+                            " scores, want ", num_stocks_);
+  }
+  // Global ranks before slicing (canonical order: score desc, id asc).
+  std::vector<int64_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
+    return scores[static_cast<size_t>(a)] > scores[static_cast<size_t>(b)];
+  });
+  std::vector<int64_t> ranks(scores.size());
+  for (int64_t r = 0; r < static_cast<int64_t>(order.size()); ++r) {
+    ranks[static_cast<size_t>(order[static_cast<size_t>(r)])] = r;
+  }
+  auto slice = std::make_shared<Slice>();
+  slice->version = snap->version();
+  slice->scores.reserve(shard->owned.size());
+  slice->ranks.reserve(shard->owned.size());
+  for (int64_t stock : shard->owned) {
+    slice->scores.push_back(scores[static_cast<size_t>(stock)]);
+    slice->ranks.push_back(ranks[static_cast<size_t>(stock)]);
+  }
+  if (options_.enable_cache) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    if (shard->cache.emplace(key, slice).second) {
+      shard->fifo.push_back(key);
+      while (static_cast<int64_t>(shard->fifo.size()) >
+             options_.cache_capacity) {
+        shard->cache.erase(shard->fifo.front());
+        shard->fifo.pop_front();
+      }
+    }
+  }
+  return SlicePtr(std::move(slice));
+}
+
+void ShardRouter::ExecuteShardBatch(Shard* shard,
+                                    std::vector<Pending> batch) {
+  obs::Span span("serve.shard_batch", "serve");
+  if (metrics_) {
+    metrics_->batches.fetch_add(1, std::memory_order_relaxed);
+    metrics_->batch_size.Record(static_cast<int64_t>(batch.size()));
+  }
+  // Coalesce within the batch: one slice computation per distinct
+  // (version, day), even with the cross-batch cache cold.
+  std::unordered_map<uint64_t, Result<SlicePtr>> by_key;
+  for (Pending& p : batch) {
+    const uint64_t key = CacheKey(p.snapshot->version(), p.day);
+    auto it = by_key.find(key);
+    if (it == by_key.end()) {
+      it = by_key.emplace(key, SliceFor(shard, p.snapshot, p.day)).first;
+    }
+    p.promise.set_value(it->second);
+  }
+}
+
+}  // namespace rtgcn::serve

@@ -1,0 +1,200 @@
+// Sharded scatter-gather serving over K in-process worker shards
+// (DESIGN.md §15).
+//
+// The stock universe is partitioned across shards by consistent hashing
+// (a ring of virtual nodes, so ownership barely moves when the shard
+// count changes). Each shard runs its own micro-batcher thread and a
+// per-(version, day) cache of its *owned slice* of the day's scores.
+//
+// RT-GCN scores are relational — a stock's score depends on the whole
+// universe through graph propagation — so a shard cannot score only its
+// own stocks: on a cache miss it runs the full forward pass and keeps
+// just the owned slice (scores + global ranks, computed before slicing).
+// Sharding therefore parallelizes the serving plane (batching, caching,
+// admission, reply assembly), not the forward itself; the payoff is that
+// after each shard has filled its (version, day) slice, the hot path
+// reassembles replies from K caches without any forward at all.
+//
+// Bit-identity: every reply path ranks by score descending with ties
+// broken by stock id ascending — exactly the single-process
+// InferenceServer's order — and the merge scatters each shard's owned
+// scores back into one [N] vector, so a sharded RANK is byte-identical
+// to the oracle at any shard count.
+//
+// Hot-reload atomicity: the router pins ONE registry snapshot per request
+// and hands that pointer to every shard task it scatters. Shards never
+// consult the registry, so all fragments of one reply are scored by one
+// version no matter how a reload races the fan-out.
+#ifndef RTGCN_SERVE_SHARD_ROUTER_H_
+#define RTGCN_SERVE_SHARD_ROUTER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "market/dataset.h"
+#include "serve/admission.h"
+#include "serve/metrics.h"
+#include "serve/protocol.h"
+#include "serve/registry.h"
+
+namespace rtgcn::serve {
+
+/// \brief Backend that scatter-gathers across K in-process shards.
+class ShardRouter : public Backend {
+ public:
+  struct Options {
+    int64_t num_shards = 2;
+    /// Virtual nodes per shard on the consistent-hash ring.
+    int64_t virtual_nodes = 64;
+
+    // Per-shard micro-batching (same semantics as InferenceServer).
+    int64_t max_batch = 32;
+    int64_t batch_timeout_us = 200;
+    bool enable_cache = true;      ///< per-shard (version, day) slice cache
+    int64_t cache_capacity = 256;  ///< per-shard (version, day) slices
+
+    // Router-level overload safety.
+    int64_t max_queue = 1024;
+    AdmissionPolicy admission = AdmissionPolicy::kRejectFast;
+    int64_t admission_timeout_ms = 50;
+    int64_t degraded_failure_threshold = 3;
+  };
+
+  /// Full forward pass: all-stock scores for `day` under `snapshot`.
+  /// Must be deterministic in (snapshot, day) — bit-identity across
+  /// shards depends on it.
+  using ScoreFn = std::function<Result<std::vector<float>>(
+      const ModelSnapshot& snapshot, int64_t day)>;
+
+  /// ScoreFn over a WindowDataset — the batch-serving forward, identical
+  /// to InferenceServer's (same day validation, same Score call).
+  static ScoreFn DatasetScoreFn(const market::WindowDataset* data);
+
+  /// `registry` and `metrics` (nullable) must outlive the router;
+  /// `num_stocks` fixes the ownership partition.
+  ShardRouter(ScoreFn score_fn, int64_t num_stocks, ModelRegistry* registry,
+              Options options, Metrics* metrics);
+  ~ShardRouter() override;
+
+  ShardRouter(const ShardRouter&) = delete;
+  ShardRouter& operator=(const ShardRouter&) = delete;
+
+  /// Starts the shard worker threads. Idempotent.
+  Status Start();
+
+  /// Drains: queued shard work completes, later requests get DRAINING.
+  void Stop();
+
+  // Backend interface.
+  Result<RankReply> Rank(int64_t day, RequestOptions request) override;
+  Result<ScoreReply> Score(int64_t day, int64_t stock,
+                           RequestOptions request) override;
+  bool TryRankCached(int64_t day, RankReply* out) override;
+  bool TryScoreCached(int64_t day, int64_t stock, ScoreReply* out) override;
+  HealthState Health() override;
+  std::string HealthLine() override;
+  int64_t CurrentVersion() const override;
+  int64_t num_shards() const override { return options_.num_shards; }
+
+  /// Owning shard of `stock` on the consistent-hash ring (for tests).
+  int64_t OwnerShard(int64_t stock) const;
+
+  int64_t num_stocks() const { return num_stocks_; }
+
+ private:
+  /// One shard's slice of a (version, day) forward: its owned stocks'
+  /// scores and their *global* ranks, both aligned with Shard::owned.
+  struct Slice {
+    int64_t version = -1;
+    std::vector<float> scores;
+    std::vector<int64_t> ranks;
+  };
+  using SlicePtr = std::shared_ptr<const Slice>;
+
+  struct Pending {
+    int64_t day = 0;
+    std::shared_ptr<const ModelSnapshot> snapshot;  ///< pinned by the router
+    std::chrono::steady_clock::time_point enqueue;
+    std::chrono::steady_clock::time_point deadline;  ///< max() when none
+    std::promise<Result<SlicePtr>> promise;
+  };
+
+  struct Shard {
+    std::vector<int64_t> owned;  ///< owned stock ids, ascending
+
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Pending> queue;
+    bool draining = false;
+    std::thread worker;
+
+    // (version, day) -> owned slice; FIFO-evicted. `mu` also guards this.
+    std::unordered_map<uint64_t, SlicePtr> cache;
+    std::deque<uint64_t> fifo;
+  };
+
+  void WorkerLoop(Shard* shard);
+  void ExecuteShardBatch(Shard* shard, std::vector<Pending> batch);
+  /// Builds (or fetches) the shard's slice for (snapshot, day).
+  Result<SlicePtr> SliceFor(Shard* shard,
+                            const std::shared_ptr<const ModelSnapshot>& snap,
+                            int64_t day);
+  /// Scatters `day` to every shard under one pinned snapshot and merges
+  /// the slices into a full score vector.
+  Result<RankReply> ScatterGather(
+      int64_t day, const std::shared_ptr<const ModelSnapshot>& snapshot,
+      std::chrono::steady_clock::time_point deadline, bool degraded);
+  std::future<Result<SlicePtr>> SubmitToShard(
+      Shard* shard, int64_t day,
+      const std::shared_ptr<const ModelSnapshot>& snapshot,
+      std::chrono::steady_clock::time_point deadline);
+  /// Admission + degraded/stale bookkeeping shared by Rank and Score;
+  /// returns the pinned snapshot (null when degraded with no model).
+  HealthState HealthLocked(bool draining);
+  void RememberRank(int64_t day, RankReply reply);
+  bool LastRankFor(int64_t day, RankReply* out);
+  int64_t QueueDepth();
+
+  ScoreFn score_fn_;
+  int64_t num_stocks_;
+  ModelRegistry* registry_;
+  Options options_;
+  Metrics* metrics_;
+
+  AdmissionController admission_;
+
+  std::vector<int64_t> owner_;        ///< stock -> shard, from the hash ring
+  std::vector<int64_t> owned_index_;  ///< stock -> index in its shard's owned
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  std::mutex state_mu_;
+  bool running_ = false;
+  bool draining_ = false;
+
+  // day -> last merged reply (any version): the DEGRADED fallback when no
+  // snapshot is published. FIFO-bounded like the shard caches.
+  std::mutex stale_mu_;
+  std::unordered_map<int64_t, RankReply> last_by_day_;
+  std::deque<int64_t> stale_fifo_;
+
+  // Degraded-seconds accounting (same scheme as InferenceServer).
+  std::mutex health_mu_;
+  uint64_t last_health_us_ = 0;
+  bool was_degraded_ = false;
+  double degraded_secs_ = 0;
+};
+
+}  // namespace rtgcn::serve
+
+#endif  // RTGCN_SERVE_SHARD_ROUTER_H_

@@ -9,61 +9,16 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
-#include <cstdio>
-#include <cstdlib>
 #include <cstring>
-#include <sstream>
 #include <utility>
 #include <vector>
 
 #include "common/logging.h"
-#include "common/strings.h"
-#include "obs/registry.h"
 #include "obs/trace.h"
 
 namespace rtgcn::serve {
 
 namespace {
-
-std::string FormatScore(float score) {
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%.9g", static_cast<double>(score));
-  return buf;
-}
-
-bool ParseInt(const std::string& s, int64_t* out) {
-  if (s.empty()) return false;
-  errno = 0;
-  char* end = nullptr;
-  const long long v = std::strtoll(s.c_str(), &end, 10);
-  if (errno != 0 || end == nullptr || *end != '\0') return false;
-  *out = v;
-  return true;
-}
-
-// Parses an optional trailing "DEADLINE <ms>" (ms > 0) starting at
-// parts[at]; true when absent or well-formed.
-bool ParseDeadline(const std::vector<std::string>& parts, size_t at,
-                   int64_t* deadline_ms) {
-  *deadline_ms = 0;
-  if (parts.size() == at) return true;
-  if (parts.size() != at + 2 || parts[at] != "DEADLINE") return false;
-  return ParseInt(parts[at + 1], deadline_ms) && *deadline_ms > 0;
-}
-
-// Overload-safety wire mapping: shed/draining/deadline outcomes get their
-// own first tokens so clients can branch without parsing prose.
-std::string ErrorReply(const Status& status) {
-  switch (status.code()) {
-    case StatusCode::kUnavailable:
-      if (StartsWith(status.message(), "draining")) return "DRAINING";
-      return "BUSY " + status.message();
-    case StatusCode::kDeadlineExceeded:
-      return "ERR deadline exceeded: " + status.message();
-    default:
-      return "ERR " + status.ToString();
-  }
-}
 
 // Transient accept() failures that must not kill the listener: fd
 // exhaustion (ours or system-wide), a client aborting the handshake, or
@@ -77,7 +32,7 @@ bool AcceptErrnoIsTransient(int err) {
 
 }  // namespace
 
-SocketServer::SocketServer(InferenceServer* server, Metrics* metrics,
+SocketServer::SocketServer(Backend* server, Metrics* metrics,
                            Options options)
     : server_(server),
       metrics_(metrics),
@@ -301,11 +256,12 @@ void SocketServer::HandleConnection(int64_t id, int fd) {
       std::string line = buffer.substr(0, pos);
       buffer.erase(0, pos + 1);
       if (!line.empty() && line.back() == '\r') line.pop_back();
-      if (line == "QUIT") {
+      const std::string reply = HandleLine(line);
+      if (reply.empty()) {  // QUIT (either framing): close the connection
         open = false;
         break;
       }
-      if (!WriteReply(fd, HandleLine(line))) open = false;
+      if (!WriteReply(fd, reply)) open = false;
     }
     // Bounded read buffer: a line that exceeds the cap without a
     // terminator would otherwise grow `buffer` without limit. Reject it
@@ -336,68 +292,7 @@ void SocketServer::FinishConnection(int64_t id, int fd) {
 }
 
 std::string SocketServer::HandleLine(const std::string& line) {
-  obs::Span span("serve.handle_line", "serve");
-  std::vector<std::string> parts;
-  for (const std::string& p : Split(line, ' ')) {
-    if (!p.empty()) parts.push_back(p);
-  }
-  if (parts.empty()) return "ERR empty command";
-  const std::string& cmd = parts[0];
-  if (cmd == "PING") return "PONG";
-  if (cmd == "HEALTH") return "OK " + server_->HealthLine();
-  if (cmd == "STATS") {
-    // Serving metrics first (stable field set), then whatever the rest of
-    // the process published to the global registry (training, checkpoint
-    // and pool metrics) — both render through obs::Registry.
-    std::string text = metrics_ ? metrics_->DumpText() : "";
-    text += obs::Registry::Global().DumpText();
-    return text + "END";
-  }
-  if (cmd == "SCORE") {
-    int64_t day = 0, stock = 0, deadline_ms = 0;
-    if (parts.size() < 3 || !ParseInt(parts[1], &day) ||
-        !ParseInt(parts[2], &stock) ||
-        !ParseDeadline(parts, 3, &deadline_ms)) {
-      return "ERR usage: SCORE <day> <stock> [DEADLINE <ms>]";
-    }
-    auto reply = server_->Score(day, stock, {deadline_ms});
-    if (!reply.ok()) return ErrorReply(reply.status());
-    const auto& r = reply.ValueOrDie();
-    std::ostringstream out;
-    out << "OK " << r.model_version << ' ' << FormatScore(r.score) << ' '
-        << r.rank << ' ' << r.num_stocks;
-    if (r.stale) out << " STALE";
-    return out.str();
-  }
-  if (cmd == "RANK") {
-    int64_t day = 0, k = 0, deadline_ms = 0;
-    if (parts.size() < 3 || !ParseInt(parts[1], &day) ||
-        !ParseInt(parts[2], &k) || !ParseDeadline(parts, 3, &deadline_ms)) {
-      return "ERR usage: RANK <day> <k> [DEADLINE <ms>]";
-    }
-    auto reply = server_->Rank(day, {deadline_ms});
-    if (!reply.ok()) return ErrorReply(reply.status());
-    const auto& r = reply.ValueOrDie();
-    const int64_t n = static_cast<int64_t>(r.scores.size());
-    k = std::max<int64_t>(0, std::min(k, n));
-    // Top-k by score, ties broken by stock id (matches the server's ranks).
-    std::vector<int64_t> order(static_cast<size_t>(n));
-    for (int64_t i = 0; i < n; ++i) order[static_cast<size_t>(i)] = i;
-    std::stable_sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
-      return r.scores[static_cast<size_t>(a)] >
-             r.scores[static_cast<size_t>(b)];
-    });
-    std::ostringstream out;
-    out << "OK " << r.model_version << ' ' << k;
-    for (int64_t i = 0; i < k; ++i) {
-      const int64_t stock = order[static_cast<size_t>(i)];
-      out << ' ' << stock << ':'
-          << FormatScore(r.scores[static_cast<size_t>(stock)]);
-    }
-    if (r.stale) out << " STALE";
-    return out.str();
-  }
-  return "ERR unknown command: " + cmd;
+  return ExecuteLine(server_, metrics_, line);
 }
 
 }  // namespace rtgcn::serve

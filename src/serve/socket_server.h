@@ -1,21 +1,9 @@
-// POSIX-socket line-protocol front-end for the inference server.
+// POSIX-socket line-protocol front-end for a serve::Backend.
 //
 // One accept thread plus one thread per connection; each connection is a
-// newline-delimited request/response stream (see DESIGN.md §9/§13 for the
-// wire grammar):
-//
-//   PING                             -> PONG
-//   SCORE <day> <stock> [DEADLINE <ms>]
-//                                    -> OK <version> <score> <rank> <n> [STALE]
-//   RANK <day> <k> [DEADLINE <ms>]   -> OK <version> <k> <stock>:<score> ...
-//                                       [STALE]
-//   HEALTH                           -> OK SERVING|DEGRADED|DRAINING ...
-//   STATS                            -> metrics text ..., terminated by END
-//   QUIT                             -> closes the connection
-//   deadline expired in queue        -> ERR deadline exceeded ...
-//   admission shed (queue full)      -> BUSY <detail>
-//   server draining / stopped        -> DRAINING
-//   anything else / failure          -> ERR <message>
+// newline-delimited request/response stream. The wire grammar (v1 and v2)
+// lives in serve/protocol.h — this class only owns sockets and threads;
+// parsing and dispatch are ExecuteLine.
 //
 // Overload safety: at most max_connections concurrent connections (excess
 // accepts answer "BUSY too many connections" and close), request lines are
@@ -43,12 +31,13 @@
 #include "serve/admission.h"
 #include "serve/chaos.h"
 #include "serve/metrics.h"
-#include "serve/server.h"
+#include "serve/protocol.h"
 
 namespace rtgcn::serve {
 
-/// \brief TCP listener translating the line protocol into InferenceServer
-/// calls. `server` (and its metrics) must outlive the SocketServer.
+/// \brief TCP listener translating the line protocol into Backend calls
+/// (single-process InferenceServer or sharded ShardRouter alike).
+/// `server` (and its metrics) must outlive the SocketServer.
 class SocketServer {
  public:
   struct Options {
@@ -59,7 +48,7 @@ class SocketServer {
     int64_t send_timeout_ms = 5000;  ///< per-write bound against slow readers
   };
 
-  SocketServer(InferenceServer* server, Metrics* metrics, Options options);
+  SocketServer(Backend* server, Metrics* metrics, Options options);
   ~SocketServer();
 
   SocketServer(const SocketServer&) = delete;
@@ -83,8 +72,8 @@ class SocketServer {
   void SetChaos(ChaosInjector* chaos) { chaos_ = chaos; }
 
   /// Executes one protocol line and returns the reply (without trailing
-  /// newline; STATS replies are multi-line). Exposed for tests and shared
-  /// with the connection handlers.
+  /// newline; STATS replies are multi-line; empty for QUIT). Thin wrapper
+  /// over serve::ExecuteLine, kept for tests and the connection handlers.
   std::string HandleLine(const std::string& line);
 
  private:
@@ -105,7 +94,7 @@ class SocketServer {
   /// installed; false when the connection must be dropped.
   bool WriteReply(int fd, const std::string& reply);
 
-  InferenceServer* server_;
+  Backend* server_;
   Metrics* metrics_;
   Options options_;
   ChaosInjector* chaos_ = nullptr;

@@ -1,6 +1,7 @@
 #include "stream/pipeline.h"
 
 #include <algorithm>
+#include <limits>
 #include <utility>
 
 #include "baselines/rtgcn_predictor.h"
@@ -213,6 +214,50 @@ Result<StreamRankReply> RollingPipeline::Rank() {
   RTGCN_CHECK_EQ(scores.numel(), static_cast<int64_t>(reply.slots.size()));
   reply.scores.assign(scores.data(), scores.data() + scores.numel());
   return reply;
+}
+
+Result<std::vector<float>> RollingPipeline::ScoreForServe(
+    const serve::ModelSnapshot& snap, int64_t day) {
+  std::vector<int64_t> slots;
+  Tensor features;
+  int64_t n = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = versions_.find(snap.version());
+    if (it == versions_.end()) {
+      return Status::Internal("no training universe recorded for version ",
+                              snap.version());
+    }
+    if (!window_.ready()) {
+      return Status::Unavailable("feature window not warm yet");
+    }
+    if (window_.day() != day) {
+      // The window keeps no per-day history; refusing beats serving a
+      // different day's features under this day's cache key.
+      return Status::Unavailable("stream window is at day ", window_.day(),
+                                 ", cannot serve day ", day);
+    }
+    slots = it->second.slots;
+    features = window_.FeaturesForSlots(slots);
+    n = window_.num_slots();
+  }
+  // Score outside the lock on a private feature copy (same discipline as
+  // Rank()); the snapshot outlives the call — the router pinned it.
+  const Tensor scores = snap.Score(features);
+  RTGCN_CHECK_EQ(scores.numel(), static_cast<int64_t>(slots.size()));
+  std::vector<float> full(static_cast<size_t>(n),
+                          std::numeric_limits<float>::lowest());
+  const float* sp = scores.data();
+  for (size_t i = 0; i < slots.size(); ++i) {
+    full[static_cast<size_t>(slots[i])] = sp[i];
+  }
+  return full;
+}
+
+serve::ShardRouter::ScoreFn RollingPipeline::ServeScoreFn() {
+  return [this](const serve::ModelSnapshot& snap, int64_t day) {
+    return ScoreForServe(snap, day);
+  };
 }
 
 serve::HealthState RollingPipeline::Health() const {

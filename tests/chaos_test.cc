@@ -35,6 +35,7 @@
 #include "serve/admission.h"
 #include "serve/chaos.h"
 #include "serve/client.h"
+#include "serve/config.h"
 #include "serve/metrics.h"
 #include "serve/registry.h"
 #include "serve/server.h"
@@ -501,9 +502,13 @@ TEST(ChaosScenarioTest, ServerSurvivesChaosAndAccountsForEveryRequest) {
                          &metrics);
   ASSERT_TRUE(registry.Start().ok());
 
-  InferenceServer::Options sopts;
-  sopts.max_queue = 64;
-  InferenceServer server(&data, &registry, sopts, &metrics);
+  // One ServerConfig drives both layers, exactly as serve_server and
+  // bench_serve wire it.
+  ServerConfig cfg;
+  cfg.max_queue = 64;
+  cfg.max_line_bytes = 4096;
+  ASSERT_TRUE(cfg.Validate().ok());
+  InferenceServer server(&data, &registry, cfg.server_options(), &metrics);
   ASSERT_TRUE(server.Start().ok());
 
   ChaosInjector::Options copts;
@@ -515,9 +520,7 @@ TEST(ChaosScenarioTest, ServerSurvivesChaosAndAccountsForEveryRequest) {
   copts.delay_ms_max = 5;
   ChaosInjector chaos(copts);
 
-  SocketServer::Options fopts{/*port=*/0};
-  fopts.max_line_bytes = 4096;
-  SocketServer front(&server, &metrics, fopts);
+  SocketServer front(&server, &metrics, cfg.socket_options());
   front.SetChaos(&chaos);
   ASSERT_TRUE(front.Start().ok());
 

@@ -1,0 +1,644 @@
+// Tests for the sharded scatter-gather serving plane (DESIGN.md §15):
+//
+//  * the consistent-hash ring partitions the universe completely and
+//    deterministically;
+//  * sharded RANK/SCORE replies are bit-identical to the single-process
+//    InferenceServer oracle at every shard count, K ∈ {1, 2, 4};
+//  * bit-identity holds while checkpoints are promoted concurrently with
+//    the scatter fan-out — every reply matches exactly one published
+//    version's oracle scores, never a mix;
+//  * protocol v1/v2 cross-compat matrix over both front ends (threaded
+//    SocketServer, epoll AsyncServer): same payload bytes in every cell,
+//    PROTO negotiation reports shard count and model version;
+//  * the epoll front end survives the chaos + protocol-abuse suite over a
+//    sharded backend with the accounting invariant intact;
+//  * serve::ServerConfig flag registration/validation round-trips.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "autograd/ops.h"
+#include "common/file_util.h"
+#include "common/flags.h"
+#include "harness/checkpoint.h"
+#include "harness/gradient_predictor.h"
+#include "market/dataset.h"
+#include "nn/linear.h"
+#include "serve/async_server.h"
+#include "serve/chaos.h"
+#include "serve/client.h"
+#include "serve/config.h"
+#include "serve/metrics.h"
+#include "serve/registry.h"
+#include "serve/server.h"
+#include "serve/shard_router.h"
+#include "serve/snapshot.h"
+#include "serve/socket_server.h"
+
+namespace rtgcn::serve {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Fixture: the tiny linear ranker serve_test.cc and chaos_test.cc use.
+// ---------------------------------------------------------------------------
+
+class LinearRanker : public harness::GradientPredictor {
+ public:
+  explicit LinearRanker(int64_t num_features, uint64_t seed = 1)
+      : rng_(seed), linear_(num_features, 1, &rng_) {}
+
+  std::string name() const override { return "LinearRanker"; }
+
+ protected:
+  nn::Module* module() override { return &linear_; }
+  ag::VarPtr Forward(const Tensor& features, Rng*) override {
+    const int64_t t_len = features.dim(0);
+    const int64_t n = features.dim(1);
+    const int64_t d = features.dim(2);
+    auto x = ag::Constant(features);
+    auto last = ag::Reshape(ag::SliceOp(x, 0, t_len - 1, t_len), {n, d});
+    return ag::Reshape(linear_.Forward(last), {n});
+  }
+  float alpha() const override { return 0.0f; }
+
+ private:
+  Rng rng_;
+  nn::Linear linear_;
+};
+
+market::WindowDataset MakePanel(int64_t days = 90, int64_t n = 10) {
+  Rng rng(17);
+  Tensor prices({days, n});
+  for (int64_t i = 0; i < n; ++i) prices.at({0, i}) = 50.0f + 2.0f * i;
+  for (int64_t t = 1; t < days; ++t) {
+    for (int64_t i = 0; i < n; ++i) {
+      const float drift = 0.002f * static_cast<float>((i % 5) - 2);
+      const float noise = static_cast<float>(rng.Gaussian(0, 0.001));
+      prices.at({t, i}) = prices.at({t - 1, i}) * (1.0f + drift + noise);
+    }
+  }
+  return market::WindowDataset(prices, /*window=*/5, /*num_features=*/2);
+}
+
+ServableFactory MakeFactory() {
+  return [] { return WrapPredictor(std::make_unique<LinearRanker>(2)); };
+}
+
+void TrainAndExport(const market::WindowDataset& data, const std::string& dir,
+                    int64_t epoch, uint64_t seed) {
+  LinearRanker model(2, seed);
+  harness::TrainOptions opts;
+  opts.epochs = 1;
+  opts.learning_rate = 1e-2f;
+  opts.seed = seed;
+  model.Fit(data, data.Days(data.first_day(), 60), opts);
+  harness::CheckpointManager manager({dir, 1, 0});
+  ASSERT_TRUE(manager.Init().ok());
+  ASSERT_TRUE(model.ExportSnapshot(manager.CheckpointPath(epoch)).ok());
+}
+
+std::string TestDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "shard_" + name + "_" +
+                          std::to_string(::getpid());
+  auto entries = ListDirectory(dir);
+  if (entries.ok()) {
+    for (const std::string& e : entries.ValueOrDie()) {
+      std::remove((dir + "/" + e).c_str());
+    }
+  }
+  ::rmdir(dir.c_str());
+  return dir;
+}
+
+int64_t AccountedRequests(const Metrics& m) {
+  return m.responses_ok.load(std::memory_order_relaxed) +
+         m.responses_error.load(std::memory_order_relaxed) +
+         m.expired.load(std::memory_order_relaxed) +
+         m.shed.load(std::memory_order_relaxed);
+}
+
+/// Oracle scores straight off one snapshot — the reference every sharded
+/// reply must reproduce bit-for-bit.
+std::vector<float> OracleScores(const ModelSnapshot& snapshot,
+                                const market::WindowDataset& data,
+                                int64_t day) {
+  const Tensor scores = snapshot.Score(data.Features(day));
+  return std::vector<float>(scores.data(), scores.data() + scores.numel());
+}
+
+// ---------------------------------------------------------------------------
+// Consistent-hash partition.
+// ---------------------------------------------------------------------------
+
+TEST(ShardRouterTest, RingPartitionsEveryStockDeterministically) {
+  market::WindowDataset data = MakePanel();
+  const std::string dir = TestDir("ring");
+  TrainAndExport(data, dir, /*epoch=*/1, /*seed=*/61);
+  Metrics metrics;
+  ModelRegistry registry({dir, 0}, MakeFactory(), &metrics);
+  ASSERT_TRUE(registry.Start().ok());
+
+  for (int64_t k : {1, 2, 4}) {
+    ShardRouter::Options opts;
+    opts.num_shards = k;
+    ShardRouter a(ShardRouter::DatasetScoreFn(&data), data.num_stocks(),
+                  &registry, opts, nullptr);
+    ShardRouter b(ShardRouter::DatasetScoreFn(&data), data.num_stocks(),
+                  &registry, opts, nullptr);
+    for (int64_t s = 0; s < data.num_stocks(); ++s) {
+      const int64_t owner = a.OwnerShard(s);
+      EXPECT_GE(owner, 0);
+      EXPECT_LT(owner, k);
+      // Same ring parameters -> same partition, run to run.
+      EXPECT_EQ(owner, b.OwnerShard(s));
+    }
+    if (k == 1) {
+      for (int64_t s = 0; s < data.num_stocks(); ++s) {
+        EXPECT_EQ(a.OwnerShard(s), 0);
+      }
+    }
+  }
+  registry.Stop();
+}
+
+// ---------------------------------------------------------------------------
+// Bit-equality vs the single-process oracle.
+// ---------------------------------------------------------------------------
+
+TEST(ShardRouterTest, RankAndScoreBitIdenticalToOracleAtEveryShardCount) {
+  market::WindowDataset data = MakePanel();
+  const std::string dir = TestDir("oracle");
+  TrainAndExport(data, dir, /*epoch=*/1, /*seed=*/61);
+  Metrics metrics;
+  ModelRegistry registry({dir, 0}, MakeFactory(), &metrics);
+  ASSERT_TRUE(registry.Start().ok());
+
+  InferenceServer oracle(&data, &registry, {}, &metrics);
+  ASSERT_TRUE(oracle.Start().ok());
+
+  const std::vector<int64_t> days = {data.first_day(), data.first_day() + 7,
+                                     data.last_day()};
+  for (int64_t k : {1, 2, 4}) {
+    ShardRouter::Options opts;
+    opts.num_shards = k;
+    ShardRouter router(ShardRouter::DatasetScoreFn(&data), data.num_stocks(),
+                       &registry, opts, nullptr);
+    ASSERT_TRUE(router.Start().ok());
+
+    for (int64_t day : days) {
+      auto want = oracle.Rank(day, {});
+      auto got = router.Rank(day, {});
+      ASSERT_TRUE(want.ok()) << want.status().ToString();
+      ASSERT_TRUE(got.ok()) << got.status().ToString();
+      EXPECT_EQ(want.ValueOrDie().model_version,
+                got.ValueOrDie().model_version);
+      EXPECT_EQ(want.ValueOrDie().scores, got.ValueOrDie().scores)
+          << "K=" << k << " day=" << day;
+
+      for (int64_t s = 0; s < data.num_stocks(); ++s) {
+        auto ws = oracle.Score(day, s, {});
+        auto gs = router.Score(day, s, {});
+        ASSERT_TRUE(ws.ok()) << ws.status().ToString();
+        ASSERT_TRUE(gs.ok()) << gs.status().ToString();
+        EXPECT_EQ(ws.ValueOrDie().score, gs.ValueOrDie().score);
+        EXPECT_EQ(ws.ValueOrDie().rank, gs.ValueOrDie().rank);
+        EXPECT_EQ(ws.ValueOrDie().num_stocks, gs.ValueOrDie().num_stocks);
+      }
+
+      // Second pass is served from the K per-shard slice caches; it must
+      // not perturb a single bit.
+      auto cached = router.Rank(day, {});
+      ASSERT_TRUE(cached.ok());
+      EXPECT_EQ(want.ValueOrDie().scores, cached.ValueOrDie().scores);
+      RankReply fast;
+      EXPECT_TRUE(router.TryRankCached(day, &fast));
+      EXPECT_EQ(want.ValueOrDie().scores, fast.scores);
+    }
+    router.Stop();
+  }
+  oracle.Stop();
+  registry.Stop();
+}
+
+TEST(ShardRouterTest, RankStaysBitIdenticalUnderConcurrentHotReload) {
+  market::WindowDataset data = MakePanel();
+  const std::string staging = TestDir("reload_staging");
+  const std::string dir = TestDir("reload_serving");
+
+  // Train four distinct versions into a staging directory and compute the
+  // per-(version, day) oracle straight off each snapshot.
+  constexpr int64_t kVersions = 4;
+  const std::vector<int64_t> days = {MakePanel().first_day(),
+                                     MakePanel().first_day() + 3};
+  std::map<int64_t, std::map<int64_t, std::vector<float>>> expect;
+  harness::CheckpointManager staged({staging, 1, 0});
+  ASSERT_TRUE(staged.Init().ok());
+  for (int64_t v = 1; v <= kVersions; ++v) {
+    TrainAndExport(data, staging, v, /*seed=*/60 + static_cast<uint64_t>(v));
+    auto snap = ModelSnapshot::Load(MakeFactory(), staged.CheckpointPath(v), v);
+    ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+    for (int64_t day : days) {
+      expect[v][day] = OracleScores(*snap.ValueOrDie(), data, day);
+    }
+  }
+
+  // Serve from a separate directory the promoter thread feeds one version
+  // at a time, while clients hammer the sharded plane.
+  auto publish = [&](int64_t v) {
+    harness::CheckpointManager serving({dir, 1, 0});
+    ASSERT_TRUE(serving.Init().ok());
+    std::ifstream in(staged.CheckpointPath(v), std::ios::binary);
+    std::ofstream out(serving.CheckpointPath(v),
+                      std::ios::binary | std::ios::trunc);
+    out << in.rdbuf();
+    ASSERT_TRUE(in.good());
+    ASSERT_TRUE(out.good());
+  };
+  publish(1);
+
+  Metrics metrics;
+  ModelRegistry registry({dir, 0}, MakeFactory(), &metrics);
+  ASSERT_TRUE(registry.Start().ok());
+
+  ShardRouter::Options opts;
+  opts.num_shards = 4;
+  ShardRouter router(ShardRouter::DatasetScoreFn(&data), data.num_stocks(),
+                     &registry, opts, &metrics);
+  ASSERT_TRUE(router.Start().ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> mixed{0}, replies{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 3; ++c) {
+    clients.emplace_back([&, c] {
+      size_t i = static_cast<size_t>(c);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const int64_t day = days[i++ % days.size()];
+        auto reply = router.Rank(day, {});
+        if (!reply.ok()) continue;
+        const RankReply& r = reply.ValueOrDie();
+        auto vit = expect.find(r.model_version);
+        if (vit == expect.end() || vit->second.at(day) != r.scores) {
+          mixed.fetch_add(1, std::memory_order_relaxed);
+        }
+        replies.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  // Promote versions 2..4 while the fan-out is in flight, several polls
+  // apiece so reloads interleave with scatters on every shard.
+  for (int64_t v = 2; v <= kVersions; ++v) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    publish(v);
+    ASSERT_TRUE(registry.PollOnce());
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  }
+  stop.store(true);
+  for (std::thread& t : clients) t.join();
+  router.Stop();
+  registry.Stop();
+
+  EXPECT_GT(replies.load(), 0);
+  EXPECT_EQ(mixed.load(), 0)
+      << "a sharded reply did not match its own version's oracle scores";
+  EXPECT_EQ(metrics.requests.load(std::memory_order_relaxed),
+            AccountedRequests(metrics));
+}
+
+// ---------------------------------------------------------------------------
+// Protocol v1/v2 cross-compat matrix over both front ends.
+// ---------------------------------------------------------------------------
+
+TEST(ShardProtocolTest, V1V2MatrixIdenticalPayloadsOverBothFrontEnds) {
+  market::WindowDataset data = MakePanel();
+  const std::string dir = TestDir("matrix");
+  TrainAndExport(data, dir, /*epoch=*/1, /*seed=*/61);
+  Metrics metrics;
+  ModelRegistry registry({dir, 0}, MakeFactory(), &metrics);
+  ASSERT_TRUE(registry.Start().ok());
+
+  ShardRouter::Options opts;
+  opts.num_shards = 2;
+  ShardRouter router(ShardRouter::DatasetScoreFn(&data), data.num_stocks(),
+                     &registry, opts, &metrics);
+  ASSERT_TRUE(router.Start().ok());
+
+  SocketServer threaded(&router, &metrics, {/*port=*/0});
+  ASSERT_TRUE(threaded.Start().ok());
+  AsyncServer epoll(&router, &metrics, {});
+  ASSERT_TRUE(epoll.Start().ok());
+
+  const int64_t day = data.first_day();
+  std::vector<std::string> score_cells, rank_cells;
+  for (int port : {threaded.port(), epoll.port()}) {
+    for (int proto : {1, 2}) {
+      Client::Options copts;
+      copts.port = port;
+      Client client(copts);
+      if (proto == 2) {
+        auto nego = client.Negotiate(2);
+        ASSERT_TRUE(nego.ok()) << nego.status().ToString();
+        EXPECT_EQ(nego.ValueOrDie().version, 2);
+        EXPECT_EQ(nego.ValueOrDie().shards, 2);
+        EXPECT_EQ(nego.ValueOrDie().current_version, 1);
+        EXPECT_EQ(client.proto(), 2);
+      } else {
+        EXPECT_EQ(client.proto(), 1);
+      }
+
+      auto score = client.Score(day, 3);
+      ASSERT_TRUE(score.ok()) << score.status().ToString();
+      score_cells.push_back(FormatScoreValue(score.ValueOrDie().score) + "/" +
+                            std::to_string(score.ValueOrDie().rank));
+
+      auto rank = client.Rank(day, 5);
+      ASSERT_TRUE(rank.ok()) << rank.status().ToString();
+      std::string cell;
+      for (const RankEntry& e : rank.ValueOrDie().top) {
+        cell += std::to_string(e.stock) + ":" + FormatScoreValue(e.score) +
+                " ";
+      }
+      rank_cells.push_back(cell);
+
+      auto health = client.Health();
+      ASSERT_TRUE(health.ok()) << health.status().ToString();
+      EXPECT_NE(health.ValueOrDie().find("SERVING"), std::string::npos)
+          << health.ValueOrDie();
+
+      if (proto == 2) {
+        // The batched verb only exists under v2 framing.
+        auto batch = client.ScoreBatch(day, {0, 3, 7});
+        ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+        ASSERT_EQ(batch.ValueOrDie().size(), 3u);
+        EXPECT_EQ(FormatScoreValue(batch.ValueOrDie()[1].score),
+                  FormatScoreValue(score.ValueOrDie().score));
+      }
+    }
+  }
+  for (size_t i = 1; i < score_cells.size(); ++i) {
+    EXPECT_EQ(score_cells[0], score_cells[i]) << "matrix cell " << i;
+    EXPECT_EQ(rank_cells[0], rank_cells[i]) << "matrix cell " << i;
+  }
+
+  // Raw wire checks: v1 lines answer with legacy framing, v2 lines echo
+  // the caller's id, and one connection may interleave both.
+  {
+    RawClient raw(epoll.port());
+    ASSERT_TRUE(raw.connected());
+    ASSERT_TRUE(raw.Send("PING\n2 77 PING\nPROTO 2\n2 9 RANK " +
+                         std::to_string(day) + " 3\n"));
+    EXPECT_EQ(raw.ReadLine(), "PONG");
+    EXPECT_EQ(raw.ReadLine(), "2 77 PONG");
+    const std::string ack = raw.ReadLine();
+    EXPECT_EQ(ack.rfind("OK PROTO 2 SHARDS 2 VERSION 1", 0), 0u) << ack;
+    const std::string rank = raw.ReadLine();
+    EXPECT_EQ(rank.rfind("2 9 OK 1 3 ", 0), 0u) << rank;
+  }
+
+  epoll.Stop();
+  threaded.Stop();
+  router.Stop();
+  registry.Stop();
+  EXPECT_EQ(metrics.requests.load(std::memory_order_relaxed),
+            AccountedRequests(metrics));
+}
+
+// ---------------------------------------------------------------------------
+// Chaos + protocol abuse against the epoll front end over shards.
+// ---------------------------------------------------------------------------
+
+TEST(ShardChaosTest, EpollFrontSurvivesChaosAndAccountsForEveryRequest) {
+  market::WindowDataset data = MakePanel();
+  const std::string dir = TestDir("chaos");
+  TrainAndExport(data, dir, /*epoch=*/1, /*seed=*/61);
+
+  Metrics metrics;
+  ModelRegistry registry({dir, /*reload_interval_ms=*/5}, MakeFactory(),
+                         &metrics);
+  ASSERT_TRUE(registry.Start().ok());
+
+  ShardRouter::Options sopts;
+  sopts.num_shards = 2;
+  sopts.max_queue = 64;
+  ShardRouter router(ShardRouter::DatasetScoreFn(&data), data.num_stocks(),
+                     &registry, sopts, &metrics);
+  ASSERT_TRUE(router.Start().ok());
+
+  ChaosInjector::Options copts;
+  copts.seed = 1234;
+  copts.delay_prob = 0.10;
+  copts.drop_prob = 0.05;
+  copts.truncate_prob = 0.05;
+  copts.reset_prob = 0.05;
+  copts.delay_ms_max = 5;
+  ChaosInjector chaos(copts);
+
+  AsyncServer::Options fopts;
+  fopts.max_line_bytes = 4096;
+  fopts.executor_threads = 4;
+  AsyncServer front(&router, &metrics, fopts);
+  front.SetChaos(&chaos);
+  ASSERT_TRUE(front.Start().ok());
+
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 30;
+  std::atomic<int> client_ok{0}, client_err{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      Client::Options copts2;
+      copts2.port = front.port();
+      copts2.recv_timeout_ms = 500;
+      copts2.max_attempts = 5;
+      copts2.backoff_initial_ms = 2;
+      copts2.backoff_max_ms = 20;
+      copts2.seed = 100 + static_cast<uint64_t>(c);
+      Client client(copts2, &metrics);
+      if (c % 2 == 0) (void)client.Negotiate(2);  // half the fleet on v2
+      for (int i = 0; i < kPerClient; ++i) {
+        const int64_t day = data.first_day() + (i % 3);
+        const int64_t deadline = (i % 7 == 0) ? 1000 : 0;
+        bool ok;
+        if (i % 2 == 0) {
+          ok = client.Score(day, i % data.num_stocks(), deadline).ok();
+        } else {
+          ok = client.Rank(day, 3, deadline).ok();
+        }
+        (ok ? client_ok : client_err)++;
+      }
+    });
+  }
+
+  std::thread abuser([&] {
+    for (int i = 0; i < 12; ++i) {
+      RawClient raw(front.port());
+      if (!raw.connected()) continue;
+      switch (i % 6) {
+        case 0:  // binary garbage
+          raw.Send("\x00\x01\xfe garbage\n");
+          raw.ReadLine(200);
+          break;
+        case 1:  // oversized line
+          raw.Send(std::string(8192, 'A') + "\n");
+          raw.ReadLine(200);
+          break;
+        case 2:  // half-open, then vanish
+          raw.Send("PING\n");
+          raw.CloseSend();
+          raw.ReadLine(200);
+          break;
+        case 3:  // request, then RST without reading the reply
+          raw.Send("RANK " + std::to_string(data.first_day()) + " 5\n");
+          raw.Reset();
+          break;
+        case 4:  // v2 framing abuse: bad ids, bad verbs, bad PROTO
+          raw.Send("2 notanid PING\nPROTO 99\n2 1 FLY\n2 2\n");
+          raw.ReadLine(200);
+          break;
+        case 5:  // a flood of pipelined v2 requests, then vanish
+          raw.Send("2 1 RANK " + std::to_string(data.first_day()) +
+                   " 3\n2 2 SCORE " + std::to_string(data.first_day()) +
+                   " 1\n2 3 HEALTH\n");
+          raw.Reset();
+          break;
+      }
+    }
+  });
+
+  // Mid-run reload chaos: a corrupt checkpoint the live poller keeps
+  // tripping over, then a good one that must eventually be promoted.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  {
+    harness::CheckpointManager manager({dir, 1, 0});
+    ASSERT_TRUE(manager.Init().ok());
+    std::ofstream out(manager.CheckpointPath(2), std::ios::binary);
+    out << "this is not a checkpoint";
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  TrainAndExport(data, dir, /*epoch=*/3, /*seed=*/63);
+
+  for (auto& t : threads) t.join();
+  abuser.join();
+
+  // No crash, no hang — the sharded plane still answers cleanly.
+  {
+    Client::Options copts2;
+    copts2.port = front.port();
+    Client probe(copts2);
+    auto health = probe.Health();
+    ASSERT_TRUE(health.ok()) << health.status().ToString();
+    auto sane = probe.Score(data.first_day(), 1);
+    ASSERT_TRUE(sane.ok()) << sane.status().ToString();
+  }
+
+  front.Stop();
+  router.Stop();
+  registry.Stop();
+
+  EXPECT_EQ(metrics.requests.load(std::memory_order_relaxed),
+            AccountedRequests(metrics));
+  EXPECT_GE(metrics.requests.load(std::memory_order_relaxed),
+            kClients * kPerClient);
+  EXPECT_GT(chaos.plans(), 0u);
+  EXPECT_GT(chaos.faults(), 0u);
+  EXPECT_EQ(client_ok.load() + client_err.load(), kClients * kPerClient);
+  EXPECT_GT(client_ok.load(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// ServerConfig: one flag surface for every serving binary.
+// ---------------------------------------------------------------------------
+
+TEST(ServerConfigTest, FlagsRoundTripIntoEveryProjection) {
+  ServerConfig cfg;
+  FlagSet fs("test");
+  cfg.RegisterFlags(&fs);
+  std::vector<std::string> args = {
+      "prog",        "--front",          "threaded", "--shards",
+      "4",           "--max_batch",      "8",        "--cache",
+      "0",           "--max_queue",      "17",       "--admission",
+      "block",       "--port",           "7171",     "--executor_threads",
+      "3",           "--virtual_nodes",  "16",       "--max_attempts",
+      "2",
+  };
+  std::vector<char*> argv;
+  argv.reserve(args.size());
+  for (std::string& a : args) argv.push_back(a.data());
+  ASSERT_TRUE(fs.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+  ASSERT_TRUE(cfg.Validate().ok());
+
+  EXPECT_FALSE(cfg.use_epoll());
+  EXPECT_EQ(cfg.num_shards, 4);
+  EXPECT_EQ(cfg.admission_policy(), AdmissionPolicy::kBlockWithTimeout);
+
+  const InferenceServer::Options so = cfg.server_options();
+  EXPECT_EQ(so.max_batch, 8);
+  EXPECT_FALSE(so.enable_cache);
+  EXPECT_EQ(so.max_queue, 17);
+  EXPECT_EQ(so.admission, AdmissionPolicy::kBlockWithTimeout);
+
+  const ShardRouter::Options ro = cfg.shard_options();
+  EXPECT_EQ(ro.num_shards, 4);
+  EXPECT_EQ(ro.virtual_nodes, 16);
+  EXPECT_FALSE(ro.enable_cache);
+  EXPECT_EQ(ro.max_queue, 17);
+
+  EXPECT_EQ(cfg.socket_options().port, 7171);
+  EXPECT_EQ(cfg.async_options().port, 7171);
+  EXPECT_EQ(cfg.async_options().executor_threads, 3);
+  EXPECT_EQ(cfg.client_options().port, 7171);
+  EXPECT_EQ(cfg.client_options().max_attempts, 2);
+}
+
+TEST(ServerConfigTest, RejectsBadChoicesAndBounds) {
+  {
+    ServerConfig cfg;
+    FlagSet fs("test");
+    cfg.RegisterFlags(&fs);
+    std::vector<std::string> args = {"prog", "--front", "carrier-pigeon"};
+    std::vector<char*> argv;
+    for (std::string& a : args) argv.push_back(a.data());
+    EXPECT_FALSE(fs.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+  }
+  {
+    ServerConfig cfg;
+    cfg.num_shards = 0;
+    EXPECT_FALSE(cfg.Validate().ok());
+  }
+  {
+    ServerConfig cfg;
+    cfg.front = "smoke-signals";
+    EXPECT_FALSE(cfg.Validate().ok());
+  }
+  {
+    ServerConfig cfg;
+    cfg.executor_threads = 0;
+    EXPECT_FALSE(cfg.Validate().ok());
+  }
+}
+
+TEST(ServerConfigTest, PrefixedRegistrationKeepsNamesDisjoint) {
+  ServerConfig a, b;
+  FlagSet fs("test");
+  a.RegisterFlags(&fs);
+  b.RegisterFlags(&fs, "peer_");
+  std::vector<std::string> args = {"prog", "--shards", "2", "--peer_shards",
+                                   "8"};
+  std::vector<char*> argv;
+  for (std::string& s : args) argv.push_back(s.data());
+  ASSERT_TRUE(fs.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+  EXPECT_EQ(a.num_shards, 2);
+  EXPECT_EQ(b.num_shards, 8);
+}
+
+}  // namespace
+}  // namespace rtgcn::serve

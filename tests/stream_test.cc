@@ -19,6 +19,7 @@
 #include <atomic>
 #include <cmath>
 #include <fstream>
+#include <limits>
 #include <map>
 #include <memory>
 #include <string>
@@ -36,6 +37,8 @@
 #include "market/simulator.h"
 #include "market/universe.h"
 #include "rank/metrics.h"
+#include "serve/metrics.h"
+#include "serve/shard_router.h"
 #include "stream/dynamic_graph.h"
 #include "stream/feature_window.h"
 #include "stream/pipeline.h"
@@ -541,6 +544,137 @@ TEST(RollingPipelineTest, StaysServingUnderConcurrentLoad) {
   EXPECT_EQ(failures.load(), 0);
   EXPECT_GT(replies.load(), 0);
   EXPECT_GE(pipeline.retrains(), 2);
+}
+
+// ---------------------------------------------------------------------------
+// Stream → serve: pipeline exports served through the shard router
+// ---------------------------------------------------------------------------
+
+TEST(RollingPipelineTest, ServesThroughShardRouterAcrossChurnAndReloads) {
+  Market m = MakeMarket();
+  StreamConfig scfg = EventfulConfig(m.relations);
+  TickSource source(m.universe, m.relations, scfg);
+  const std::string dir = TestDir("shardserve");
+  RollingPipeline pipeline(SmallPipelineConfig(dir), &source,
+                           m.relations.relations);
+  ASSERT_TRUE(pipeline.Init().ok());
+
+  int day = 0;
+  while (pipeline.retrains() == 0) {
+    ASSERT_TRUE(pipeline.Step().ok());
+    ASSERT_LT(++day, 200);
+  }
+
+  // Two routers over the SAME pipeline: the streaming ScoreFn must serve
+  // bit-identically at any shard count, untrained slots ranked last.
+  serve::Metrics metrics1, metrics3;
+  serve::ShardRouter::Options ropts;
+  ropts.batch_timeout_us = 0;
+  ropts.num_shards = 1;
+  serve::ShardRouter router1(pipeline.ServeScoreFn(), pipeline.num_slots(),
+                             pipeline.registry(), ropts, &metrics1);
+  ropts.num_shards = 3;
+  serve::ShardRouter router3(pipeline.ServeScoreFn(), pipeline.num_slots(),
+                             pipeline.registry(), ropts, &metrics3);
+  ASSERT_TRUE(router1.Start().ok());
+  ASSERT_TRUE(router3.Start().ok());
+
+  {
+    auto stream_reply = pipeline.Rank();
+    ASSERT_TRUE(stream_reply.ok()) << stream_reply.status().ToString();
+    const StreamRankReply& sr = stream_reply.ValueOrDie();
+
+    auto r1 = router1.Rank(sr.day, {});
+    auto r3 = router3.Rank(sr.day, {});
+    ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+    ASSERT_TRUE(r3.ok()) << r3.status().ToString();
+    EXPECT_EQ(r1.ValueOrDie().model_version, sr.model_version);
+    EXPECT_EQ(r1.ValueOrDie().scores, r3.ValueOrDie().scores)
+        << "sharded scores diverge from the single-shard oracle";
+
+    // The merged full-universe vector carries the pipeline's scores at the
+    // trained slots and the rank-last sentinel everywhere else.
+    const std::vector<float>& full = r3.ValueOrDie().scores;
+    ASSERT_EQ(static_cast<int64_t>(full.size()), pipeline.num_slots());
+    std::vector<bool> trained(full.size(), false);
+    for (size_t i = 0; i < sr.slots.size(); ++i) {
+      EXPECT_EQ(full[static_cast<size_t>(sr.slots[i])], sr.scores[i]);
+      trained[static_cast<size_t>(sr.slots[i])] = true;
+    }
+    for (size_t s = 0; s < full.size(); ++s) {
+      if (!trained[s]) {
+        EXPECT_EQ(full[s], std::numeric_limits<float>::lowest());
+      }
+    }
+  }
+
+  // Hot reload under churn: keep stepping (more retrains, universe churn)
+  // while client threads hammer the sharded plane. Replies must always be
+  // whole-universe and version-consistent; a query that straddles a day
+  // boundary gets a clean Unavailable, never mixed data. The router-level
+  // accounting invariant must hold when the dust settles.
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> oks{0}, errors{0}, failures{0};
+  // Clients learn the live day through this atomic (reading the window
+  // while Step() mutates it would race); a stale value just earns a clean
+  // Unavailable from the ScoreFn's day check.
+  std::atomic<int64_t> live_day{pipeline.window().day()};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 3; ++c) {
+    clients.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto reply = router3.Rank(live_day.load(std::memory_order_relaxed), {});
+        if (!reply.ok()) {
+          errors.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        const serve::RankReply& r = reply.ValueOrDie();
+        if (static_cast<int64_t>(r.scores.size()) != pipeline.num_slots() ||
+            r.model_version < 1) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        oks.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  const int64_t retrains_before = pipeline.retrains();
+  const int64_t universe_before = pipeline.universe_version();
+  for (int d = 0; d < 25; ++d) {
+    ASSERT_TRUE(pipeline.Step().ok());
+    live_day.store(pipeline.window().day(), std::memory_order_relaxed);
+    // The stream steps far faster than the clients can race it, so land
+    // one guaranteed same-day query per step from this thread too.
+    auto reply = router3.Rank(pipeline.window().day(), {});
+    if (reply.ok()) oks.fetch_add(1, std::memory_order_relaxed);
+  }
+  stop.store(true);
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GT(oks.load(), 0);
+  EXPECT_GT(pipeline.retrains(), retrains_before)
+      << "scenario never reloaded under load";
+  EXPECT_GT(pipeline.universe_version(), universe_before)
+      << "scenario never churned under load";
+
+  // After the churn storm the routers still agree with each other and
+  // with the pipeline at the new day under the new version.
+  auto settled = pipeline.Rank();
+  ASSERT_TRUE(settled.ok()) << settled.status().ToString();
+  auto f1 = router1.Rank(settled.ValueOrDie().day, {});
+  auto f3 = router3.Rank(settled.ValueOrDie().day, {});
+  ASSERT_TRUE(f1.ok()) << f1.status().ToString();
+  ASSERT_TRUE(f3.ok()) << f3.status().ToString();
+  EXPECT_EQ(f1.ValueOrDie().model_version,
+            settled.ValueOrDie().model_version);
+  EXPECT_EQ(f1.ValueOrDie().scores, f3.ValueOrDie().scores);
+
+  router3.Stop();
+  router1.Stop();
+  EXPECT_EQ(metrics3.requests.load(),
+            metrics3.responses_ok.load() + metrics3.responses_error.load() +
+                metrics3.expired.load() + metrics3.shed.load())
+      << "sharded accounting invariant broken under churn";
 }
 
 // ---------------------------------------------------------------------------
